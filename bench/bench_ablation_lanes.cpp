@@ -1,0 +1,50 @@
+// Ablation: interleave width. Table 3 recommends 32 lanes (AVX-friendly,
+// one GPU warp); this sweeps the lane count on the scalar reference decoder
+// (the SIMD kernels are specialized to 32) and reports single-thread decode
+// throughput plus the per-stream state overhead.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rans/interleaved.hpp"
+
+using namespace recoil;
+
+namespace {
+
+template <u32 NLanes>
+void run(std::span<const u8> data, const StaticModel& model) {
+    auto bs = interleaved_encode<Rans32, NLanes>(data, model);
+    const DecodeTables t = model.tables();
+    const double gbps = bench::measure_gbps(data.size(), bench::runs(), [&] {
+        auto out = serial_decode<Rans32, NLanes, u8>(bs, t);
+    });
+    std::printf("%-8u %10.3f %14lu %16u\n", NLanes, gbps,
+                static_cast<unsigned long>(bs.byte_size()), NLanes * 4);
+}
+
+}  // namespace
+
+int main() {
+    const double scale = workload::bench_scale();
+    const u64 size = std::max<u64>(2'000'000, static_cast<u64>(10e6 * scale));
+    std::printf("== Ablation: interleaved lane count (scalar decoder) ==\n");
+    std::printf("dataset: %.1f MB text, n=11, single thread\n\n", size / 1e6);
+    auto data = workload::gen_text(size, 8);
+    auto model = bench::model_for_bytes(data, 11);
+
+    std::printf("%-8s %10s %14s %16s\n", "lanes", "GB/s", "payload B",
+                "state overhead B");
+    run<1>(data, model);
+    run<2>(data, model);
+    run<4>(data, model);
+    run<8>(data, model);
+    run<16>(data, model);
+    run<32>(data, model);
+    run<64>(data, model);
+    std::printf("\n(the scalar reference gains only modest ILP from interleaving; the\n"
+                " real payoff of 32 lanes is vectorizability — the same stream decodes\n"
+                " ~5x faster through the AVX512 kernel (bench_kernels) — plus warp fit,\n"
+                " hence Table 3's recommendation)\n");
+    return 0;
+}

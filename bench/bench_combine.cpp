@@ -1,0 +1,47 @@
+// The §3.3 real-time serving claim: combining splits is a metadata-only
+// O(M) operation. Measures combine + re-serialize latency versus target
+// parallelism, against the cost of re-encoding (what Conventional must do).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "conventional/conventional.hpp"
+#include "core/metadata_codec.hpp"
+#include "core/recoil_encoder.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace recoil;
+
+int main() {
+    const double scale = workload::bench_scale();
+    const u64 size = std::max<u64>(4'000'000, static_cast<u64>(10e6 * scale));
+    std::printf("== Combine latency: decoder-adaptive serving (Section 3.3) ==\n");
+    std::printf("dataset: %.1f MB text, n=11, encoded once at %u splits\n\n",
+                size / 1e6, bench::kLargeSplits);
+    auto data = workload::gen_text(size, 7);
+    auto model = bench::model_for_bytes(data, 11);
+    auto enc = recoil_encode<Rans32, 32>(std::span<const u8>(data), model,
+                                         bench::kLargeSplits);
+
+    Stopwatch sw;
+    auto conv = conventional_encode<Rans32, 32>(std::span<const u8>(data), model, 16);
+    const double reencode_ms = sw.seconds() * 1e3;
+
+    std::printf("%-12s %14s %14s\n", "target M'", "combine+ser", "metadata size");
+    for (u32 target : {1024u, 256u, 64u, 16u, 4u, 1u}) {
+        // Median-ish of several runs (operation is microseconds).
+        double best = 1e9;
+        std::size_t meta_size = 0;
+        for (int i = 0; i < 20; ++i) {
+            Stopwatch s2;
+            auto combined = combine_splits(enc.metadata, target);
+            auto bytes = serialize_metadata(combined);
+            best = std::min(best, s2.seconds() * 1e3);
+            meta_size = bytes.size();
+        }
+        std::printf("%-12u %11.3f ms %11zu B\n", target, best, meta_size);
+    }
+    std::printf("\nconventional re-encode to 16 partitions (the alternative): %.1f ms\n",
+                reencode_ms);
+    return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark): decode kernel backends, table
+// construction, metadata bit I/O. Complements the table/figure harness with
+// per-component numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/metadata_codec.hpp"
+#include "core/recoil_encoder.hpp"
+#include "rans/interleaved.hpp"
+#include "simd/dispatch.hpp"
+#include "tans/tans_table.hpp"
+#include "util/bitio.hpp"
+
+using namespace recoil;
+
+namespace {
+
+struct KernelFixture {
+    std::vector<u8> data;
+    StaticModel model;
+    InterleavedBitstream<Rans32, 32> bs;
+
+    explicit KernelFixture(u32 prob_bits)
+        : data(workload::gen_text(4 << 20, 9)),
+          model(histogram(data), prob_bits),
+          bs(interleaved_encode<Rans32, 32>(std::span<const u8>(data), model)) {}
+};
+
+KernelFixture& fixture11() {
+    static KernelFixture f(11);
+    return f;
+}
+KernelFixture& fixture16() {
+    static KernelFixture f(16);
+    return f;
+}
+
+void decode_with(benchmark::State& state, KernelFixture& f, simd::Backend b) {
+    simd::SimdRangeFn<u8> range{simd::clamp_backend(b)};
+    std::vector<u8> out(f.data.size());
+    const DecodeTables t = f.model.tables();
+    for (auto _ : state) {
+        LaneCursor<Rans32, 32> cur;
+        cur.x = f.bs.final_states;
+        cur.p = static_cast<i64>(f.bs.units.size()) - 1;
+        range(cur, std::span<const u16>(f.bs.units), f.data.size() - 1, 0, t,
+              out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations() * f.data.size()));
+}
+
+void BM_DecodeScalar_n11(benchmark::State& s) {
+    decode_with(s, fixture11(), simd::Backend::Scalar);
+}
+void BM_DecodeAvx2_n11(benchmark::State& s) {
+    decode_with(s, fixture11(), simd::Backend::Avx2);
+}
+void BM_DecodeAvx512_n11(benchmark::State& s) {
+    decode_with(s, fixture11(), simd::Backend::Avx512);
+}
+void BM_DecodeScalar_n16(benchmark::State& s) {
+    decode_with(s, fixture16(), simd::Backend::Scalar);
+}
+void BM_DecodeAvx2_n16(benchmark::State& s) {
+    decode_with(s, fixture16(), simd::Backend::Avx2);
+}
+void BM_DecodeAvx512_n16(benchmark::State& s) {
+    decode_with(s, fixture16(), simd::Backend::Avx512);
+}
+BENCHMARK(BM_DecodeScalar_n11);
+BENCHMARK(BM_DecodeAvx2_n11);
+BENCHMARK(BM_DecodeAvx512_n11);
+BENCHMARK(BM_DecodeScalar_n16);
+BENCHMARK(BM_DecodeAvx2_n16);
+BENCHMARK(BM_DecodeAvx512_n16);
+
+void BM_InterleavedEncode(benchmark::State& state) {
+    auto& f = fixture11();
+    for (auto _ : state) {
+        auto bs = interleaved_encode<Rans32, 32>(std::span<const u8>(f.data), f.model);
+        benchmark::DoNotOptimize(bs.units.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations() * f.data.size()));
+}
+BENCHMARK(BM_InterleavedEncode);
+
+void BM_SplitPlanning(benchmark::State& state) {
+    auto& f = fixture11();
+    RenormEventList events;
+    auto bs = interleaved_encode<Rans32, 32>(std::span<const u8>(f.data), f.model,
+                                             &events);
+    for (auto _ : state) {
+        auto splits = plan_splits(events, bs.num_symbols,
+                                  static_cast<u32>(state.range(0)), 32);
+        benchmark::DoNotOptimize(splits.data());
+    }
+}
+BENCHMARK(BM_SplitPlanning)->Arg(16)->Arg(256)->Arg(2176);
+
+void BM_MetadataSerialize(benchmark::State& state) {
+    auto& f = fixture11();
+    auto enc = recoil_encode<Rans32, 32>(std::span<const u8>(f.data), f.model, 2176);
+    for (auto _ : state) {
+        auto bytes = serialize_metadata(enc.metadata);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+}
+BENCHMARK(BM_MetadataSerialize);
+
+void BM_CombineSplits(benchmark::State& state) {
+    auto& f = fixture11();
+    auto enc = recoil_encode<Rans32, 32>(std::span<const u8>(f.data), f.model, 2176);
+    for (auto _ : state) {
+        auto combined = combine_splits(enc.metadata, 16);
+        benchmark::DoNotOptimize(combined.splits.data());
+    }
+}
+BENCHMARK(BM_CombineSplits);
+
+void BM_TansTableBuild(benchmark::State& state) {
+    auto& f = fixture11();
+    auto pdf = quantize_pdf(histogram(f.data), static_cast<u32>(state.range(0)));
+    for (auto _ : state) {
+        TansTable t(pdf, static_cast<u32>(state.range(0)));
+        benchmark::DoNotOptimize(&t);
+    }
+}
+BENCHMARK(BM_TansTableBuild)->Arg(11)->Arg(16);
+
+void BM_BitWriter(benchmark::State& state) {
+    for (auto _ : state) {
+        BitWriter bw;
+        for (u32 i = 0; i < 4096; ++i) bw.put(i & 0x3ff, 10);
+        auto bytes = bw.finish();
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations() * 4096 * 10 / 8));
+}
+BENCHMARK(BM_BitWriter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#pragma once
+// Shared machinery for Tables 5/6: compressed-size accounting of the six
+// bitstream variations (§5.2):
+//   (a) Single-Thread baseline      (d) Conventional Small (16 partitions)
+//   (b) Conventional Large (2176)   (e) Recoil Small = (c) combined to 16
+//   (c) Recoil Large (2176 splits)  (f) multians (single tANS bitstream)
+// Model tables are identical across (a)-(e) and excluded everywhere; the
+// small per-file header (symbol count etc.) is counted identically.
+
+#include "bench_util.hpp"
+#include "conventional/conventional.hpp"
+#include "core/metadata_codec.hpp"
+#include "core/recoil_encoder.hpp"
+#include "tans/tans_codec.hpp"
+
+namespace recoil::bench {
+
+struct SizeRow {
+    double baseline = 0;      // (a)
+    double conv_large = 0;    // (b)
+    double recoil_large = 0;  // (c)
+    double conv_small = 0;    // (d)
+    double recoil_small = 0;  // (e)
+    double multians = -1;     // (f), -1 = N/A
+};
+
+inline constexpr double kFileHeader = 16;  // symbol count + flags, all variants
+
+/// Compute all variants for one symbol stream. `TansFn` builds (f) or
+/// returns a negative value for N/A.
+template <typename TSym, typename Model, typename TansFn>
+SizeRow compute_size_row(std::span<const TSym> syms, const Model& model,
+                         TansFn&& tans_size) {
+    SizeRow row;
+    // (a), (c), (e): one Recoil encode provides all three (the bitstream is
+    // baseline-identical; only metadata differs).
+    auto enc = recoil_encode<Rans32, 32>(syms, model, kLargeSplits);
+    const double payload = static_cast<double>(enc.bitstream.byte_size());
+    row.baseline = payload + 32 * 4 + kFileHeader;
+    row.recoil_large =
+        payload + static_cast<double>(serialize_metadata(enc.metadata).size()) +
+        kFileHeader;
+    auto small_meta = combine_splits(enc.metadata, kSmallSplits);
+    row.recoil_small =
+        payload + static_cast<double>(serialize_metadata(small_meta).size()) +
+        kFileHeader;
+
+    // (b), (d): conventional re-encodes per partition count.
+    for (u32 parts : {kLargeSplits, kSmallSplits}) {
+        auto conv = conventional_encode<Rans32, 32>(syms, model, parts);
+        const double total = static_cast<double>(conv.payload_bytes()) +
+                             static_cast<double>(conv.overhead_bytes()) + 32 * 4 +
+                             kFileHeader;
+        (parts == kLargeSplits ? row.conv_large : row.conv_small) = total;
+    }
+
+    row.multians = tans_size();
+    return row;
+}
+
+inline void print_size_header() {
+    std::printf("%-10s %13s %13s %13s %13s %13s\n", "dataset", "(b) conv L",
+                "(c) recoil L", "(d) conv S", "(e) recoil S", "(f) multians");
+}
+
+inline void print_size_row(const std::string& name, const SizeRow& r) {
+    auto cell = [&](double v) {
+        if (v < 0) return std::string("N/A");
+        return bench::signed_kb(v - r.baseline) + " " + bench::pct(v - r.baseline, r.baseline);
+    };
+    std::printf("%-10s | %s | %s | %s | %s | %s\n", name.c_str(),
+                cell(r.conv_large).c_str(), cell(r.recoil_large).c_str(),
+                cell(r.conv_small).c_str(), cell(r.recoil_small).c_str(),
+                cell(r.multians).c_str());
+}
+
+}  // namespace recoil::bench

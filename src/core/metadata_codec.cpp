@@ -1,0 +1,221 @@
+#include "core/metadata_codec.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/bitio.hpp"
+#include "util/error.hpp"
+
+namespace recoil {
+
+namespace {
+
+constexpr u32 kGlobalLenBits = 5;  // series elements up to 32-bit magnitudes
+constexpr u32 kLaneLenBits = 4;    // series elements up to 16-bit magnitudes
+
+void write_signed_series(BitWriter& bw, std::span<const i64> vals, u32 len_bits) {
+    u32 maxbits = 1;
+    for (i64 v : vals) maxbits = std::max(maxbits, bits_for(static_cast<u64>(v < 0 ? -v : v)));
+    RECOIL_CHECK(maxbits <= (u32{1} << len_bits), "metadata series element too wide");
+    bw.put(maxbits - 1, len_bits);
+    for (i64 v : vals) bw.put_signed(v, maxbits);
+}
+
+std::vector<i64> read_signed_series(BitReader& br, std::size_t count, u32 len_bits) {
+    const u32 maxbits = static_cast<u32>(br.get(len_bits)) + 1;
+    std::vector<i64> vals(count);
+    for (auto& v : vals) v = br.get_signed(maxbits);
+    return vals;
+}
+
+void write_unsigned_series(BitWriter& bw, std::span<const u64> vals, u32 len_bits) {
+    u32 maxbits = 1;
+    for (u64 v : vals) maxbits = std::max(maxbits, bits_for(v));
+    RECOIL_CHECK(maxbits <= (u32{1} << len_bits), "metadata series element too wide");
+    bw.put(maxbits - 1, len_bits);
+    for (u64 v : vals) bw.put(v, maxbits);
+}
+
+std::vector<u64> read_unsigned_series(BitReader& br, std::size_t count, u32 len_bits) {
+    const u32 maxbits = static_cast<u32>(br.get(len_bits)) + 1;
+    std::vector<u64> vals(count);
+    for (auto& v : vals) v = br.get(maxbits);
+    return vals;
+}
+
+void put_u64(std::vector<u8>& out, u64 v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+u64 get_u64(std::span<const u8> in, std::size_t& pos) {
+    if (pos + 8 > in.size()) raise("metadata: truncated header");
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= u64{in[pos + i]} << (8 * i);
+    pos += 8;
+    return v;
+}
+
+}  // namespace
+
+std::vector<u8> serialize_metadata(const RecoilMetadata& meta) {
+    validate_metadata(meta);
+    std::vector<u8> out;
+    out.reserve(64 + meta.splits.size() * (meta.lanes * meta.state_store_bits / 8 + 16));
+
+    // ---- fixed header -----------------------------------------------------
+    out.push_back('R');
+    out.push_back('C');
+    out.push_back('M');
+    out.push_back('1');
+    out.push_back(static_cast<u8>(meta.lanes));
+    out.push_back(static_cast<u8>(meta.state_store_bits));
+    out.push_back(0);
+    out.push_back(0);
+    put_u64(out, meta.num_symbols);
+    put_u64(out, meta.num_units);
+    put_u64(out, meta.num_splits());
+    for (u32 s : meta.final_states) {
+        out.push_back(static_cast<u8>(s));
+        out.push_back(static_cast<u8>(s >> 8));
+        out.push_back(static_cast<u8>(s >> 16));
+        out.push_back(static_cast<u8>(s >> 24));
+    }
+
+    // ---- bit-packed difference series ------------------------------------
+    BitWriter bw;
+    const u64 M = meta.num_splits();
+    const u64 entries = meta.splits.size();
+    if (entries > 0) {
+        const u64 expected_unit = ceil_div<u64>(meta.num_units, M);
+        const u64 groups = ceil_div<u64>(meta.num_symbols, meta.lanes);
+        const u64 expected_group = ceil_div<u64>(groups, M);
+
+        std::vector<i64> off_diffs(entries), grp_diffs(entries);
+        for (u64 i = 0; i < entries; ++i) {
+            const SplitPoint& sp = meta.splits[i];
+            off_diffs[i] = static_cast<i64>(sp.offset) -
+                           static_cast<i64>((i + 1) * expected_unit);
+            grp_diffs[i] = static_cast<i64>(sp.anchor_index / meta.lanes) -
+                           static_cast<i64>((i + 1) * expected_group);
+        }
+        write_signed_series(bw, off_diffs, kGlobalLenBits);
+        write_signed_series(bw, grp_diffs, kGlobalLenBits);
+
+        for (const SplitPoint& sp : meta.splits) {
+            const u64 anchor_group = sp.anchor_index / meta.lanes;
+            std::vector<u64> lane_diffs(meta.lanes);
+            for (u32 l = 0; l < meta.lanes; ++l) {
+                bw.put(sp.states[l], meta.state_store_bits);
+                lane_diffs[l] = anchor_group - sp.indices[l] / meta.lanes;
+            }
+            write_unsigned_series(bw, lane_diffs, kLaneLenBits);
+        }
+    }
+    std::vector<u8> packed = bw.finish();
+    out.insert(out.end(), packed.begin(), packed.end());
+    return out;
+}
+
+RecoilMetadata deserialize_metadata(std::span<const u8> bytes) {
+    if (bytes.size() < 8 || bytes[0] != 'R' || bytes[1] != 'C' || bytes[2] != 'M' ||
+        bytes[3] != '1')
+        raise("metadata: bad magic");
+    RecoilMetadata meta;
+    meta.lanes = bytes[4];
+    meta.state_store_bits = bytes[5];
+    if (meta.lanes == 0 || meta.lanes > 128) raise("metadata: bad lane count");
+    if (meta.state_store_bits < 8 || meta.state_store_bits > 31)
+        raise("metadata: bad state width");
+    std::size_t pos = 8;
+    meta.num_symbols = get_u64(bytes, pos);
+    meta.num_units = get_u64(bytes, pos);
+    const u64 M = get_u64(bytes, pos);
+    if (M == 0 || M > (u64{1} << 32)) raise("metadata: bad split count");
+    if (pos + 4 * meta.lanes > bytes.size()) raise("metadata: truncated final states");
+    meta.final_states.resize(meta.lanes);
+    for (u32 l = 0; l < meta.lanes; ++l) {
+        meta.final_states[l] = static_cast<u32>(bytes[pos]) |
+                               (static_cast<u32>(bytes[pos + 1]) << 8) |
+                               (static_cast<u32>(bytes[pos + 2]) << 16) |
+                               (static_cast<u32>(bytes[pos + 3]) << 24);
+        pos += 4;
+    }
+
+    const u64 entries = M - 1;
+    if (entries > 0) {
+        BitReader br(bytes.subspan(pos));
+        const u64 expected_unit = ceil_div<u64>(meta.num_units, M);
+        const u64 groups = ceil_div<u64>(meta.num_symbols, meta.lanes);
+        const u64 expected_group = ceil_div<u64>(groups, M);
+        const auto off_diffs = read_signed_series(br, entries, kGlobalLenBits);
+        const auto grp_diffs = read_signed_series(br, entries, kGlobalLenBits);
+        meta.splits.resize(entries);
+        for (u64 i = 0; i < entries; ++i) {
+            SplitPoint& sp = meta.splits[i];
+            const i64 off = static_cast<i64>((i + 1) * expected_unit) + off_diffs[i];
+            const i64 grp = static_cast<i64>((i + 1) * expected_group) + grp_diffs[i];
+            if (off < 0 || grp < 0) raise("metadata: negative reconstructed value");
+            sp.offset = static_cast<u64>(off);
+            sp.states.resize(meta.lanes);
+            sp.indices.resize(meta.lanes);
+            u64 min_index = std::numeric_limits<u64>::max();
+            u64 max_index = 0;
+            for (u32 l = 0; l < meta.lanes; ++l) {
+                sp.states[l] = static_cast<u32>(br.get(meta.state_store_bits));
+            }
+            const auto lane_diffs = read_unsigned_series(br, meta.lanes, kLaneLenBits);
+            for (u32 l = 0; l < meta.lanes; ++l) {
+                const i64 lane_grp = grp - static_cast<i64>(lane_diffs[l]);
+                if (lane_grp < 0) raise("metadata: negative lane group");
+                sp.indices[l] = static_cast<u64>(lane_grp) * meta.lanes + l;
+                min_index = std::min(min_index, sp.indices[l]);
+                max_index = std::max(max_index, sp.indices[l]);
+            }
+            sp.anchor_index = max_index;
+            sp.min_index = min_index;
+            if (sp.anchor_index / meta.lanes != static_cast<u64>(grp))
+                raise("metadata: anchor group mismatch");
+        }
+    }
+    validate_metadata(meta);
+    return meta;
+}
+
+void validate_metadata(const RecoilMetadata& meta) {
+    if (meta.lanes == 0) raise("metadata: zero lanes");
+    if (meta.final_states.size() != meta.lanes) raise("metadata: final state count");
+    if (meta.state_store_bits < 8 || meta.state_store_bits > 31)
+        raise("metadata: bad state width");
+    const u32 lower_bound_log2 = meta.state_store_bits;
+    i64 prev_anchor = -1;
+    u64 prev_offset = 0;
+    bool first = true;
+    for (const SplitPoint& sp : meta.splits) {
+        if (sp.states.size() != meta.lanes || sp.indices.size() != meta.lanes)
+            raise("metadata: lane array size mismatch");
+        if (sp.offset >= meta.num_units) raise("metadata: split offset out of range");
+        if (!first && sp.offset <= prev_offset) raise("metadata: offsets not increasing");
+        if (sp.anchor_index >= meta.num_symbols) raise("metadata: anchor out of range");
+        if (static_cast<i64>(sp.min_index) <= prev_anchor)
+            raise("metadata: sync section crosses previous anchor");
+        u64 min_index = std::numeric_limits<u64>::max();
+        u64 max_index = 0;
+        for (u32 l = 0; l < meta.lanes; ++l) {
+            if (sp.states[l] >= (u32{1} << lower_bound_log2))
+                raise("metadata: intermediate state above lower bound");
+            if (sp.indices[l] % meta.lanes != l) raise("metadata: lane index misaligned");
+            min_index = std::min(min_index, sp.indices[l]);
+            max_index = std::max(max_index, sp.indices[l]);
+        }
+        if (min_index != sp.min_index || max_index != sp.anchor_index)
+            raise("metadata: min/anchor inconsistent with lane indices");
+        prev_anchor = static_cast<i64>(sp.anchor_index);
+        prev_offset = sp.offset;
+        first = false;
+    }
+    if (!meta.splits.empty() &&
+        meta.splits.back().anchor_index + 1 >= meta.num_symbols)
+        raise("metadata: last split leaves no symbols for the final thread");
+}
+
+}  // namespace recoil

@@ -1,0 +1,94 @@
+#pragma once
+// Random access: decode only a sub-range of symbols from a Recoil stream.
+// A capability that falls out of the split metadata: the splits covering
+// [lo, hi) are independently decodable, so a client can fetch/decode only
+// the bitstream region it needs — impossible with a plain interleaved rANS
+// stream, and one more reason the metadata records symbol indices (§3.1).
+
+#include <vector>
+
+#include "core/recoil_decoder.hpp"
+
+namespace recoil {
+
+/// The split indices and covered symbol span needed to decode [lo, hi).
+struct RangePlan {
+    u32 first_split = 0;
+    u32 last_split = 0;   ///< inclusive
+    u64 cover_lo = 0;     ///< first symbol the chosen splits produce
+    u64 cover_hi = 0;     ///< one past the last
+};
+
+/// Which splits must run to produce symbols [lo, hi)?
+/// Thread k *writes* positions [min_{k-1}, min_k): its decoding phase covers
+/// (anchor_{k-1}, min_k) and its cross-boundary phase [min_{k-1},
+/// anchor_{k-1}]; split k's own sync section [min_k, anchor_k] is written by
+/// thread k+1. So the owner of position p is the first split whose
+/// min_index exceeds p.
+inline RangePlan plan_range(const RecoilMetadata& meta, u64 lo, u64 hi) {
+    RECOIL_CHECK(lo < hi && hi <= meta.num_symbols, "plan_range: bad range");
+    const u32 S = meta.num_splits();
+    auto owner = [&](u64 pos) {
+        u32 k = 0;
+        while (k < meta.splits.size() && meta.splits[k].min_index <= pos) ++k;
+        return k;  // S-1 when past every split point
+    };
+    RangePlan plan;
+    plan.first_split = owner(lo);
+    plan.last_split = owner(hi - 1);
+    plan.cover_lo = plan.first_split == 0
+                        ? 0
+                        : meta.splits[plan.first_split - 1].min_index;
+    plan.cover_hi = plan.last_split >= S - 1
+                        ? meta.num_symbols
+                        : meta.splits[plan.last_split].min_index;
+    return plan;
+}
+
+/// Decode symbols [lo, hi) only. Cost is proportional to the covering
+/// splits, not the stream; with M splits over N symbols, expect
+/// ~(hi - lo) + N/M symbols of work.
+template <typename Cfg = Rans32, u32 NLanes = kLanes, typename TSym,
+          typename RangeFn = ScalarRangeFn<Cfg, NLanes, TSym>>
+std::vector<TSym> recoil_decode_range(std::span<const typename Cfg::UnitT> units,
+                                      const RecoilMetadata& meta,
+                                      const DecodeTables& t, u64 lo, u64 hi,
+                                      ThreadPool* pool = nullptr,
+                                      const RangeFn& range_fn = {}) {
+    const RangePlan plan = plan_range(meta, lo, hi);
+    std::vector<TSym> cover(plan.cover_hi - plan.cover_lo);
+    // Decode paths index the output by absolute symbol position; rebase the
+    // buffer so position cover_lo lands at cover[0]. Every write of the
+    // chosen splits falls inside [cover_lo, cover_hi), so all dereferences
+    // are in bounds; the rebased pointer itself is formed via integer
+    // arithmetic to stay clear of out-of-bounds pointer UB.
+    TSym* rebased = reinterpret_cast<TSym*>(
+        reinterpret_cast<std::uintptr_t>(cover.data()) -
+        static_cast<std::uintptr_t>(plan.cover_lo) * sizeof(TSym));
+
+    auto run_one = [&](u64 i) {
+        recoil_decode_split<Cfg, NLanes, TSym>(
+            units, meta, t, plan.first_split + static_cast<u32>(i), rebased,
+            nullptr, range_fn);
+    };
+    const u64 count = plan.last_split - plan.first_split + 1;
+    if (pool == nullptr || count == 1) {
+        for (u64 i = 0; i < count; ++i) run_one(i);
+    } else {
+        std::exception_ptr first_error;
+        std::mutex err_mu;
+        pool->parallel_for(count, [&](u64 i) {
+            try {
+                run_one(i);
+            } catch (...) {
+                std::scoped_lock lk(err_mu);
+                if (!first_error) first_error = std::current_exception();
+            }
+        });
+        if (first_error) std::rethrow_exception(first_error);
+    }
+    return std::vector<TSym>(cover.begin() + static_cast<std::ptrdiff_t>(lo - plan.cover_lo),
+                             cover.begin() + static_cast<std::ptrdiff_t>(hi - plan.cover_lo));
+}
+
+}  // namespace recoil

@@ -1,0 +1,274 @@
+#include "format/container.hpp"
+
+#include <cstring>
+
+#include "core/metadata_codec.hpp"
+#include "util/error.hpp"
+
+namespace recoil::format {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'F', '1'};
+
+void put_u32(std::vector<u8>& out, u32 v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_u64(std::vector<u8>& out, u64 v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+struct Cursor {
+    std::span<const u8> in;
+    std::size_t pos = 0;
+    void need(std::size_t n) const {
+        if (pos + n > in.size()) raise("container: truncated");
+    }
+    u8 get_u8() {
+        need(1);
+        return in[pos++];
+    }
+    u32 get_u32() {
+        need(4);
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i) v |= u32{in[pos + i]} << (8 * i);
+        pos += 4;
+        return v;
+    }
+    u64 get_u64() {
+        need(8);
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i) v |= u64{in[pos + i]} << (8 * i);
+        pos += 8;
+        return v;
+    }
+    std::span<const u8> get_bytes(std::size_t n) {
+        need(n);
+        auto s = in.subspan(pos, n);
+        pos += n;
+        return s;
+    }
+};
+
+void put_freq_table(std::vector<u8>& out, std::span<const u32> freq) {
+    put_u32(out, static_cast<u32>(freq.size()));
+    for (u32 f : freq) put_u32(out, f);
+}
+
+std::vector<u32> get_freq_table(Cursor& c) {
+    const u32 n = c.get_u32();
+    if (n == 0 || n > (u32{1} << 20)) raise("container: bad alphabet size");
+    std::vector<u32> freq(n);
+    for (auto& f : freq) f = c.get_u32();
+    return freq;
+}
+
+}  // namespace
+
+u64 fnv1a(std::span<const u8> bytes) {
+    u64 h = 0xcbf29ce484222325ull;
+    for (u8 b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+StaticModel RecoilFile::build_static_model() const {
+    const auto& p = std::get<StaticPayload>(model);
+    return StaticModel(std::span<const u32>(p.freq), prob_bits, 0);
+}
+
+IndexedModelSet RecoilFile::build_indexed_model() const {
+    const auto& p = std::get<IndexedPayload>(model);
+    std::vector<StaticModel> models;
+    models.reserve(p.freqs.size());
+    for (const auto& f : p.freqs)
+        models.emplace_back(std::span<const u32>(f), prob_bits, 0);
+    return IndexedModelSet(std::move(models), p.ids);
+}
+
+std::vector<u8> save_recoil_file(const RecoilFile& f) {
+    std::vector<u8> out;
+    out.insert(out.end(), kMagic, kMagic + 4);
+    out.push_back(1);  // version
+    out.push_back(f.sym_width);
+    out.push_back(f.is_indexed() ? 1 : 0);
+    out.push_back(static_cast<u8>(f.prob_bits));
+
+    if (f.is_indexed()) {
+        const auto& p = std::get<RecoilFile::IndexedPayload>(f.model);
+        put_u32(out, static_cast<u32>(p.freqs.size()));
+        for (const auto& freq : p.freqs) put_freq_table(out, freq);
+        put_u64(out, p.ids.size());
+        out.insert(out.end(), p.ids.begin(), p.ids.end());
+    } else {
+        const auto& p = std::get<RecoilFile::StaticPayload>(f.model);
+        put_freq_table(out, p.freq);
+    }
+
+    const std::vector<u8> meta = serialize_metadata(f.metadata);
+    put_u64(out, meta.size());
+    out.insert(out.end(), meta.begin(), meta.end());
+
+    put_u64(out, f.units.size());
+    const auto* ub = reinterpret_cast<const u8*>(f.units.data());
+    out.insert(out.end(), ub, ub + f.units.size() * 2);
+
+    put_u64(out, fnv1a(out));
+    return out;
+}
+
+RecoilFile load_recoil_file(std::span<const u8> bytes) {
+    if (bytes.size() < 16) raise("container: too short");
+    const u64 stored_sum = [&] {
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i) v |= u64{bytes[bytes.size() - 8 + i]} << (8 * i);
+        return v;
+    }();
+    if (fnv1a(bytes.first(bytes.size() - 8)) != stored_sum)
+        raise("container: checksum mismatch");
+
+    Cursor c{bytes.first(bytes.size() - 8)};
+    if (std::memcmp(c.get_bytes(4).data(), kMagic, 4) != 0)
+        raise("container: bad magic");
+    if (c.get_u8() != 1) raise("container: unsupported version");
+
+    RecoilFile f;
+    f.sym_width = c.get_u8();
+    if (f.sym_width != 1 && f.sym_width != 2) raise("container: bad symbol width");
+    const bool indexed = c.get_u8() != 0;
+    f.prob_bits = c.get_u8();
+    if (f.prob_bits < 1 || f.prob_bits > 16) raise("container: bad prob_bits");
+
+    if (indexed) {
+        RecoilFile::IndexedPayload p;
+        const u32 k = c.get_u32();
+        if (k == 0 || k > 256) raise("container: bad model count");
+        p.freqs.resize(k);
+        for (auto& freq : p.freqs) freq = get_freq_table(c);
+        const u64 ids_len = c.get_u64();
+        auto ids = c.get_bytes(ids_len);
+        p.ids.assign(ids.begin(), ids.end());
+        f.model = std::move(p);
+    } else {
+        f.model = RecoilFile::StaticPayload{get_freq_table(c)};
+    }
+
+    const u64 meta_len = c.get_u64();
+    f.metadata = deserialize_metadata(c.get_bytes(meta_len));
+
+    const u64 unit_count = c.get_u64();
+    auto units = c.get_bytes(unit_count * 2);
+    f.units.resize(unit_count);
+    std::memcpy(f.units.data(), units.data(), unit_count * 2);
+    if (f.metadata.num_units != unit_count)
+        raise("container: metadata/bitstream length mismatch");
+    return f;
+}
+
+std::vector<u8> serve_combined(const RecoilFile& f, u32 target_splits) {
+    RecoilFile served = f;
+    served.metadata = combine_splits(f.metadata, target_splits);
+    return save_recoil_file(served);
+}
+
+template <typename Model>
+RecoilFile make_recoil_file(const RecoilEncoded<Rans32, 32>& enc, const Model& model,
+                            u8 sym_width) {
+    static_assert(std::is_same_v<Model, StaticModel>,
+                  "indexed models carry external pdfs; assemble RecoilFile "
+                  "with IndexedPayload manually");
+    RecoilFile f;
+    f.sym_width = sym_width;
+    f.prob_bits = model.prob_bits();
+    f.metadata = enc.metadata;
+    f.units = enc.bitstream.units;
+    RecoilFile::StaticPayload p;
+    p.freq.resize(model.alphabet());
+    for (u32 s = 0; s < model.alphabet(); ++s) p.freq[s] = model.freq(s);
+    f.model = std::move(p);
+    return f;
+}
+
+template RecoilFile make_recoil_file<StaticModel>(const RecoilEncoded<Rans32, 32>&,
+                                                  const StaticModel&, u8);
+
+namespace {
+constexpr char kConvMagic[4] = {'C', 'N', 'V', '1'};
+}
+
+std::vector<u8> save_conventional_file(const ConventionalFile& f) {
+    std::vector<u8> out;
+    out.insert(out.end(), kConvMagic, kConvMagic + 4);
+    out.push_back(1);  // version
+    out.push_back(f.sym_width);
+    out.push_back(static_cast<u8>(f.prob_bits));
+    out.push_back(0);
+    put_freq_table(out, f.freq);
+    put_u64(out, f.payload.num_symbols);
+    put_u64(out, f.payload.partitions.size());
+    for (const auto& p : f.payload.partitions) {
+        put_u64(out, p.sym_begin);
+        put_u64(out, p.sym_count);
+        put_u64(out, p.unit_begin);
+        put_u64(out, p.unit_count);
+        for (u32 s : p.final_states) put_u32(out, s);
+    }
+    put_u64(out, f.payload.units.size());
+    const auto* ub = reinterpret_cast<const u8*>(f.payload.units.data());
+    out.insert(out.end(), ub, ub + f.payload.units.size() * 2);
+    put_u64(out, fnv1a(out));
+    return out;
+}
+
+ConventionalFile load_conventional_file(std::span<const u8> bytes) {
+    if (bytes.size() < 16) raise("conventional container: too short");
+    u64 stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= u64{bytes[bytes.size() - 8 + i]} << (8 * i);
+    if (fnv1a(bytes.first(bytes.size() - 8)) != stored)
+        raise("conventional container: checksum mismatch");
+    Cursor c{bytes.first(bytes.size() - 8)};
+    if (std::memcmp(c.get_bytes(4).data(), kConvMagic, 4) != 0)
+        raise("conventional container: bad magic");
+    if (c.get_u8() != 1) raise("conventional container: unsupported version");
+    ConventionalFile f;
+    f.sym_width = c.get_u8();
+    if (f.sym_width != 1 && f.sym_width != 2)
+        raise("conventional container: bad symbol width");
+    f.prob_bits = c.get_u8();
+    if (f.prob_bits < 1 || f.prob_bits > 16)
+        raise("conventional container: bad prob_bits");
+    (void)c.get_u8();
+    f.freq = get_freq_table(c);
+    f.payload.num_symbols = c.get_u64();
+    const u64 parts = c.get_u64();
+    if (parts == 0 || parts > (u64{1} << 24))
+        raise("conventional container: bad partition count");
+    f.payload.partitions.resize(parts);
+    u64 covered = 0;
+    u64 units_covered = 0;
+    for (auto& p : f.payload.partitions) {
+        p.sym_begin = c.get_u64();
+        p.sym_count = c.get_u64();
+        p.unit_begin = c.get_u64();
+        p.unit_count = c.get_u64();
+        if (p.sym_begin != covered || p.unit_begin != units_covered)
+            raise("conventional container: partitions not contiguous");
+        covered += p.sym_count;
+        units_covered += p.unit_count;
+        for (auto& s : p.final_states) s = c.get_u32();
+    }
+    if (covered != f.payload.num_symbols)
+        raise("conventional container: partitions do not cover the stream");
+    const u64 unit_count = c.get_u64();
+    if (unit_count != units_covered)
+        raise("conventional container: unit count mismatch");
+    auto units = c.get_bytes(unit_count * 2);
+    f.payload.units.resize(unit_count);
+    std::memcpy(f.payload.units.data(), units.data(), unit_count * 2);
+    return f;
+}
+
+}  // namespace recoil::format

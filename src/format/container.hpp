@@ -1,0 +1,74 @@
+#pragma once
+// On-disk/wire container for Recoil streams: model payload + detachable
+// metadata + bitstream, with an integrity checksum. This is the format the
+// CLI example and the content-delivery example exchange; the §3.3 serving
+// path (combine splits, re-serialize metadata, keep the bitstream) operates
+// directly on it.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "conventional/conventional.hpp"
+#include "core/metadata.hpp"
+#include "core/recoil_encoder.hpp"
+#include "rans/indexed_model.hpp"
+
+namespace recoil::format {
+
+/// FNV-1a 64-bit, used as the container integrity checksum.
+u64 fnv1a(std::span<const u8> bytes);
+
+struct RecoilFile {
+    u8 sym_width = 1;  ///< 1 or 2 bytes per symbol
+    u32 prob_bits = 0;
+    /// Model payload: a single static PDF or an indexed family + ids.
+    struct StaticPayload {
+        std::vector<u32> freq;
+    };
+    struct IndexedPayload {
+        std::vector<std::vector<u32>> freqs;
+        std::vector<u8> ids;
+    };
+    std::variant<StaticPayload, IndexedPayload> model;
+    RecoilMetadata metadata;
+    std::vector<u16> units;
+
+    /// Rebuild the decode-side model objects.
+    StaticModel build_static_model() const;
+    IndexedModelSet build_indexed_model() const;
+    bool is_indexed() const noexcept {
+        return std::holds_alternative<IndexedPayload>(model);
+    }
+};
+
+/// Serialize/parse. Parsing validates structure, metadata invariants and the
+/// checksum; corrupt input raises recoil::Error.
+std::vector<u8> save_recoil_file(const RecoilFile& f);
+RecoilFile load_recoil_file(std::span<const u8> bytes);
+
+/// Serve a client with `target_splits` parallel capacity (§3.3): combines
+/// metadata in O(M) and re-serializes; the bitstream bytes are shared.
+std::vector<u8> serve_combined(const RecoilFile& f, u32 target_splits);
+
+/// Convenience builders for the common encode paths.
+template <typename Model>
+RecoilFile make_recoil_file(const RecoilEncoded<Rans32, 32>& enc, const Model& model,
+                            u8 sym_width);
+
+/// Wire format for the conventional baseline (B): offset table + final
+/// states + concatenated sub-bitstreams. Exists so the baseline is a
+/// shippable artifact too and the size comparisons are container-to-container.
+struct ConventionalFile {
+    u8 sym_width = 1;
+    u32 prob_bits = 0;
+    std::vector<u32> freq;
+    ConventionalEncoded<Rans32, 32> payload;
+};
+
+std::vector<u8> save_conventional_file(const ConventionalFile& f);
+ConventionalFile load_conventional_file(std::span<const u8> bytes);
+
+}  // namespace recoil::format

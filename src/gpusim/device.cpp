@@ -1,0 +1,22 @@
+#include "gpusim/device.hpp"
+
+namespace recoil::gpusim {
+
+GpuSimDevice::GpuSimDevice(GpuSimConfig cfg)
+    : cfg_(cfg),
+      pool_(cfg.host_threads ? cfg.host_threads
+                             : std::max(1u, std::thread::hardware_concurrency())) {}
+
+void GpuSimDevice::fill_grid_stats(LaunchStats& s, u64 warp_tasks) const {
+    const u32 warps_per_block = std::max(1u, cfg_.threads_per_block / 32);
+    s.warp_tasks = warp_tasks;
+    s.blocks = ceil_div<u64>(warp_tasks, warps_per_block);
+    s.resident_warps =
+        u64{cfg_.sm_count} * cfg_.max_blocks_per_sm * warps_per_block;
+    s.occupancy = s.resident_warps == 0
+                      ? 0.0
+                      : std::min(1.0, static_cast<double>(warp_tasks) /
+                                          static_cast<double>(s.resident_warps));
+}
+
+}  // namespace recoil::gpusim

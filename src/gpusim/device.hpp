@@ -1,0 +1,96 @@
+#pragma once
+// GPU execution substrate (stand-in for the paper's CUDA implementation,
+// §4.4 variation (4)). The real kernel runs 128 threads per block = four
+// 32-lane warps, one interleaved decoder group per warp, with the block
+// count chosen by cudaOccupancyMaxActiveBlocksPerMultiprocessor. This
+// simulator preserves that execution shape: each warp-task executes one
+// split/partition with the 32-lane SIMD group kernel (lockstep warp
+// semantics), warps are batched into blocks, and blocks are scheduled over
+// the host cores. Occupancy and divergence statistics are modeled so the
+// benches can report how the algorithms would load a real device; wall-clock
+// throughput is measured, not modeled.
+
+#include <algorithm>
+
+#include "conventional/conventional.hpp"
+#include "core/recoil_decoder.hpp"
+#include "simd/dispatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace recoil::gpusim {
+
+struct GpuSimConfig {
+    u32 threads_per_block = 128;  ///< 4 warps, as in the paper
+    u32 sm_count = 68;            ///< modeled device (RTX 2080 Ti: 68 SMs)
+    u32 max_blocks_per_sm = 8;    ///< modeled occupancy limit
+    u32 host_threads = 0;         ///< 0 = hardware concurrency
+    simd::Backend warp_backend = simd::pick_backend();
+};
+
+struct LaunchStats {
+    u64 warp_tasks = 0;
+    u64 blocks = 0;
+    u64 resident_warps = 0;   ///< warps the modeled device can keep in flight
+    double occupancy = 0.0;   ///< warp_tasks saturating the modeled device
+    RecoilDecodeStats decode; ///< sync/cross-boundary overhead work
+};
+
+class GpuSimDevice {
+public:
+    explicit GpuSimDevice(GpuSimConfig cfg = {});
+
+    const GpuSimConfig& config() const noexcept { return cfg_; }
+    ThreadPool& pool() noexcept { return pool_; }
+
+    /// Launch the Recoil decode kernel: one warp-task per split. The _into
+    /// form writes a caller-provided buffer ("device memory"), measuring
+    /// kernel work only, as the paper does.
+    template <typename TSym>
+    void launch_recoil_into(std::span<const u16> units, const RecoilMetadata& meta,
+                            const DecodeTables& t, std::span<TSym> out,
+                            LaunchStats* stats = nullptr) {
+        if (stats) fill_grid_stats(*stats, meta.num_splits());
+        simd::SimdRangeFn<TSym> range{cfg_.warp_backend};
+        RecoilDecodeStats ds;
+        recoil_decode_into<Rans32, 32, TSym>(units, meta, t, out, &pool_,
+                                             stats ? &ds : nullptr, range);
+        if (stats) stats->decode = ds;
+    }
+
+    template <typename TSym>
+    std::vector<TSym> launch_recoil(std::span<const u16> units,
+                                    const RecoilMetadata& meta,
+                                    const DecodeTables& t,
+                                    LaunchStats* stats = nullptr) {
+        std::vector<TSym> out(meta.num_symbols);
+        launch_recoil_into<TSym>(units, meta, t, std::span<TSym>(out), stats);
+        return out;
+    }
+
+    /// Launch the conventional decode kernel: one warp-task per partition.
+    template <typename TSym>
+    void launch_conventional_into(const ConventionalEncoded<Rans32, 32>& enc,
+                                  const DecodeTables& t, std::span<TSym> out,
+                                  LaunchStats* stats = nullptr) {
+        if (stats) fill_grid_stats(*stats, enc.partitions.size());
+        simd::SimdRangeFn<TSym> range{cfg_.warp_backend};
+        conventional_decode_into<Rans32, 32, TSym>(enc, t, out, &pool_, range);
+    }
+
+    template <typename TSym>
+    std::vector<TSym> launch_conventional(const ConventionalEncoded<Rans32, 32>& enc,
+                                          const DecodeTables& t,
+                                          LaunchStats* stats = nullptr) {
+        std::vector<TSym> out(enc.num_symbols);
+        launch_conventional_into<TSym>(enc, t, std::span<TSym>(out), stats);
+        return out;
+    }
+
+private:
+    void fill_grid_stats(LaunchStats& s, u64 warp_tasks) const;
+
+    GpuSimConfig cfg_;
+    ThreadPool pool_;
+};
+
+}  // namespace recoil::gpusim

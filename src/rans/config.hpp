@@ -1,0 +1,42 @@
+#pragma once
+// rANS coder configurations (paper Table 3). The codec templates accept a
+// config type so state width, renormalization unit size and lower bound are
+// all customizable; `Rans32` is the configuration used throughout the
+// paper's experiments (32-bit state, 16-bit units, L = 2^16).
+
+#include "util/ints.hpp"
+
+namespace recoil {
+
+/// Default configuration: 32-bit states, 16-bit renormalization units,
+/// L = 2^16. With prob_bits <= 16 renormalization always completes in one
+/// step (b >= n), and intermediate states at renormalization points fit in
+/// 16 bits (paper Lemma 3.1) — the property Recoil metadata relies on.
+struct Rans32 {
+    using StateT = u32;
+    using UnitT = u16;
+    static constexpr u32 state_bits = 32;
+    static constexpr u32 unit_bits = 16;
+    static constexpr u32 lower_bound_log2 = 16;
+    static constexpr StateT lower_bound = StateT{1} << lower_bound_log2;
+    static constexpr u32 max_prob_bits = 16;
+};
+
+/// Byte-wise configuration (ryg_rans-style): 8-bit units, L = 2^23.
+/// Renormalization may take several steps when prob_bits > 8; the reference
+/// paths handle that, and Recoil stores intermediate states in 23 bits.
+struct Rans32x8 {
+    using StateT = u32;
+    using UnitT = u8;
+    static constexpr u32 state_bits = 32;
+    static constexpr u32 unit_bits = 8;
+    static constexpr u32 lower_bound_log2 = 23;
+    static constexpr StateT lower_bound = StateT{1} << lower_bound_log2;
+    static constexpr u32 max_prob_bits = 16;
+};
+
+/// Number of interleaved lanes used by all experiment configurations: fits
+/// one AVX512 pair / four AVX2 vectors / one GPU warp (paper Table 3).
+inline constexpr u32 kLanes = 32;
+
+}  // namespace recoil

@@ -1,0 +1,39 @@
+#include "rans/indexed_model.hpp"
+
+#include "util/error.hpp"
+
+namespace recoil {
+
+IndexedModelSet::IndexedModelSet(std::vector<StaticModel> models, std::vector<u8> ids)
+    : ids_(std::move(ids)) {
+    RECOIL_CHECK(!models.empty(), "IndexedModelSet: no models");
+    RECOIL_CHECK(models.size() <= 256, "IndexedModelSet: at most 256 models (8-bit ids)");
+    prob_bits_ = models[0].prob_bits();
+    alphabet_ = models[0].alphabet();
+    model_count_ = static_cast<u32>(models.size());
+    for (const auto& m : models) {
+        RECOIL_CHECK(m.prob_bits() == prob_bits_ && m.alphabet() == alphabet_,
+                     "IndexedModelSet: inconsistent models");
+    }
+    for (u8 id : ids_) RECOIL_CHECK(id < model_count_, "IndexedModelSet: id out of range");
+
+    const u64 slots = u64{1} << prob_bits_;
+    fc_.resize(slots * model_count_);
+    sym_.resize(slots * model_count_);
+    enc_freq_.resize(u64{alphabet_ + 1} * model_count_);
+    enc_cum_.resize(u64{alphabet_ + 1} * model_count_);
+    fast_.resize(u64{alphabet_} * model_count_);
+    for (u32 m = 0; m < model_count_; ++m) {
+        const DecodeTables t = models[m].tables();
+        std::copy(t.fc, t.fc + slots, fc_.begin() + m * slots);
+        std::copy(t.sym, t.sym + slots, sym_.begin() + m * slots);
+        for (u32 s = 0; s < alphabet_; ++s) {
+            enc_freq_[u64{m} * (alphabet_ + 1) + s] = models[m].freq(s);
+            enc_cum_[u64{m} * (alphabet_ + 1) + s] = models[m].cum(s);
+            fast_[u64{m} * alphabet_ + s] =
+                EncSymbolFast::make(models[m].freq(s), models[m].cum(s), prob_bits_);
+        }
+    }
+}
+
+}  // namespace recoil

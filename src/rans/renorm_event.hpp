@@ -1,0 +1,24 @@
+#pragma once
+// A renormalization event observed during interleaved encoding. Events are
+// the split-point candidates of Recoil (§3.2/§4.1): the recorded state is the
+// post-renormalization state (< L, so it fits in lower_bound_log2 bits), the
+// symbol index is the lane's previous symbol (the last one folded into the
+// state before it was shrunk), and the offset is the unit index of the (last)
+// unit this renormalization wrote.
+
+#include <vector>
+
+#include "util/ints.hpp"
+
+namespace recoil {
+
+struct RenormEvent {
+    u64 sym_index;  ///< index of lane's latest encoded symbol at this point
+    u64 offset;     ///< bitstream unit index written (decode init pops here)
+    u32 state;      ///< post-renormalization lane state, < lower_bound
+    u32 lane;       ///< interleaved lane id in [0, NLanes)
+};
+
+using RenormEventList = std::vector<RenormEvent>;
+
+}  // namespace recoil

@@ -1,0 +1,56 @@
+#include "rans/static_model.hpp"
+
+#include <cmath>
+
+#include "rans/symbol_stats.hpp"
+#include "util/error.hpp"
+
+namespace recoil {
+
+StaticModel::StaticModel(std::span<const u64> counts, u32 prob_bits)
+    : prob_bits_(prob_bits),
+      freq_(quantize_pdf(counts, prob_bits)),
+      cum_(cumulative(freq_)) {
+    build_luts();
+}
+
+StaticModel::StaticModel(std::span<const u32> freq, u32 prob_bits, int)
+    : prob_bits_(prob_bits), freq_(freq.begin(), freq.end()), cum_(cumulative(freq_)) {
+    RECOIL_CHECK(cum_.back() == (u32{1} << prob_bits), "pdf does not sum to 2^prob_bits");
+    build_luts();
+}
+
+void StaticModel::build_luts() {
+    fast_.resize(alphabet());
+    for (u32 s = 0; s < alphabet(); ++s) {
+        fast_[s] = EncSymbolFast::make(freq_[s], cum_[s], prob_bits_);
+    }
+    const u32 slots = u32{1} << prob_bits_;
+    fc_.resize(slots);
+    sym_.resize(slots);
+    const bool packable = alphabet() <= 256 && prob_bits_ <= 12;
+    if (packable) packed_.resize(slots);
+    for (u32 s = 0; s < alphabet(); ++s) {
+        const u32 f = freq_[s];
+        const u32 c = cum_[s];
+        for (u32 slot = c; slot < c + f; ++slot) {
+            fc_[slot] = ((f - 1) << 16) | c;
+            sym_[slot] = s;
+            if (packable) packed_[slot] = ((f - 1) << 20) | (c << 8) | s;
+        }
+    }
+}
+
+double StaticModel::cross_entropy_bits(std::span<const u64> counts) const {
+    double bits = 0;
+    const double n = static_cast<double>(prob_bits_);
+    for (u32 s = 0; s < counts.size() && s < alphabet(); ++s) {
+        if (counts[s] == 0) continue;
+        RECOIL_CHECK(freq_[s] > 0, "cross_entropy_bits: symbol with zero frequency present");
+        bits += static_cast<double>(counts[s]) *
+                (n - std::log2(static_cast<double>(freq_[s])));
+    }
+    return bits;
+}
+
+}  // namespace recoil

@@ -1,0 +1,111 @@
+#include "rans/symbol_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace recoil {
+
+std::vector<u64> histogram(std::span<const u8> data, u32 alphabet) {
+    std::vector<u64> counts(alphabet, 0);
+    // Four sub-histograms break the store-to-load dependency chain.
+    std::vector<u64> h1(alphabet, 0), h2(alphabet, 0), h3(alphabet, 0);
+    std::size_t i = 0;
+    for (; i + 4 <= data.size(); i += 4) {
+        ++counts[data[i]];
+        ++h1[data[i + 1]];
+        ++h2[data[i + 2]];
+        ++h3[data[i + 3]];
+    }
+    for (; i < data.size(); ++i) ++counts[data[i]];
+    for (u32 s = 0; s < alphabet; ++s) counts[s] += h1[s] + h2[s] + h3[s];
+    return counts;
+}
+
+std::vector<u64> histogram16(std::span<const u16> data, u32 alphabet) {
+    std::vector<u64> counts(alphabet, 0);
+    for (u16 v : data) {
+        RECOIL_CHECK(v < alphabet, "histogram16: symbol out of alphabet");
+        ++counts[v];
+    }
+    return counts;
+}
+
+std::vector<u32> quantize_pdf(std::span<const u64> counts, u32 prob_bits) {
+    RECOIL_CHECK(prob_bits >= 1 && prob_bits <= 16, "prob_bits must be in [1,16]");
+    const u64 target = u64{1} << prob_bits;
+    const u64 total = std::accumulate(counts.begin(), counts.end(), u64{0});
+    RECOIL_CHECK(total > 0, "quantize_pdf: empty input");
+
+    const std::size_t n = counts.size();
+    std::vector<u32> freq(n, 0);
+    std::vector<double> remainder(n, 0.0);
+    u64 used = 0;
+    u64 present = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+        if (counts[s] == 0) continue;
+        ++present;
+        const double exact =
+            static_cast<double>(counts[s]) * static_cast<double>(target) / static_cast<double>(total);
+        u32 f = static_cast<u32>(exact);
+        if (f == 0) f = 1;
+        remainder[s] = exact - static_cast<double>(f);
+        freq[s] = f;
+        used += f;
+    }
+    RECOIL_CHECK(present <= target, "alphabet larger than 2^prob_bits with all symbols present");
+
+    if (used < target) {
+        // Hand out the remaining mass by largest fractional remainder.
+        std::vector<u32> order;
+        order.reserve(present);
+        for (u32 s = 0; s < n; ++s)
+            if (freq[s] > 0) order.push_back(s);
+        std::sort(order.begin(), order.end(),
+                  [&](u32 a, u32 b) { return remainder[a] > remainder[b]; });
+        u64 left = target - used;
+        std::size_t k = 0;
+        while (left > 0) {
+            ++freq[order[k % order.size()]];
+            ++k;
+            --left;
+        }
+    } else if (used > target) {
+        // Reclaim mass where shrinking costs the fewest coded bits.
+        u64 excess = used - target;
+        while (excess > 0) {
+            double best_cost = 0;
+            i64 best = -1;
+            for (u32 s = 0; s < n; ++s) {
+                if (freq[s] <= 1) continue;
+                const double cost = static_cast<double>(counts[s]) *
+                                    std::log2(static_cast<double>(freq[s]) /
+                                              static_cast<double>(freq[s] - 1));
+                if (best < 0 || cost < best_cost) {
+                    best_cost = cost;
+                    best = s;
+                }
+            }
+            RECOIL_CHECK(best >= 0, "quantize_pdf: cannot reclaim frequency");
+            // Take as much as possible from the cheapest symbol in one go to
+            // keep this O(alphabet * log) rather than O(excess * alphabet).
+            const u64 take = std::min<u64>(excess, freq[best] - 1);
+            freq[best] -= static_cast<u32>(take);
+            excess -= take;
+        }
+    }
+
+    u64 check = std::accumulate(freq.begin(), freq.end(), u64{0});
+    RECOIL_CHECK(check == target, "quantize_pdf: normalization failed");
+    return freq;
+}
+
+std::vector<u32> cumulative(std::span<const u32> pdf) {
+    std::vector<u32> cum(pdf.size() + 1, 0);
+    for (std::size_t s = 0; s < pdf.size(); ++s) cum[s + 1] = cum[s] + pdf[s];
+    return cum;
+}
+
+}  // namespace recoil

@@ -1,0 +1,28 @@
+#pragma once
+// Histogramming and probability quantization: turns symbol counts into a
+// quantized PDF summing exactly to 2^prob_bits, with every present symbol
+// receiving a non-zero frequency (required for encodability).
+
+#include <span>
+#include <vector>
+
+#include "util/ints.hpp"
+
+namespace recoil {
+
+/// Count occurrences of each symbol value in [0, alphabet).
+std::vector<u64> histogram(std::span<const u8> data, u32 alphabet = 256);
+std::vector<u64> histogram16(std::span<const u16> data, u32 alphabet);
+
+/// Quantize counts to frequencies summing to exactly 2^prob_bits.
+/// Symbols with count 0 get frequency 0; symbols with count > 0 get >= 1.
+/// Uses floor scaling plus largest-remainder correction; when the +1 floor
+/// for rare symbols overshoots, frequency is reclaimed from the symbols
+/// where the rate-distortion cost (count * log2(f/(f-1))) is smallest.
+std::vector<u32> quantize_pdf(std::span<const u64> counts, u32 prob_bits);
+
+/// Exclusive prefix sum of a quantized PDF; result has size pdf.size() + 1
+/// and back() == 2^prob_bits.
+std::vector<u32> cumulative(std::span<const u32> pdf);
+
+}  // namespace recoil

@@ -1,0 +1,80 @@
+#include "simd/dispatch.hpp"
+
+#include "util/cpu.hpp"
+
+namespace recoil::simd {
+
+template <typename TSym>
+void scalar_decode_groups(u32* states, const u16* units, u64 /*num_units*/, i64& p,
+                          u64 g_hi, u64 g_lo, const DecodeTables& t, TSym* out) {
+    const u32 n = t.prob_bits;
+    const u32 slot_mask = (u32{1} << n) - 1;
+    for (u64 g = g_hi + 1; g-- > g_lo;) {
+        const u64 base = g * 32;
+        for (u32 lane = 0; lane < 32; ++lane) {
+            const u32 x = states[lane];
+            const u32 slot = x & slot_mask;
+            const DecSymbol ds = t.lookup(base + lane, slot);
+            states[lane] = ds.freq * (x >> n) + slot - ds.cum;
+            out[base + lane] = static_cast<TSym>(ds.sym);
+        }
+        scalar_group_pops(states, units, p);
+    }
+}
+
+template void scalar_decode_groups<u8>(u32*, const u16*, u64, i64&, u64, u64,
+                                       const DecodeTables&, u8*);
+template void scalar_decode_groups<u16>(u32*, const u16*, u64, i64&, u64, u64,
+                                        const DecodeTables&, u16*);
+
+Backend pick_backend() {
+#if defined(RECOIL_HAVE_AVX512_BUILD)
+    if (cpu_features().avx512) return Backend::Avx512;
+#endif
+#if defined(RECOIL_HAVE_AVX2_BUILD)
+    if (cpu_features().avx2) return Backend::Avx2;
+#endif
+    return Backend::Scalar;
+}
+
+Backend clamp_backend(Backend requested) {
+#if defined(RECOIL_HAVE_AVX512_BUILD)
+    if (requested == Backend::Avx512 && cpu_features().avx512) return Backend::Avx512;
+#else
+    if (requested == Backend::Avx512) requested = Backend::Avx2;
+#endif
+#if defined(RECOIL_HAVE_AVX2_BUILD)
+    if (requested == Backend::Avx2 && cpu_features().avx2) return Backend::Avx2;
+#endif
+    return Backend::Scalar;
+}
+
+const char* backend_name(Backend b) {
+    switch (b) {
+        case Backend::Avx512: return "AVX512";
+        case Backend::Avx2: return "AVX2";
+        default: return "Scalar";
+    }
+}
+
+GroupKernel<u8> group_kernel_u8(Backend b) {
+#if defined(RECOIL_HAVE_AVX512_BUILD)
+    if (b == Backend::Avx512 && cpu_features().avx512) return &avx512_decode_groups<u8>;
+#endif
+#if defined(RECOIL_HAVE_AVX2_BUILD)
+    if (b != Backend::Scalar && cpu_features().avx2) return &avx2_decode_groups<u8>;
+#endif
+    return &scalar_decode_groups<u8>;
+}
+
+GroupKernel<u16> group_kernel_u16(Backend b) {
+#if defined(RECOIL_HAVE_AVX512_BUILD)
+    if (b == Backend::Avx512 && cpu_features().avx512) return &avx512_decode_groups<u16>;
+#endif
+#if defined(RECOIL_HAVE_AVX2_BUILD)
+    if (b != Backend::Scalar && cpu_features().avx2) return &avx2_decode_groups<u16>;
+#endif
+    return &scalar_decode_groups<u16>;
+}
+
+}  // namespace recoil::simd

@@ -1,0 +1,74 @@
+#pragma once
+// Runtime backend selection and the RangeFn adapter that plugs the SIMD
+// group kernels into the Recoil 3-phase decoder and the conventional
+// partition decoder (§4.4: "implementations (2) and (3) can be selected
+// based on the target platform's AVX support").
+
+#include <span>
+
+#include "rans/interleaved.hpp"
+#include "simd/kernel_iface.hpp"
+
+namespace recoil::simd {
+
+enum class Backend { Scalar, Avx2, Avx512 };
+
+/// Best backend supported by both this build and this CPU.
+Backend pick_backend();
+/// A specific backend if available, else the next best.
+Backend clamp_backend(Backend requested);
+const char* backend_name(Backend b);
+
+/// Type-erased kernel lookup (returns the scalar reference kernel for
+/// Backend::Scalar or when the requested backend was not compiled in).
+GroupKernel<u8> group_kernel_u8(Backend b);
+GroupKernel<u16> group_kernel_u16(Backend b);
+
+template <typename TSym>
+GroupKernel<TSym> group_kernel(Backend b) {
+    if constexpr (sizeof(TSym) == 1) {
+        return group_kernel_u8(b);
+    } else {
+        return group_kernel_u16(b);
+    }
+}
+
+/// Drop-in replacement for ScalarRangeFn (see core/recoil_decoder.hpp):
+/// decodes the interior whole groups of [lo, hi] with a SIMD kernel and the
+/// ragged edges with the scalar per-symbol loop. Mixing is safe at group
+/// boundaries; the catch-up pop pass re-establishes the kernels' entry
+/// precondition.
+template <typename TSym>
+struct SimdRangeFn {
+    Backend backend = pick_backend();
+
+    void operator()(LaneCursor<Rans32, 32>& cur, std::span<const u16> units,
+                    u64 hi, u64 lo, const DecodeTables& t, TSym* out) const {
+        if (hi < lo) return;
+        if (out == nullptr || backend == Backend::Scalar) {
+            decode_positions<Rans32, 32>(cur, units, hi, lo, t, out);
+            return;
+        }
+        // Scalar head: positions [top_aligned, hi].
+        const u64 top_aligned = (hi + 1) & ~u64{31};
+        if (top_aligned <= hi) {
+            const u64 head_lo = top_aligned > lo ? top_aligned : lo;
+            decode_positions<Rans32, 32>(cur, units, hi, head_lo, t, out);
+            if (head_lo == lo) return;
+        }
+        // Whole groups [g_lo, g_hi].
+        const u64 g_lo = (lo + 31) / 32;
+        if (top_aligned >= (g_lo + 1) * 32) {
+            const u64 g_hi = top_aligned / 32 - 1;
+            scalar_group_pops(cur.x.data(), units.data(), cur.p);  // catch-up
+            group_kernel<TSym>(backend)(cur.x.data(), units.data(), units.size(),
+                                        cur.p, g_hi, g_lo, t, out);
+        }
+        // Scalar tail: positions [lo, g_lo*32 - 1].
+        if (g_lo * 32 > lo) {
+            decode_positions<Rans32, 32>(cur, units, g_lo * 32 - 1, lo, t, out);
+        }
+    }
+};
+
+}  // namespace recoil::simd

@@ -1,0 +1,201 @@
+#include "stream/chunked.hpp"
+
+#include <cstring>
+#include <exception>
+#include <mutex>
+
+#include "core/metadata_codec.hpp"
+#include "core/recoil_decoder.hpp"
+#include "core/recoil_encoder.hpp"
+#include "core/split_planner.hpp"
+#include "format/container.hpp"
+#include "rans/symbol_stats.hpp"
+#include "util/error.hpp"
+
+namespace recoil::stream {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'S', '1'};
+
+void put_u32(std::vector<u8>& out, u32 v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_u64(std::vector<u8>& out, u64 v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+struct Cursor {
+    std::span<const u8> in;
+    std::size_t pos = 0;
+    void need(std::size_t n) const {
+        if (pos + n > in.size()) raise("chunked: truncated");
+    }
+    u32 get_u32() {
+        need(4);
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i) v |= u32{in[pos + i]} << (8 * i);
+        pos += 4;
+        return v;
+    }
+    u64 get_u64() {
+        need(8);
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i) v |= u64{in[pos + i]} << (8 * i);
+        pos += 8;
+        return v;
+    }
+    std::span<const u8> get_bytes(std::size_t n) {
+        need(n);
+        auto s = in.subspan(pos, n);
+        pos += n;
+        return s;
+    }
+};
+
+}  // namespace
+
+void ChunkedEncoder::add_chunk(std::span<const u8> data) {
+    RECOIL_CHECK(!data.empty(), "add_chunk: empty chunk");
+    if (stream_.chunks.empty()) stream_.prob_bits = opt_.prob_bits;
+    StaticModel model(histogram(data), opt_.prob_bits);
+    auto enc = recoil_encode<Rans32, 32>(data, model, opt_.max_splits_per_chunk);
+    Chunk c;
+    c.freq.resize(model.alphabet());
+    for (u32 s = 0; s < model.alphabet(); ++s) c.freq[s] = model.freq(s);
+    c.metadata = std::move(enc.metadata);
+    c.units = std::move(enc.bitstream.units);
+    stream_.chunks.push_back(std::move(c));
+}
+
+std::vector<u8> ChunkedStream::serialize() const {
+    std::vector<u8> out;
+    out.insert(out.end(), kMagic, kMagic + 4);
+    put_u32(out, prob_bits);
+    put_u32(out, static_cast<u32>(chunks.size()));
+    for (const Chunk& c : chunks) {
+        put_u32(out, static_cast<u32>(c.freq.size()));
+        for (u32 f : c.freq) put_u32(out, f);
+        const auto meta = serialize_metadata(c.metadata);
+        put_u64(out, meta.size());
+        out.insert(out.end(), meta.begin(), meta.end());
+        put_u64(out, c.units.size());
+        const auto* ub = reinterpret_cast<const u8*>(c.units.data());
+        out.insert(out.end(), ub, ub + c.units.size() * 2);
+    }
+    put_u64(out, format::fnv1a(out));
+    return out;
+}
+
+ChunkedStream ChunkedStream::parse(std::span<const u8> bytes) {
+    if (bytes.size() < 20) raise("chunked: too short");
+    u64 stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= u64{bytes[bytes.size() - 8 + i]} << (8 * i);
+    if (format::fnv1a(bytes.first(bytes.size() - 8)) != stored)
+        raise("chunked: checksum mismatch");
+
+    Cursor c{bytes.first(bytes.size() - 8)};
+    if (std::memcmp(c.get_bytes(4).data(), kMagic, 4) != 0)
+        raise("chunked: bad magic");
+    ChunkedStream s;
+    s.prob_bits = c.get_u32();
+    if (s.prob_bits < 1 || s.prob_bits > 16) raise("chunked: bad prob_bits");
+    const u32 n = c.get_u32();
+    if (n > (u32{1} << 24)) raise("chunked: absurd chunk count");
+    s.chunks.resize(n);
+    for (Chunk& ch : s.chunks) {
+        const u32 alpha = c.get_u32();
+        if (alpha == 0 || alpha > (u32{1} << 20)) raise("chunked: bad alphabet");
+        ch.freq.resize(alpha);
+        for (auto& f : ch.freq) f = c.get_u32();
+        const u64 mlen = c.get_u64();
+        ch.metadata = deserialize_metadata(c.get_bytes(mlen));
+        const u64 ulen = c.get_u64();
+        auto units = c.get_bytes(ulen * 2);
+        ch.units.resize(ulen);
+        std::memcpy(ch.units.data(), units.data(), ulen * 2);
+        if (ch.metadata.num_units != ulen)
+            raise("chunked: metadata/bitstream length mismatch");
+    }
+    return s;
+}
+
+ChunkedStream ChunkedStream::combined(u32 target_parallelism) const {
+    ChunkedStream out;
+    out.prob_bits = prob_bits;
+    out.chunks.reserve(chunks.size());
+    const u64 total = total_symbols();
+    for (const Chunk& c : chunks) {
+        Chunk nc;
+        nc.freq = c.freq;
+        nc.units = c.units;
+        // Budget parallelism proportionally to chunk size.
+        const u64 share =
+            total == 0 ? 1
+                       : std::max<u64>(1, (u64{target_parallelism} *
+                                           c.metadata.num_symbols + total / 2) /
+                                              total);
+        nc.metadata = combine_splits(c.metadata, static_cast<u32>(share));
+        out.chunks.push_back(std::move(nc));
+    }
+    return out;
+}
+
+std::vector<u8> decode_chunk(const Chunk& chunk, u32 prob_bits, ThreadPool* pool,
+                             simd::Backend backend) {
+    StaticModel model(std::span<const u32>(chunk.freq), prob_bits, 0);
+    simd::SimdRangeFn<u8> range{backend};
+    return recoil_decode<Rans32, 32, u8>(std::span<const u16>(chunk.units),
+                                         chunk.metadata, model.tables(), pool,
+                                         nullptr, range);
+}
+
+std::vector<u8> decode_chunked(const ChunkedStream& stream, ThreadPool* pool,
+                               simd::Backend backend) {
+    // Flatten (chunk, split) pairs into one work list and prebuild models.
+    struct Task {
+        u32 chunk;
+        u32 split;
+    };
+    std::vector<Task> tasks;
+    std::vector<u64> chunk_base(stream.chunks.size() + 1, 0);
+    std::vector<StaticModel> models;
+    models.reserve(stream.chunks.size());
+    for (u32 ci = 0; ci < stream.chunks.size(); ++ci) {
+        const Chunk& c = stream.chunks[ci];
+        chunk_base[ci + 1] = chunk_base[ci] + c.metadata.num_symbols;
+        models.emplace_back(std::span<const u32>(c.freq), stream.prob_bits, 0);
+        for (u32 k = 0; k < c.metadata.num_splits(); ++k) tasks.push_back({ci, k});
+    }
+
+    std::vector<u8> out(chunk_base.back());
+    simd::SimdRangeFn<u8> range{backend};
+    auto run_one = [&](u64 t) {
+        const Task task = tasks[t];
+        const Chunk& c = stream.chunks[task.chunk];
+        recoil_decode_split<Rans32, 32, u8>(
+            std::span<const u16>(c.units), c.metadata,
+            models[task.chunk].tables(), task.split,
+            out.data() + chunk_base[task.chunk], nullptr, range);
+    };
+
+    if (pool == nullptr || tasks.size() <= 1) {
+        for (u64 t = 0; t < tasks.size(); ++t) run_one(t);
+    } else {
+        std::exception_ptr first_error;
+        std::mutex err_mu;
+        pool->parallel_for(tasks.size(), [&](u64 t) {
+            try {
+                run_one(t);
+            } catch (...) {
+                std::scoped_lock lk(err_mu);
+                if (!first_error) first_error = std::current_exception();
+            }
+        });
+        if (first_error) std::rethrow_exception(first_error);
+    }
+    return out;
+}
+
+}  // namespace recoil::stream

@@ -1,0 +1,59 @@
+#pragma once
+// Baseline (C): a multians-style massively parallel tANS decoder
+// (Weißenberger & Schmidt, ICPP'19; paper §2.4). The bitstream is cut into
+// fixed-size word segments carrying no metadata; each segment is decoded
+// speculatively from a guessed (bit position, state) entry, relying on tANS
+// self-synchronization. Entries are refined by a parallel fixpoint
+// iteration: segment i's correct entry is segment i+1's exit, and the top
+// segment's entry is exact (header state), so the iteration converges in at
+// most #segments rounds — quickly when the table is small and trajectories
+// self-synchronize, catastrophically slowly at table_log=16, which
+// reproduces the paper's multians findings.
+
+#include <span>
+#include <vector>
+
+#include "tans/tans_codec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace recoil {
+
+struct MultiansStats {
+    u32 segments = 0;
+    u32 rounds = 0;
+    bool converged = false;       ///< fixpoint reached within the round cap
+    bool serial_fallback = false; ///< cap hit; finished with a serial decode
+    u64 work_symbols = 0;         ///< total speculative decode work performed
+};
+
+struct MultiansOptions {
+    u32 words_per_segment = 4096;
+    u32 max_rounds = 48;  ///< after this the decoder falls back to serial
+};
+
+/// Parallel self-synchronizing decode into a caller buffer of
+/// enc.num_symbols elements; bit-exact with tans_decode().
+template <typename TSym>
+void multians_decode_into(const TansEncoded& enc, const TansTable& table,
+                          std::span<TSym> out, const MultiansOptions& opt = {},
+                          ThreadPool* pool = nullptr, MultiansStats* stats = nullptr);
+
+/// Allocating convenience wrapper.
+template <typename TSym>
+std::vector<TSym> multians_decode(const TansEncoded& enc, const TansTable& table,
+                                  const MultiansOptions& opt = {},
+                                  ThreadPool* pool = nullptr,
+                                  MultiansStats* stats = nullptr) {
+    std::vector<TSym> out(enc.num_symbols);
+    multians_decode_into<TSym>(enc, table, std::span<TSym>(out), opt, pool, stats);
+    return out;
+}
+
+extern template void multians_decode_into<u8>(const TansEncoded&, const TansTable&,
+                                              std::span<u8>, const MultiansOptions&,
+                                              ThreadPool*, MultiansStats*);
+extern template void multians_decode_into<u16>(const TansEncoded&, const TansTable&,
+                                               std::span<u16>, const MultiansOptions&,
+                                               ThreadPool*, MultiansStats*);
+
+}  // namespace recoil

@@ -1,0 +1,118 @@
+#pragma once
+// Single-coder tANS encoder/decoder over a LIFO bit stack (16-bit words).
+// Symbols are encoded forward and decoded in reverse, like the rANS paths.
+
+#include <span>
+#include <vector>
+
+#include "tans/tans_table.hpp"
+#include "util/error.hpp"
+
+namespace recoil {
+
+/// LIFO bit sink: values are pushed LSB-first; the decoder pops from the end.
+class BitStack {
+public:
+    void push(u32 value, u32 nbits) {
+        if (nbits == 0) return;
+        acc_ |= u64{value & ((u64{1} << nbits) - 1)} << fill_;
+        fill_ += nbits;
+        while (fill_ >= 16) {
+            words_.push_back(static_cast<u16>(acc_ & 0xffff));
+            acc_ >>= 16;
+            fill_ -= 16;
+        }
+    }
+    /// Flush; returns total bit count (the decoder's starting position).
+    u64 finish() {
+        if (fill_ > 0) {
+            words_.push_back(static_cast<u16>(acc_ & 0xffff));
+        }
+        const u64 bits = (words_.size() - (fill_ > 0 ? 1 : 0)) * 16 + fill_;
+        acc_ = 0;
+        fill_ = 0;
+        return bits;
+    }
+    std::vector<u16> take() { return std::move(words_); }
+
+private:
+    std::vector<u16> words_;
+    u64 acc_ = 0;
+    u32 fill_ = 0;
+};
+
+/// Random-access backward bit reader over a finished BitStack buffer.
+/// `bitpos` is the number of unconsumed bits; pop(n) consumes the top n.
+class BitStackReader {
+public:
+    BitStackReader(std::span<const u16> words, u64 bitpos)
+        : words_(words), bitpos_(bitpos) {}
+
+    u32 pop(u32 nbits) {
+        if (nbits == 0) return 0;
+        RECOIL_CHECK(bitpos_ >= nbits, "BitStackReader underflow");
+        bitpos_ -= nbits;
+        const u64 w = bitpos_ >> 4;
+        const u32 o = static_cast<u32>(bitpos_ & 15);
+        u64 window = words_[w];
+        if (w + 1 < words_.size()) window |= u64{words_[w + 1]} << 16;
+        return static_cast<u32>((window >> o) & ((u64{1} << nbits) - 1));
+    }
+
+    u64 bitpos() const noexcept { return bitpos_; }
+    void set_bitpos(u64 b) noexcept { bitpos_ = b; }
+
+private:
+    std::span<const u16> words_;
+    u64 bitpos_;
+};
+
+/// Encoded tANS payload.
+struct TansEncoded {
+    std::vector<u16> words;
+    u64 total_bits = 0;
+    u16 final_slot = 0;
+    u64 num_symbols = 0;
+
+    u64 byte_size() const noexcept { return words.size() * 2 + 2; }
+};
+
+/// Encode with a single tANS coder (initial slot 0 == full state L).
+template <typename TSym>
+TansEncoded tans_encode(std::span<const TSym> syms, const TansTable& table) {
+    BitStack bits;
+    const u32 L = table.table_size();
+    u16 slot = 0;
+    for (u64 i = 0; i < syms.size(); ++i) {
+        const u32 s = static_cast<u32>(syms[i]);
+        RECOIL_CHECK(table.freq(s) > 0, "tans_encode: zero-frequency symbol");
+        const auto step = table.encode_step(L + slot, s);
+        bits.push(step.bits, step.nbits);
+        slot = step.next_slot;
+    }
+    TansEncoded out;
+    out.total_bits = bits.finish();
+    out.words = bits.take();
+    out.final_slot = slot;
+    out.num_symbols = syms.size();
+    return out;
+}
+
+/// Serial (reference) decode: symbols come back in reverse encode order and
+/// are written in place so the output matches the input ordering.
+template <typename TSym>
+std::vector<TSym> tans_decode(const TansEncoded& enc, const TansTable& table) {
+    std::vector<TSym> out(enc.num_symbols);
+    BitStackReader r(enc.words, enc.total_bits);
+    u32 slot = enc.final_slot;
+    for (u64 i = enc.num_symbols; i-- > 0;) {
+        const auto& e = table.decode_entry(slot);
+        out[i] = static_cast<TSym>(e.sym);
+        slot = e.base + r.pop(e.nbits);
+    }
+    RECOIL_CHECK(slot == 0, "tans_decode: did not return to the initial state");
+    RECOIL_CHECK(r.bitpos() == 0, "tans_decode: bitstream not fully consumed");
+    return out;
+}
+
+}  // namespace recoil

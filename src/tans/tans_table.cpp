@@ -1,0 +1,49 @@
+#include "tans/tans_table.hpp"
+
+#include <bit>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace recoil {
+
+TansTable::TansTable(std::span<const u32> freq, u32 table_log)
+    : table_log_(table_log), freq_(freq.begin(), freq.end()) {
+    RECOIL_CHECK(table_log >= 5 && table_log <= 16, "table_log must be in [5,16]");
+    const u32 L = table_size();
+    const u64 total = std::accumulate(freq_.begin(), freq_.end(), u64{0});
+    RECOIL_CHECK(total == L, "tANS frequencies must sum to 2^table_log");
+
+    // Duda/FSE symbol spread: a stride coprime with L scatters each symbol's
+    // states quasi-uniformly over the table.
+    std::vector<u16> spread(L);
+    const u32 step = (L >> 1) + (L >> 3) + 3;
+    u32 pos = 0;
+    for (u32 s = 0; s < freq_.size(); ++s) {
+        for (u32 k = 0; k < freq_[s]; ++k) {
+            spread[pos] = static_cast<u16>(s);
+            pos = (pos + step) & (L - 1);
+        }
+    }
+    RECOIL_CHECK(pos == 0, "spread did not cover the table exactly");
+
+    enc_base_.resize(freq_.size(), 0);
+    u32 acc = 0;
+    for (u32 s = 0; s < freq_.size(); ++s) {
+        enc_base_[s] = acc;
+        acc += freq_[s];
+    }
+    enc_states_.resize(L);
+    dec_.resize(L);
+    std::vector<u32> next(freq_.begin(), freq_.end());
+    for (u32 slot = 0; slot < L; ++slot) {
+        const u32 s = spread[slot];
+        const u32 x_small = next[s]++;  // in [freq, 2*freq)
+        const u32 nbits = table_log_ - (std::bit_width(x_small) - 1);
+        dec_[slot] = DecodeEntry{static_cast<u16>(s), static_cast<u8>(nbits),
+                                 static_cast<u16>((x_small << nbits) - L)};
+        enc_states_[enc_base_[s] + (x_small - freq_[s])] = static_cast<u16>(slot);
+    }
+}
+
+}  // namespace recoil

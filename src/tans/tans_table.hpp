@@ -1,0 +1,60 @@
+#pragma once
+// Table-variant ANS (tANS/FSE; §2.4). The decode table has 2^table_log
+// states; probability quantization is tied to the table size — the
+// limitation the paper contrasts against rANS (small tables self-synchronize
+// but cap the quantization level n; big tables allow n=16 but stop
+// self-synchronizing, which is what makes multians collapse at n=16).
+
+#include <span>
+#include <vector>
+
+#include "util/ints.hpp"
+
+namespace recoil {
+
+class TansTable {
+public:
+    struct DecodeEntry {
+        u16 sym;
+        u8 nbits;
+        u16 base;  ///< next slot = base + pop(nbits)
+    };
+
+    /// `freq` must sum to exactly 2^table_log (use quantize_pdf).
+    TansTable(std::span<const u32> freq, u32 table_log);
+
+    u32 table_log() const noexcept { return table_log_; }
+    u32 table_size() const noexcept { return u32{1} << table_log_; }
+    u32 alphabet() const noexcept { return static_cast<u32>(freq_.size()); }
+    u32 freq(u32 sym) const noexcept { return freq_[sym]; }
+
+    const DecodeEntry& decode_entry(u32 slot) const noexcept { return dec_[slot]; }
+
+    /// Encode transition: from full state `xf` in [L, 2L), encoding `sym`
+    /// yields (bits to push, bit count, next slot).
+    struct EncodeStep {
+        u32 bits;
+        u32 nbits;
+        u16 next_slot;
+    };
+    EncodeStep encode_step(u32 xf, u32 sym) const noexcept {
+        const u32 f = freq_[sym];
+        u32 nbits = 0;
+        u32 x_small = xf;
+        while (x_small >= 2 * f) {
+            x_small >>= 1;
+            ++nbits;
+        }
+        return EncodeStep{xf & ((u32{1} << nbits) - 1), nbits,
+                          enc_states_[enc_base_[sym] + (x_small - f)]};
+    }
+
+private:
+    u32 table_log_;
+    std::vector<u32> freq_;
+    std::vector<DecodeEntry> dec_;
+    std::vector<u32> enc_base_;    // per-symbol offset into enc_states_
+    std::vector<u16> enc_states_;  // slot for (sym, x_small - freq)
+};
+
+}  // namespace recoil

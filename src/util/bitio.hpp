@@ -1,0 +1,90 @@
+#pragma once
+// LSB-first bit-granular writer/reader used by the Recoil metadata codec
+// (§4.3 difference series) and by the tANS bitstream.
+
+#include <vector>
+#include <cstring>
+#include <span>
+
+#include "util/ints.hpp"
+#include "util/error.hpp"
+
+namespace recoil {
+
+/// Appends fields of 1..57 bits into a byte vector, LSB-first within the
+/// 64-bit accumulator so that fields can be read back in write order.
+class BitWriter {
+public:
+    void put(u64 value, u32 nbits) {
+        RECOIL_CHECK(nbits >= 1 && nbits <= 57, "BitWriter field width out of range");
+        RECOIL_CHECK(nbits == 64 || value < (u64{1} << nbits), "BitWriter value too wide");
+        acc_ |= value << fill_;
+        fill_ += nbits;
+        while (fill_ >= 8) {
+            bytes_.push_back(static_cast<u8>(acc_ & 0xff));
+            acc_ >>= 8;
+            fill_ -= 8;
+        }
+    }
+
+    /// Signed value in `nbits` magnitude bits plus one sign bit.
+    void put_signed(i64 value, u32 nbits) {
+        const u64 mag = static_cast<u64>(value < 0 ? -value : value);
+        put(mag, nbits);
+        put(value < 0 ? 1 : 0, 1);
+    }
+
+    /// Flush the partial byte (zero-padded) and return the buffer.
+    std::vector<u8> finish() {
+        if (fill_ > 0) {
+            bytes_.push_back(static_cast<u8>(acc_ & 0xff));
+            acc_ = 0;
+            fill_ = 0;
+        }
+        return std::move(bytes_);
+    }
+
+    /// Bits written so far (excluding padding).
+    u64 bit_count() const noexcept { return bytes_.size() * 8 + fill_; }
+
+private:
+    std::vector<u8> bytes_;
+    u64 acc_ = 0;
+    u32 fill_ = 0;
+};
+
+/// Reads back fields written by BitWriter, in order.
+class BitReader {
+public:
+    explicit BitReader(std::span<const u8> bytes) : bytes_(bytes) {}
+
+    u64 get(u32 nbits) {
+        RECOIL_CHECK(nbits >= 1 && nbits <= 57, "BitReader field width out of range");
+        while (fill_ < nbits) {
+            if (pos_ >= bytes_.size()) raise("BitReader: out of data");
+            acc_ |= static_cast<u64>(bytes_[pos_++]) << fill_;
+            fill_ += 8;
+        }
+        const u64 v = acc_ & ((u64{1} << nbits) - 1);
+        acc_ >>= nbits;
+        fill_ -= nbits;
+        return v;
+    }
+
+    i64 get_signed(u32 nbits) {
+        const u64 mag = get(nbits);
+        const u64 sign = get(1);
+        return sign ? -static_cast<i64>(mag) : static_cast<i64>(mag);
+    }
+
+    /// Bits consumed so far.
+    u64 bit_count() const noexcept { return pos_ * 8 - fill_; }
+
+private:
+    std::span<const u8> bytes_;
+    std::size_t pos_ = 0;
+    u64 acc_ = 0;
+    u32 fill_ = 0;
+};
+
+}  // namespace recoil

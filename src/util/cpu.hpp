@@ -1,0 +1,14 @@
+#pragma once
+// Runtime CPU feature detection for SIMD kernel dispatch.
+
+namespace recoil {
+
+struct CpuFeatures {
+    bool avx2 = false;
+    bool avx512 = false;  // F + BW + DQ + VL, the set the AVX512 kernels need
+};
+
+/// Detected once per process via cpuid.
+const CpuFeatures& cpu_features();
+
+}  // namespace recoil

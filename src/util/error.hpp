@@ -1,0 +1,23 @@
+#pragma once
+// Error handling: the library throws recoil::Error for malformed inputs
+// (corrupt containers, invalid parameters) and uses RECOIL_CHECK for
+// internal invariants that indicate a bug rather than bad input.
+
+#include <stdexcept>
+#include <string>
+
+namespace recoil {
+
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise(const std::string& what) { throw Error(what); }
+
+}  // namespace recoil
+
+#define RECOIL_CHECK(cond, msg)                                              \
+    do {                                                                      \
+        if (!(cond)) ::recoil::raise(std::string("recoil invariant failed: ") + (msg)); \
+    } while (0)

@@ -1,0 +1,31 @@
+#pragma once
+// Fixed-width integer aliases and small bit utilities used across the library.
+
+#include <cstdint>
+#include <cstddef>
+#include <bit>
+
+namespace recoil {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Number of bits needed to represent `v` (0 -> 1, per the paper's metadata
+/// series rule: "we use one bit to represent zeros as well").
+constexpr u32 bits_for(u64 v) noexcept {
+    return v == 0 ? 1u : static_cast<u32>(std::bit_width(v));
+}
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+constexpr T ceil_div(T a, T b) noexcept {
+    return static_cast<T>((a + b - 1) / b);
+}
+
+}  // namespace recoil

@@ -1,0 +1,26 @@
+#pragma once
+// Wall-clock timing helpers for the benchmark harness.
+
+#include <chrono>
+
+namespace recoil {
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+    void reset() { start_ = clock::now(); }
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Throughput in GB/s (decimal GB, as in the paper: 1 KB = 1000 bytes).
+inline double gbps(double bytes, double secs) {
+    return secs > 0 ? bytes / secs / 1e9 : 0.0;
+}
+
+}  // namespace recoil

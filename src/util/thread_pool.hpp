@@ -1,0 +1,106 @@
+#pragma once
+// Minimal work-stealing-free thread pool: a fixed set of workers pulling
+// indexed tasks from an atomic counter. This matches the decoders' needs
+// exactly (N independent splits / partitions / segments) and keeps the
+// parallel paths free of per-task allocation.
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/ints.hpp"
+
+namespace recoil {
+
+class ThreadPool {
+public:
+    explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency()) {
+        if (threads == 0) threads = 1;
+        workers_.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool() {
+        {
+            std::scoped_lock lk(mu_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto& w : workers_) w.join();
+    }
+
+    unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+    /// Run body(i) for i in [0, count) across the pool; blocks until done.
+    /// The calling thread participates, so a pool of size T uses T+1 lanes.
+    void parallel_for(u64 count, const std::function<void(u64)>& body) {
+        if (count == 0) return;
+        if (count == 1 || workers_.empty()) {
+            for (u64 i = 0; i < count; ++i) body(i);
+            return;
+        }
+        {
+            std::scoped_lock lk(mu_);
+            job_body_ = &body;
+            job_count_ = count;
+            next_.store(0, std::memory_order_relaxed);
+            pending_ = count;
+            ++generation_;
+        }
+        cv_.notify_all();
+        drain();  // caller helps
+        std::unique_lock lk(mu_);
+        done_cv_.wait(lk, [this] { return pending_ == 0; });
+        job_body_ = nullptr;
+    }
+
+private:
+    void drain() {
+        for (;;) {
+            const u64 i = next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= job_count_) return;
+            (*job_body_)(i);
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::scoped_lock lk(mu_);
+                done_cv_.notify_all();
+            }
+        }
+    }
+
+    void worker_loop() {
+        u64 seen = 0;
+        for (;;) {
+            {
+                std::unique_lock lk(mu_);
+                cv_.wait(lk, [&] { return stopping_ || generation_ != seen; });
+                if (stopping_) return;
+                seen = generation_;
+            }
+            drain();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(u64)>* job_body_ = nullptr;
+    u64 job_count_ = 0;
+    std::atomic<u64> next_{0};
+    std::atomic<u64> pending_{0};
+    u64 generation_ = 0;
+    bool stopping_ = false;
+};
+
+/// Process-wide pool used by decode paths when the caller does not supply one.
+ThreadPool& global_pool();
+
+}  // namespace recoil

@@ -1,0 +1,55 @@
+#pragma once
+// xoshiro256** — fast, reproducible PRNG for workload generation. All dataset
+// generators take explicit seeds so every experiment is bit-reproducible.
+
+#include <array>
+
+#include "util/ints.hpp"
+
+namespace recoil {
+
+class Xoshiro256 {
+public:
+    using result_type = u64;
+
+    explicit Xoshiro256(u64 seed = 0x9e3779b97f4a7c15ull) {
+        // splitmix64 seeding, as recommended by the xoshiro authors.
+        u64 z = seed;
+        for (auto& s : s_) {
+            z += 0x9e3779b97f4a7c15ull;
+            u64 x = z;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+            s = x ^ (x >> 31);
+        }
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~u64{0}; }
+
+    result_type operator()() noexcept {
+        const u64 result = rotl(s_[1] * 5, 7) * 9;
+        const u64 t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, n).
+    u64 below(u64 n) noexcept { return (*this)() % n; }
+
+private:
+    static constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+    std::array<u64, 4> s_{};
+};
+
+}  // namespace recoil

@@ -1,0 +1,25 @@
+// Registry-level helpers live in textgen.cpp (byte datasets) and
+// latents.cpp (latent datasets). This TU anchors the workload library and
+// provides the scale used when RECOIL_FULL is requested.
+
+#include <cstdlib>
+
+#include "workload/datasets.hpp"
+
+namespace recoil::workload {
+
+/// Benchmark dataset scale: 1.0 (paper sizes) when RECOIL_FULL=1 is set in
+/// the environment, otherwise a laptop-friendly default. Declared here so
+/// every bench binary resolves sizes identically.
+double bench_scale() {
+    const char* full = std::getenv("RECOIL_FULL");
+    if (full != nullptr && full[0] == '1') return 1.0;
+    const char* s = std::getenv("RECOIL_SCALE");
+    if (s != nullptr) {
+        const double v = std::atof(s);
+        if (v > 0) return v;
+    }
+    return 0.1;  // rand_* at 1 MB, enwik9 stand-in at 100 MB
+}
+
+}  // namespace recoil::workload

@@ -1,0 +1,97 @@
+// Learned-image-codec latent stand-in (paper §5.1 div2k datasets): symbols
+// are quantized zero-mean Gaussian residuals whose per-symbol scale comes
+// from a spatially smooth lognormal "hyperprior" field. The decoder selects
+// a Gaussian CDF table per symbol index — the adaptive-coding path Recoil's
+// symbol-index metadata exists to support (§3.1, advantage (3)).
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/xoshiro.hpp"
+#include "workload/datasets.hpp"
+
+namespace recoil::workload {
+
+namespace {
+
+/// Standard normal sample via Box-Muller.
+double gaussian(Xoshiro256& rng) {
+    const double u1 = 1.0 - rng.uniform();
+    const double u2 = rng.uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+LatentDataset gen_latents(const std::string& name, u64 num_symbols,
+                          double sigma_median, u64 seed, u32 num_models) {
+    RECOIL_CHECK(num_models >= 2 && num_models <= 256, "gen_latents: bad bin count");
+    LatentDataset ds;
+    ds.name = name;
+    ds.alphabet = kLatentAlphabet;
+    ds.symbols.resize(num_symbols);
+    ds.ids.resize(num_symbols);
+
+    // Log-sigma bins spanning a wide dynamic range around the median.
+    const double lo = std::log(sigma_median) - 2.5;
+    const double hi = std::log(sigma_median) + 2.5;
+    ds.bin_sigma.resize(num_models);
+    for (u32 m = 0; m < num_models; ++m) {
+        const double t = (m + 0.5) / num_models;
+        ds.bin_sigma[m] = std::exp(lo + (hi - lo) * t);
+    }
+
+    Xoshiro256 rng(seed ^ 0x77ab'10c3'95ef'0d11ull);
+    // Smooth log-sigma field: an AR(1) walk emulating the spatial coherence
+    // of a hyperprior (nearby latents share scales).
+    double field = std::log(sigma_median);
+    const double coher = 0.9995;
+    for (u64 i = 0; i < num_symbols; ++i) {
+        field = coher * field + (1.0 - coher) * std::log(sigma_median) +
+                0.02 * gaussian(rng);
+        const double clamped = std::min(hi - 1e-9, std::max(lo + 1e-9, field));
+        const u32 bin = static_cast<u32>((clamped - lo) / (hi - lo) * num_models);
+        ds.ids[i] = static_cast<u8>(bin);
+        const double sigma = ds.bin_sigma[bin];
+        i32 r = static_cast<i32>(std::lround(gaussian(rng) * sigma));
+        if (r < -kLatentOffset) r = -kLatentOffset;
+        if (r > kLatentOffset - 1) r = kLatentOffset - 1;
+        ds.symbols[i] = static_cast<u16>(r + kLatentOffset);
+    }
+    return ds;
+}
+
+IndexedModelSet LatentDataset::build_models(u32 prob_bits) const {
+    std::vector<StaticModel> models;
+    models.reserve(bin_sigma.size());
+    for (double sigma : bin_sigma) {
+        // Discrete Gaussian over residuals, smoothed so every symbol stays
+        // encodable (the escape-free simplification of real codecs).
+        std::vector<u64> counts(alphabet);
+        const double inv2s2 = 1.0 / (2.0 * sigma * sigma);
+        for (u32 s = 0; s < alphabet; ++s) {
+            const double r = static_cast<double>(static_cast<i32>(s) - kLatentOffset);
+            const double p = std::exp(-r * r * inv2s2);
+            counts[s] = 1 + static_cast<u64>(p * 1e12);
+        }
+        models.emplace_back(counts, prob_bits);
+    }
+    return IndexedModelSet(std::move(models), ids);
+}
+
+std::vector<LatentDataset> paper_latent_datasets(double scale) {
+    // Sizes follow Table 4 (7.2-7.9 MB of 16-bit symbols); sigmas are tuned
+    // so the compression ratios land in the paper's 19-41% band
+    // (div2k805 most compressible, div2k803 least).
+    auto n = [scale](double mb) {
+        const u64 s = static_cast<u64>(mb * 1000.0 * 1000.0 * scale) / 2;
+        return s < 50000 ? u64{50000} : s;
+    };
+    std::vector<LatentDataset> out;
+    out.push_back(gen_latents("div2k801", n(7.209), 2.2, 801));
+    out.push_back(gen_latents("div2k803", n(7.864), 6.0, 803));
+    out.push_back(gen_latents("div2k805", n(7.864), 0.9, 805));
+    return out;
+}
+
+}  // namespace recoil::workload

@@ -1,0 +1,99 @@
+#include "util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/xoshiro.hpp"
+
+namespace recoil {
+namespace {
+
+TEST(BitIO, SingleField) {
+    BitWriter bw;
+    bw.put(0b101, 3);
+    auto bytes = bw.finish();
+    ASSERT_EQ(bytes.size(), 1u);
+    BitReader br(bytes);
+    EXPECT_EQ(br.get(3), 0b101u);
+}
+
+TEST(BitIO, MixedWidthsRoundTrip) {
+    BitWriter bw;
+    bw.put(1, 1);
+    bw.put(0x2a, 6);
+    bw.put(0x1ffff, 17);
+    bw.put(0, 1);
+    bw.put(0x123456789abcdull, 50);
+    auto bytes = bw.finish();
+    BitReader br(bytes);
+    EXPECT_EQ(br.get(1), 1u);
+    EXPECT_EQ(br.get(6), 0x2au);
+    EXPECT_EQ(br.get(17), 0x1ffffu);
+    EXPECT_EQ(br.get(1), 0u);
+    EXPECT_EQ(br.get(50), 0x123456789abcdull);
+}
+
+TEST(BitIO, SignedValues) {
+    BitWriter bw;
+    bw.put_signed(-5, 4);
+    bw.put_signed(5, 4);
+    bw.put_signed(0, 1);
+    bw.put_signed(-(1 << 20), 21);
+    auto bytes = bw.finish();
+    BitReader br(bytes);
+    EXPECT_EQ(br.get_signed(4), -5);
+    EXPECT_EQ(br.get_signed(4), 5);
+    EXPECT_EQ(br.get_signed(1), 0);
+    EXPECT_EQ(br.get_signed(21), -(1 << 20));
+}
+
+TEST(BitIO, BitCountMatches) {
+    BitWriter bw;
+    bw.put(1, 1);
+    bw.put(3, 2);
+    EXPECT_EQ(bw.bit_count(), 3u);
+    bw.put(0, 13);
+    EXPECT_EQ(bw.bit_count(), 16u);
+}
+
+TEST(BitIO, ReaderOutOfDataThrows) {
+    BitWriter bw;
+    bw.put(1, 4);
+    auto bytes = bw.finish();
+    BitReader br(bytes);
+    br.get(4);
+    br.get(4);  // padding bits of the same byte are readable
+    EXPECT_THROW(br.get(8), Error);
+}
+
+TEST(BitIO, WidthValidation) {
+    BitWriter bw;
+    EXPECT_THROW(bw.put(0, 0), Error);
+    EXPECT_THROW(bw.put(0, 58), Error);
+    EXPECT_THROW(bw.put(2, 1), Error);  // value too wide for field
+}
+
+TEST(BitIO, RandomizedRoundTrip) {
+    Xoshiro256 rng(42);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::vector<std::pair<u64, u32>> fields;
+        BitWriter bw;
+        const int n = 1 + static_cast<int>(rng.below(200));
+        for (int i = 0; i < n; ++i) {
+            const u32 w = 1 + static_cast<u32>(rng.below(57));
+            const u64 v = rng() & ((w == 64) ? ~u64{0} : ((u64{1} << w) - 1));
+            fields.emplace_back(v, w);
+            bw.put(v, w);
+        }
+        auto bytes = bw.finish();
+        BitReader br(bytes);
+        for (auto [v, w] : fields) EXPECT_EQ(br.get(w), v);
+    }
+}
+
+TEST(BitIO, EmptyWriterFinish) {
+    BitWriter bw;
+    EXPECT_TRUE(bw.finish().empty());
+}
+
+}  // namespace
+}  // namespace recoil

@@ -1,0 +1,90 @@
+// The reciprocal-multiplication encoder must be bit-exact with the literal
+// Eq. 1 division transform — exhaustively per (freq, state) structure and
+// end-to-end on full bitstreams.
+
+#include <gtest/gtest.h>
+
+#include "rans/interleaved.hpp"
+#include "test_util.hpp"
+
+namespace recoil {
+namespace {
+
+/// Shim hiding enc_fast so interleaved_encode takes the division path.
+struct DivisionOnly {
+    const StaticModel* m;
+    u32 prob_bits() const noexcept { return m->prob_bits(); }
+    EncSymbol enc_lookup(u64 i, u32 s) const noexcept { return m->enc_lookup(i, s); }
+};
+
+TEST(FastEncoder, TransformMatchesDivisionExhaustively) {
+    // All freq values at a small prob_bits, states across the full renorm
+    // range [L, xmax(freq)).
+    const u32 n = 8;
+    for (u32 freq = 1; freq <= (1u << n); ++freq) {
+        const u32 cum = (freq * 7) % ((1u << n) - freq + 1);
+        const auto fast = EncSymbolFast::make(freq, cum, n);
+        const u64 xmax = (u64{Rans32::lower_bound >> n} << 16) * freq;
+        // Sample the state space densely (and hit the boundaries exactly).
+        for (u64 xi = Rans32::lower_bound; xi < xmax;
+             xi += 1 + (xmax - Rans32::lower_bound) / 4093) {
+            const u32 x = static_cast<u32>(xi);
+            const u32 ref = ((x / freq) << n) + cum + (x % freq);
+            ASSERT_EQ(fast.encode(x), ref) << "freq " << freq << " x " << x;
+        }
+        const u32 last = static_cast<u32>(xmax - 1);
+        ASSERT_EQ(fast.encode(last), ((last / freq) << n) + cum + (last % freq));
+    }
+}
+
+TEST(FastEncoder, TransformMatchesAtProbBits16) {
+    Xoshiro256 rng(101);
+    for (int iter = 0; iter < 5000; ++iter) {
+        const u32 freq = 1 + static_cast<u32>(rng.below((1u << 16) - 1));
+        const u32 cum = static_cast<u32>(rng.below((1u << 16) - freq + 1));
+        const auto fast = EncSymbolFast::make(freq, cum, 16);
+        const u64 xmax = (u64{Rans32::lower_bound >> 16} << 16) * freq;
+        const u32 x = static_cast<u32>(
+            Rans32::lower_bound + rng.below(xmax - Rans32::lower_bound));
+        const u32 ref = ((x / freq) << 16) + cum + (x % freq);
+        ASSERT_EQ(fast.encode(x), ref) << "freq " << freq << " x " << x;
+    }
+}
+
+TEST(FastEncoder, BitstreamIdenticalToDivisionPath) {
+    for (double q : {0.05, 0.5, 0.95}) {
+        for (u32 n : {8u, 11u, 16u}) {
+            auto syms = test::geometric_symbols<u8>(100000, q, 256, n * 10 + 1);
+            auto m = test::model_for<u8>(syms, n, 256);
+            DivisionOnly slow{&m};
+            RenormEventList ef, es;
+            auto fast = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m, &ef);
+            auto ref = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), slow, &es);
+            ASSERT_EQ(fast.units, ref.units) << "q " << q << " n " << n;
+            ASSERT_EQ(fast.final_states, ref.final_states);
+            ASSERT_EQ(ef.size(), es.size());
+        }
+    }
+}
+
+TEST(FastEncoder, FreqOneSymbols) {
+    // Every symbol rare except one: stresses the freq==1 special case.
+    std::vector<u64> counts(256, 1);
+    counts[0] = 100000;
+    StaticModel m(counts, 11);
+    Xoshiro256 rng(102);
+    std::vector<u8> syms(50000, 0);
+    for (auto& s : syms) {
+        if (rng.below(20) == 0) s = static_cast<u8>(1 + rng.below(255));
+    }
+    DivisionOnly slow{&m};
+    auto fast = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m);
+    auto ref = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), slow);
+    EXPECT_EQ(fast.units, ref.units);
+    EXPECT_EQ(fast.final_states, ref.final_states);
+    auto dec = serial_decode<Rans32, 32, u8>(fast, m.tables());
+    EXPECT_TRUE(std::equal(dec.begin(), dec.end(), syms.begin()));
+}
+
+}  // namespace
+}  // namespace recoil

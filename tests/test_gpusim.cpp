@@ -1,0 +1,70 @@
+// Tests for the GPU execution substrate: correctness of warp-kernel
+// launches and sanity of the modeled grid statistics.
+
+#include <gtest/gtest.h>
+
+#include "core/recoil_encoder.hpp"
+#include "gpusim/device.hpp"
+#include "test_util.hpp"
+
+namespace recoil {
+namespace {
+
+TEST(GpuSim, RecoilLaunchMatchesSerial) {
+    auto syms = test::geometric_symbols<u8>(400000, 0.6, 256, 71);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    auto enc = recoil_encode<Rans32, 32>(std::span<const u8>(syms), m, 128);
+    gpusim::GpuSimDevice dev;
+    gpusim::LaunchStats stats;
+    auto dec = dev.launch_recoil<u8>(std::span<const u16>(enc.bitstream.units),
+                                     enc.metadata, m.tables(), &stats);
+    EXPECT_TRUE(std::equal(dec.begin(), dec.end(), syms.begin()));
+    EXPECT_EQ(stats.warp_tasks, enc.metadata.num_splits());
+    EXPECT_EQ(stats.blocks, ceil_div<u64>(stats.warp_tasks, 4));
+    EXPECT_GT(stats.decode.sync_symbols, 0u);
+}
+
+TEST(GpuSim, ConventionalLaunchMatchesSerial) {
+    auto syms = test::geometric_symbols<u8>(300000, 0.5, 256, 72);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    auto enc = conventional_encode<Rans32, 32>(std::span<const u8>(syms), m, 96);
+    gpusim::GpuSimDevice dev;
+    gpusim::LaunchStats stats;
+    auto dec = dev.launch_conventional<u8>(enc, m.tables(), &stats);
+    EXPECT_TRUE(std::equal(dec.begin(), dec.end(), syms.begin()));
+    EXPECT_EQ(stats.warp_tasks, enc.partitions.size());
+}
+
+TEST(GpuSim, OccupancyModel) {
+    gpusim::GpuSimConfig cfg;
+    cfg.sm_count = 68;
+    cfg.max_blocks_per_sm = 8;
+    cfg.threads_per_block = 128;
+    gpusim::GpuSimDevice dev(cfg);
+    // 68 SMs * 8 blocks * 4 warps = 2176 resident warps: the paper's
+    // "threads required to fully utilize a high-end GPU".
+    auto syms = test::geometric_symbols<u8>(200000, 0.5, 256, 73);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    auto enc = recoil_encode<Rans32, 32>(std::span<const u8>(syms), m, 64);
+    gpusim::LaunchStats stats;
+    (void)dev.launch_recoil<u8>(std::span<const u16>(enc.bitstream.units),
+                                enc.metadata, m.tables(), &stats);
+    EXPECT_EQ(stats.resident_warps, 2176u);
+    EXPECT_LE(stats.occupancy, 1.0);
+    EXPECT_GT(stats.occupancy, 0.0);
+}
+
+TEST(GpuSim, SixteenBitLaunch) {
+    auto syms = test::geometric_symbols<u16>(150000, 0.97, 4096, 74);
+    std::vector<u64> counts(4096, 0);
+    for (u16 s : syms) ++counts[s];
+    StaticModel m(counts, 16);
+    auto enc = recoil_encode<Rans32, 32>(std::span<const u16>(syms), m, 48);
+    gpusim::GpuSimDevice dev;
+    auto dec = dev.launch_recoil<u16>(std::span<const u16>(enc.bitstream.units),
+                                      enc.metadata, m.tables());
+    EXPECT_TRUE(std::equal(dec.begin(), dec.end(), syms.begin()));
+}
+
+}  // namespace
+}  // namespace recoil

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "rans/indexed_model.hpp"
+#include "rans/static_model.hpp"
+#include "test_util.hpp"
+#include "util/error.hpp"
+
+namespace recoil {
+namespace {
+
+TEST(StaticModel, LookupInvariants) {
+    std::vector<u64> counts(256, 0);
+    counts['a'] = 70;
+    counts['b'] = 20;
+    counts['c'] = 10;
+    StaticModel m(counts, 11);
+    // Every slot decodes to the symbol whose [cum, cum+freq) contains it.
+    for (u32 slot = 0; slot < (1u << 11); ++slot) {
+        DecSymbol d = m.dec_lookup(0, slot);
+        EXPECT_LE(m.cum(d.sym), slot);
+        EXPECT_LT(slot, m.cum(d.sym) + m.freq(d.sym));
+        EXPECT_EQ(d.freq, m.freq(d.sym));
+        EXPECT_EQ(d.cum, m.cum(d.sym));
+    }
+}
+
+TEST(StaticModel, EncDecConsistent) {
+    auto syms = test::geometric_symbols<u8>(5000, 0.8, 256, 7);
+    auto m = test::model_for<u8>(syms, 12, 256);
+    for (u32 s = 0; s < 256; ++s) {
+        if (m.freq(s) == 0) continue;
+        EncSymbol e = m.enc_lookup(0, s);
+        DecSymbol d = m.dec_lookup(0, e.cum);
+        EXPECT_EQ(d.sym, s);
+    }
+}
+
+TEST(StaticModel, PackedLutOnlyWhenApplicable) {
+    std::vector<u64> small(256, 1);
+    EXPECT_NE(StaticModel(small, 12).tables().packed, nullptr);
+    EXPECT_EQ(StaticModel(small, 13).tables().packed, nullptr);
+    std::vector<u64> wide(4096, 1);
+    EXPECT_EQ(StaticModel(wide, 12).tables().packed, nullptr);
+}
+
+TEST(StaticModel, PackedLutAgreesWithWide) {
+    auto syms = test::geometric_symbols<u8>(3000, 0.5, 256, 11);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    const DecodeTables t = m.tables();
+    ASSERT_NE(t.packed, nullptr);
+    for (u32 slot = 0; slot < (1u << 11); ++slot) {
+        const u32 p = t.packed[slot];
+        DecSymbol d = t.lookup(0, slot);
+        EXPECT_EQ(p & 0xffu, d.sym);
+        EXPECT_EQ((p >> 8) & 0xfffu, d.cum);
+        EXPECT_EQ((p >> 20) + 1, d.freq);
+    }
+}
+
+TEST(StaticModel, CrossEntropyMatchesIdealForUniform) {
+    std::vector<u64> counts(16, 100);
+    StaticModel m(counts, 8);
+    const double bits = m.cross_entropy_bits(counts);
+    EXPECT_NEAR(bits, 1600 * 4.0, 1e-6);  // 16 equiprobable symbols = 4 bits
+}
+
+TEST(IndexedModel, SelectsPerIndex) {
+    // Model 0 strongly favors symbol 0; model 1 favors symbol 1.
+    std::vector<u64> c0(4, 1), c1(4, 1);
+    c0[0] = 1000;
+    c1[1] = 1000;
+    std::vector<StaticModel> models{StaticModel(c0, 8), StaticModel(c1, 8)};
+    std::vector<u8> ids{0, 1, 0, 1};
+    IndexedModelSet set(std::move(models), ids);
+    EXPECT_GT(set.enc_lookup(0, 0).freq, set.enc_lookup(1, 0).freq);
+    EXPECT_GT(set.enc_lookup(1, 1).freq, set.enc_lookup(0, 1).freq);
+    // Decode table dispatches on the index too.
+    DecSymbol d0 = set.dec_lookup(0, 10);
+    EXPECT_EQ(d0.sym, 0u);
+    DecSymbol d1 = set.dec_lookup(1, 10);
+    EXPECT_EQ(d1.sym, 1u);
+}
+
+TEST(IndexedModel, RejectsMismatchedModels) {
+    std::vector<u64> a(4, 1), b(8, 1);
+    std::vector<StaticModel> models;
+    models.emplace_back(a, 8);
+    models.emplace_back(b, 8);
+    EXPECT_THROW((IndexedModelSet(std::move(models), std::vector<u8>{0})), Error);
+}
+
+TEST(IndexedModel, RejectsOutOfRangeIds) {
+    std::vector<u64> a(4, 1);
+    std::vector<StaticModel> models;
+    models.emplace_back(a, 8);
+    EXPECT_THROW((IndexedModelSet(std::move(models), std::vector<u8>{1})), Error);
+}
+
+}  // namespace
+}  // namespace recoil

@@ -1,0 +1,192 @@
+// Round-trip and invariant tests for the interleaved rANS substrate, across
+// configurations (16-bit and 8-bit units), lane counts, probability
+// quantization levels, symbol widths and data skews.
+
+#include <gtest/gtest.h>
+
+#include "rans/interleaved.hpp"
+#include "test_util.hpp"
+
+namespace recoil {
+namespace {
+
+template <typename Cfg, u32 NLanes, typename TSym>
+void roundtrip(std::span<const TSym> syms, const StaticModel& m) {
+    auto bs = interleaved_encode<Cfg, NLanes>(syms, m);
+    auto dec = serial_decode<Cfg, NLanes, TSym>(bs, m.tables());
+    ASSERT_EQ(dec.size(), syms.size());
+    for (std::size_t i = 0; i < syms.size(); ++i) {
+        ASSERT_EQ(dec[i], syms[i]) << "mismatch at " << i;
+    }
+}
+
+TEST(RansRoundTrip, Basic32Lanes) {
+    auto syms = test::geometric_symbols<u8>(100000, 0.7, 256, 1);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    roundtrip<Rans32, 32, u8>(syms, m);
+}
+
+TEST(RansRoundTrip, SingleLane) {
+    auto syms = test::geometric_symbols<u8>(5000, 0.6, 256, 2);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    roundtrip<Rans32, 1, u8>(syms, m);
+}
+
+TEST(RansRoundTrip, ByteUnits) {
+    auto syms = test::geometric_symbols<u8>(20000, 0.6, 256, 3);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    roundtrip<Rans32x8, 32, u8>(syms, m);
+}
+
+TEST(RansRoundTrip, ByteUnitsMultiStepRenorm) {
+    // prob_bits > unit_bits forces multi-unit renormalizations.
+    auto syms = test::geometric_symbols<u8>(20000, 0.9, 256, 4);
+    auto m = test::model_for<u8>(syms, 14, 256);
+    roundtrip<Rans32x8, 8, u8>(syms, m);
+}
+
+TEST(RansRoundTrip, SixteenBitSymbols) {
+    auto syms = test::geometric_symbols<u16>(50000, 0.97, 4096, 5);
+    std::vector<u64> counts(4096, 0);
+    for (u16 s : syms) ++counts[s];
+    StaticModel m(counts, 16);
+    roundtrip<Rans32, 32, u16>(syms, m);
+}
+
+TEST(RansRoundTrip, EmptyInput) {
+    std::vector<u64> counts(4, 1);
+    StaticModel m(counts, 8);
+    std::vector<u8> syms;
+    auto bs = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m);
+    EXPECT_EQ(bs.num_symbols, 0u);
+    EXPECT_TRUE(bs.units.empty());
+    auto dec = serial_decode<Rans32, 32, u8>(bs, m.tables());
+    EXPECT_TRUE(dec.empty());
+}
+
+TEST(RansRoundTrip, FewerSymbolsThanLanes) {
+    std::vector<u64> counts(256, 1);
+    StaticModel m(counts, 8);
+    for (std::size_t n : {1u, 5u, 31u, 32u, 33u}) {
+        auto syms = test::geometric_symbols<u8>(n, 0.5, 256, n);
+        roundtrip<Rans32, 32, u8>(syms, m);
+    }
+}
+
+TEST(RansRoundTrip, RareSymbolInFirstGroup) {
+    // A frequency-1 symbol among the first NLanes positions forces group-0
+    // renormalization — the drain_start edge case.
+    std::vector<u64> counts(256, 0);
+    counts[0] = (1u << 16) - 1;
+    counts[1] = 1;
+    StaticModel m(counts, 16);
+    std::vector<u8> syms(1000, 0);
+    syms[3] = 1;  // in the first group
+    syms[500] = 1;
+    roundtrip<Rans32, 32, u8>(std::span<const u8>(syms), m);
+}
+
+TEST(RansRoundTrip, SingleSymbolAlphabet) {
+    std::vector<u64> counts(2, 0);
+    counts[1] = 7;
+    StaticModel m(counts, 11);
+    std::vector<u8> syms(777, 1);
+    roundtrip<Rans32, 32, u8>(std::span<const u8>(syms), m);
+}
+
+TEST(RansInvariants, CompressedSizeNearEntropy) {
+    auto syms = test::geometric_symbols<u8>(200000, 0.5, 256, 6);
+    auto m = test::model_for<u8>(syms, 14, 256);
+    std::vector<u64> counts(256, 0);
+    for (u8 s : syms) ++counts[s];
+    const double ideal_bits = m.cross_entropy_bits(counts);
+    auto bs = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m);
+    const double actual_bits = static_cast<double>(bs.byte_size()) * 8;
+    EXPECT_GT(actual_bits, ideal_bits * 0.999);      // can't beat entropy
+    EXPECT_LT(actual_bits, ideal_bits * 1.01 + 32 * 32);  // small overhead
+}
+
+TEST(RansInvariants, EventsAreWriteOrderedAndBounded) {
+    auto syms = test::geometric_symbols<u8>(50000, 0.6, 256, 8);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    RenormEventList events;
+    auto bs = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m, &events);
+    ASSERT_FALSE(events.empty());
+    u64 prev_offset = 0;
+    u64 prev_index = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto& e = events[i];
+        EXPECT_LT(e.state, Rans32::lower_bound);        // Lemma 3.1
+        EXPECT_LT(e.offset, bs.units.size());
+        EXPECT_EQ(e.sym_index % 32, e.lane);            // lane-aligned indices
+        if (i > 0) {
+            EXPECT_GE(e.offset, prev_offset);            // write order
+            EXPECT_GT(e.sym_index, prev_index);          // strictly increasing anchors
+        }
+        prev_offset = e.offset;
+        prev_index = e.sym_index;
+    }
+}
+
+TEST(RansInvariants, BitstreamIdenticalWithAndWithoutEvents) {
+    auto syms = test::geometric_symbols<u8>(30000, 0.7, 256, 9);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    RenormEventList events;
+    auto a = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m, &events);
+    auto b = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m,
+                                            static_cast<RenormEventList*>(nullptr));
+    EXPECT_EQ(a.units, b.units);
+    EXPECT_EQ(a.final_states, b.final_states);
+}
+
+TEST(RansInvariants, EncodingZeroFreqSymbolThrows) {
+    std::vector<u64> counts(256, 0);
+    counts[0] = 10;
+    StaticModel m(counts, 8);
+    std::vector<u8> syms{0, 0, 1};  // symbol 1 has frequency 0
+    EXPECT_THROW((interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m)), Error);
+}
+
+// ---- parameterized sweep: config x lanes x prob_bits x skew ----------------
+
+struct SweepParam {
+    u32 lanes;
+    u32 prob_bits;
+    double q;
+    std::size_t n;
+};
+
+class RansSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RansSweep, RoundTrip16BitUnits) {
+    const auto p = GetParam();
+    auto syms = test::geometric_symbols<u8>(p.n, p.q, 256,
+                                            p.lanes * 131 + p.prob_bits);
+    auto m = test::model_for<u8>(syms, p.prob_bits, 256);
+    switch (p.lanes) {
+        case 1: roundtrip<Rans32, 1, u8>(syms, m); break;
+        case 4: roundtrip<Rans32, 4, u8>(syms, m); break;
+        case 8: roundtrip<Rans32, 8, u8>(syms, m); break;
+        case 32: roundtrip<Rans32, 32, u8>(syms, m); break;
+        case 64: roundtrip<Rans32, 64, u8>(syms, m); break;
+        default: FAIL();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RansSweep,
+    ::testing::Values(
+        SweepParam{1, 8, 0.3, 10000}, SweepParam{4, 11, 0.5, 10000},
+        SweepParam{8, 12, 0.7, 20000}, SweepParam{32, 11, 0.1, 50000},
+        SweepParam{32, 16, 0.9, 50000}, SweepParam{32, 16, 0.99, 20000},
+        SweepParam{64, 11, 0.6, 30000}, SweepParam{32, 8, 0.5, 33},
+        SweepParam{32, 11, 0.5, 4096}),
+    [](const auto& info) {
+        return "lanes" + std::to_string(info.param.lanes) + "_n" +
+               std::to_string(info.param.prob_bits) + "_q" +
+               std::to_string(static_cast<int>(info.param.q * 100)) + "_len" +
+               std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace recoil

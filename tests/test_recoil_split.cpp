@@ -1,0 +1,174 @@
+// Tests for the split planner: validity invariants of Definition 4.1's
+// heuristic, workload balance, and combining behaviour.
+
+#include <gtest/gtest.h>
+
+#include "core/split_planner.hpp"
+#include "rans/interleaved.hpp"
+#include "test_util.hpp"
+
+namespace recoil {
+namespace {
+
+struct Planned {
+    InterleavedBitstream<Rans32, 32> bs;
+    std::vector<SplitPoint> splits;
+    u64 n;
+};
+
+Planned plan(std::size_t n, double q, u32 max_splits, u32 prob_bits = 11) {
+    auto syms = test::geometric_symbols<u8>(n, q, 256, n + max_splits);
+    auto m = test::model_for<u8>(syms, prob_bits, 256);
+    RenormEventList events;
+    Planned p;
+    p.bs = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m, &events);
+    p.splits = plan_splits(events, n, max_splits, 32);
+    p.n = n;
+    return p;
+}
+
+void check_validity(const std::vector<SplitPoint>& splits, u64 n) {
+    i64 prev_anchor = -1;
+    u64 prev_offset = 0;
+    for (std::size_t i = 0; i < splits.size(); ++i) {
+        const auto& sp = splits[i];
+        EXPECT_LT(sp.anchor_index, n);
+        EXPECT_GT(static_cast<i64>(sp.min_index), prev_anchor)
+            << "sync section crosses previous anchor at split " << i;
+        EXPECT_LE(sp.min_index, sp.anchor_index);
+        if (i > 0) {
+            EXPECT_GT(sp.offset, prev_offset);
+        }
+        ASSERT_EQ(sp.states.size(), 32u);
+        ASSERT_EQ(sp.indices.size(), 32u);
+        u64 mn = ~u64{0}, mx = 0;
+        for (u32 l = 0; l < 32; ++l) {
+            EXPECT_LT(sp.states[l], Rans32::lower_bound);
+            EXPECT_EQ(sp.indices[l] % 32, l);
+            mn = std::min(mn, sp.indices[l]);
+            mx = std::max(mx, sp.indices[l]);
+        }
+        EXPECT_EQ(mn, sp.min_index);
+        EXPECT_EQ(mx, sp.anchor_index);
+        prev_anchor = static_cast<i64>(sp.anchor_index);
+        prev_offset = sp.offset;
+    }
+}
+
+TEST(SplitPlanner, ProducesRequestedSplits) {
+    auto p = plan(200000, 0.6, 16);
+    EXPECT_EQ(p.splits.size(), 15u);
+    check_validity(p.splits, p.n);
+}
+
+TEST(SplitPlanner, ManySplits) {
+    auto p = plan(500000, 0.6, 256);
+    EXPECT_GE(p.splits.size(), 250u);
+    check_validity(p.splits, p.n);
+}
+
+TEST(SplitPlanner, WorkloadBalanced) {
+    auto p = plan(400000, 0.5, 32);
+    ASSERT_EQ(p.splits.size(), 31u);
+    const i64 target = 400000 / 32;
+    i64 prev = -1;
+    for (const auto& sp : p.splits) {
+        const i64 t = static_cast<i64>(sp.anchor_index) - prev;
+        EXPECT_GT(t, target / 2);
+        EXPECT_LT(t, target * 2);
+        prev = static_cast<i64>(sp.anchor_index);
+    }
+    // Last implicit split gets the balance too.
+    EXPECT_GT(static_cast<i64>(p.n) - 1 - prev, target / 4);
+}
+
+TEST(SplitPlanner, SyncSectionsSmall) {
+    auto p = plan(400000, 0.5, 32);
+    // With q=0.5 byte data each lane renormalizes every couple of its own
+    // symbols, so sync sections should be a tiny fraction of the split size.
+    for (const auto& sp : p.splits) {
+        EXPECT_LT(sp.sync_symbols(), 2000u);
+    }
+}
+
+TEST(SplitPlanner, HighlyCompressibleDataStillValid) {
+    // q=0.02: ~all symbols are 0, renormalizations are rare and sync
+    // sections large relative to splits; validity must still hold.
+    auto p = plan(300000, 0.02, 16);
+    check_validity(p.splits, p.n);
+    EXPECT_GE(p.splits.size(), 4u);
+}
+
+TEST(SplitPlanner, MaxSplitsOneMeansNoMetadata) {
+    auto p = plan(10000, 0.5, 1);
+    EXPECT_TRUE(p.splits.empty());
+}
+
+TEST(SplitPlanner, ShortStreamDegradesGracefully) {
+    auto p = plan(100, 0.5, 64);
+    check_validity(p.splits, p.n);  // may be few or none, but must be valid
+}
+
+TEST(SplitPlanner, MoreSplitsThanRenormPointsDegrades) {
+    auto p = plan(2000, 0.02, 512);
+    check_validity(p.splits, p.n);
+    EXPECT_LT(p.splits.size(), 511u);
+}
+
+TEST(CombineSplits, KeepsBalanceAndValidity) {
+    auto p = plan(500000, 0.6, 256);
+    RecoilMetadata meta;
+    meta.lanes = 32;
+    meta.state_store_bits = 16;
+    meta.num_symbols = p.n;
+    meta.num_units = p.bs.units.size();
+    meta.final_states.assign(p.bs.final_states.begin(), p.bs.final_states.end());
+    meta.splits = p.splits;
+
+    for (u32 target : {128u, 16u, 4u, 2u, 1u}) {
+        auto combined = combine_splits(meta, target);
+        EXPECT_LE(combined.num_splits(), target);
+        check_validity(combined.splits, p.n);
+        // Balance: anchors near ideal boundaries.
+        for (std::size_t i = 0; i < combined.splits.size(); ++i) {
+            const double ideal = static_cast<double>(p.n) / target * (i + 1);
+            EXPECT_NEAR(static_cast<double>(combined.splits[i].anchor_index), ideal,
+                        static_cast<double>(p.n) / target * 0.6);
+        }
+    }
+}
+
+TEST(CombineSplits, TargetLargerThanAvailableIsIdentity) {
+    auto p = plan(100000, 0.6, 8);
+    RecoilMetadata meta;
+    meta.lanes = 32;
+    meta.state_store_bits = 16;
+    meta.num_symbols = p.n;
+    meta.num_units = p.bs.units.size();
+    meta.final_states.assign(p.bs.final_states.begin(), p.bs.final_states.end());
+    meta.splits = p.splits;
+    auto combined = combine_splits(meta, 9999);
+    EXPECT_EQ(combined.splits.size(), meta.splits.size());
+}
+
+TEST(CombineSplits, KeptEntriesAreSubsetOfOriginal) {
+    auto p = plan(300000, 0.5, 64);
+    RecoilMetadata meta;
+    meta.lanes = 32;
+    meta.state_store_bits = 16;
+    meta.num_symbols = p.n;
+    meta.num_units = p.bs.units.size();
+    meta.final_states.assign(p.bs.final_states.begin(), p.bs.final_states.end());
+    meta.splits = p.splits;
+    auto combined = combine_splits(meta, 8);
+    for (const auto& sp : combined.splits) {
+        bool found = false;
+        for (const auto& orig : meta.splits)
+            if (orig.anchor_index == sp.anchor_index && orig.offset == sp.offset)
+                found = true;
+        EXPECT_TRUE(found) << "combining must only drop entries, never synthesize";
+    }
+}
+
+}  // namespace
+}  // namespace recoil

@@ -1,0 +1,192 @@
+// Differential tests: every SIMD backend must produce bit-identical output
+// and identical cursor/lane state to the scalar per-symbol reference, across
+// models (packed LUT, wide LUT, adaptive), symbol widths and alignments.
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+
+#include "conventional/conventional.hpp"
+#include "core/recoil_decoder.hpp"
+#include "core/recoil_encoder.hpp"
+#include "rans/indexed_model.hpp"
+#include "simd/dispatch.hpp"
+#include "test_util.hpp"
+
+namespace recoil {
+namespace {
+
+using simd::Backend;
+
+std::vector<Backend> available_backends() {
+    std::vector<Backend> v{Backend::Scalar};
+    if (simd::clamp_backend(Backend::Avx2) == Backend::Avx2) v.push_back(Backend::Avx2);
+    if (simd::clamp_backend(Backend::Avx512) == Backend::Avx512)
+        v.push_back(Backend::Avx512);
+    return v;
+}
+
+/// Decode a full stream through the SimdRangeFn at an arbitrary (hi, lo)
+/// split pattern and compare with serial reference.
+template <typename TSym, typename Model>
+void expect_simd_matches(std::span<const TSym> syms, const Model& m) {
+    auto enc = recoil_encode<Rans32, 32>(syms, m, 24);
+    for (Backend b : available_backends()) {
+        simd::SimdRangeFn<TSym> range{b};
+        auto dec = recoil_decode<Rans32, 32, TSym>(
+            std::span<const u16>(enc.bitstream.units), enc.metadata, m.tables(),
+            nullptr, nullptr, range);
+        ASSERT_EQ(dec.size(), syms.size());
+        for (std::size_t i = 0; i < syms.size(); ++i) {
+            ASSERT_EQ(dec[i], syms[i])
+                << "backend " << simd::backend_name(b) << " at " << i;
+        }
+    }
+}
+
+TEST(Simd, BackendsAvailableOnThisHost) {
+    // Informational: the suite passes regardless of the host's SIMD level,
+    // but the log records which backends were actually exercised.
+    for (Backend b : available_backends()) {
+        std::cout << "available backend: " << simd::backend_name(b) << "\n";
+    }
+    SUCCEED();
+}
+
+TEST(Simd, PackedLutPath) {  // 8-bit symbols, n=11 -> single-gather LUT
+    auto syms = test::geometric_symbols<u8>(250000, 0.6, 256, 41);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    ASSERT_NE(m.tables().packed, nullptr);
+    expect_simd_matches<u8>(syms, m);
+}
+
+TEST(Simd, WideLutPath) {  // n=16 disables the packed LUT
+    auto syms = test::geometric_symbols<u8>(250000, 0.7, 256, 42);
+    auto m = test::model_for<u8>(syms, 16, 256);
+    ASSERT_EQ(m.tables().packed, nullptr);
+    expect_simd_matches<u8>(syms, m);
+}
+
+TEST(Simd, SixteenBitSymbols) {
+    auto syms = test::geometric_symbols<u16>(200000, 0.97, 4096, 43);
+    std::vector<u64> counts(4096, 0);
+    for (u16 s : syms) ++counts[s];
+    StaticModel m(counts, 16);
+    expect_simd_matches<u16>(syms, m);
+}
+
+TEST(Simd, AdaptiveModelPath) {
+    const std::size_t n = 150000;
+    Xoshiro256 rng(44);
+    std::vector<u8> syms(n), ids(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ids[i] = static_cast<u8>((i / 97) % 5);
+        syms[i] = static_cast<u8>(rng.below(8 + 16 * ids[i]));
+    }
+    std::vector<std::vector<u64>> counts(5, std::vector<u64>(256, 1));
+    for (std::size_t i = 0; i < n; ++i) ++counts[ids[i]][syms[i]];
+    std::vector<StaticModel> models;
+    for (auto& c : counts) models.emplace_back(c, 13);
+    IndexedModelSet set(std::move(models), ids);
+    ASSERT_NE(set.tables().ids, nullptr);
+    expect_simd_matches<u8>(std::span<const u8>(syms), set);
+}
+
+TEST(Simd, SixteenBitAdaptivePath) {
+    // 16-bit symbols AND per-index model ids together: the id-gather + wide
+    // LUT + 16-bit symbol store combination in one kernel invocation.
+    const std::size_t n = 120000;
+    Xoshiro256 rng(49);
+    std::vector<u16> syms(n);
+    std::vector<u8> ids(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ids[i] = static_cast<u8>((i / 513) % 7);
+        syms[i] = static_cast<u16>(rng.below(64 + 512 * ids[i]));
+    }
+    std::vector<std::vector<u64>> counts(7, std::vector<u64>(4096, 1));
+    for (std::size_t i = 0; i < n; ++i) ++counts[ids[i]][syms[i]];
+    std::vector<StaticModel> models;
+    for (auto& c : counts) models.emplace_back(c, 16);
+    IndexedModelSet set(std::move(models), ids);
+    expect_simd_matches<u16>(std::span<const u16>(syms), set);
+}
+
+TEST(Simd, HighlySkewedRenormBursts) {
+    // Skewed data renormalizes nearly every lane every group — stresses the
+    // unit-distribution path (expand/permute) with large pop counts.
+    auto syms = test::geometric_symbols<u8>(200000, 0.995, 256, 45);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    expect_simd_matches<u8>(syms, m);
+}
+
+TEST(Simd, RaggedRangeAlignments) {
+    // Exercise the scalar-head / kernel / scalar-tail composition at every
+    // alignment of both ends.
+    auto syms = test::geometric_symbols<u8>(4096 + 77, 0.5, 256, 46);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    auto bs = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m);
+    auto ref = serial_decode<Rans32, 32, u8>(bs, m.tables());
+
+    for (Backend b : available_backends()) {
+        if (b == Backend::Scalar) continue;
+        for (u64 hi_off : {0u, 1u, 31u, 32u, 33u}) {
+            simd::SimdRangeFn<u8> range{b};
+            LaneCursor<Rans32, 32> cur;
+            cur.x = bs.final_states;
+            cur.p = static_cast<i64>(bs.units.size()) - 1;
+            std::vector<u8> out(syms.size(), 0);
+            const u64 hi = syms.size() - 1;
+            // Scalar-decode the top `hi_off` positions, then hand off to the
+            // SIMD range at an arbitrary alignment.
+            if (hi_off > 0) {
+                decode_positions<Rans32, 32>(cur, std::span<const u16>(bs.units), hi,
+                                             hi - hi_off + 1, m.tables(), out.data());
+            }
+            range(cur, std::span<const u16>(bs.units), hi - hi_off, 0, m.tables(),
+                  out.data());
+            drain_start<Rans32, 32>(cur, std::span<const u16>(bs.units), syms.size());
+            EXPECT_EQ(cur.p, -1) << simd::backend_name(b) << " off " << hi_off;
+            EXPECT_EQ(out, ref) << simd::backend_name(b) << " off " << hi_off;
+        }
+    }
+}
+
+TEST(Simd, GroupDisciplineMatchesPerSymbol) {
+    // The scalar *group* kernel must agree with the per-symbol loop: this is
+    // the equivalence the SIMD kernels rely on (DESIGN.md §3.1).
+    auto syms = test::geometric_symbols<u8>(64000, 0.4, 256, 47);
+    auto m = test::model_for<u8>(syms, 12, 256);
+    auto bs = interleaved_encode<Rans32, 32>(std::span<const u8>(syms), m);
+    auto ref = serial_decode<Rans32, 32, u8>(bs, m.tables());
+
+    simd::SimdRangeFn<u8> range{Backend::Scalar};  // uses scalar group kernel
+    LaneCursor<Rans32, 32> cur;
+    cur.x = bs.final_states;
+    cur.p = static_cast<i64>(bs.units.size()) - 1;
+    std::vector<u8> out(syms.size());
+    // Force the group-kernel path regardless of backend.
+    simd::scalar_group_pops(cur.x.data(), bs.units.data(), cur.p);
+    simd::scalar_decode_groups<u8>(cur.x.data(), bs.units.data(), bs.units.size(),
+                                   cur.p, syms.size() / 32 - 1, 0, m.tables(),
+                                   out.data());
+    drain_start<Rans32, 32>(cur, std::span<const u16>(bs.units), syms.size());
+    EXPECT_EQ(cur.p, -1);
+    // Compare only the group-aligned prefix the group kernel covered.
+    const std::size_t covered = (syms.size() / 32) * 32;
+    for (std::size_t i = 0; i < covered; ++i) ASSERT_EQ(out[i], ref[i]) << i;
+}
+
+TEST(Simd, ConventionalWithSimdRange) {
+    auto syms = test::geometric_symbols<u8>(200000, 0.6, 256, 48);
+    auto m = test::model_for<u8>(syms, 11, 256);
+    auto enc = conventional_encode<Rans32, 32>(std::span<const u8>(syms), m, 64);
+    for (Backend b : available_backends()) {
+        simd::SimdRangeFn<u8> range{b};
+        auto dec = conventional_decode<Rans32, 32, u8>(enc, m.tables(), nullptr, range);
+        EXPECT_TRUE(std::equal(dec.begin(), dec.end(), syms.begin()))
+            << simd::backend_name(b);
+    }
+}
+
+}  // namespace
+}  // namespace recoil

@@ -1,0 +1,123 @@
+#include "rans/symbol_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/xoshiro.hpp"
+
+namespace recoil {
+namespace {
+
+TEST(Histogram, CountsBytes) {
+    std::vector<u8> data{0, 1, 1, 2, 2, 2, 255};
+    auto h = histogram(data);
+    EXPECT_EQ(h[0], 1u);
+    EXPECT_EQ(h[1], 2u);
+    EXPECT_EQ(h[2], 3u);
+    EXPECT_EQ(h[255], 1u);
+    EXPECT_EQ(std::accumulate(h.begin(), h.end(), u64{0}), data.size());
+}
+
+TEST(Histogram, SixteenBit) {
+    std::vector<u16> data{0, 4095, 4095, 17};
+    auto h = histogram16(data, 4096);
+    EXPECT_EQ(h[0], 1u);
+    EXPECT_EQ(h[4095], 2u);
+    EXPECT_EQ(h[17], 1u);
+}
+
+TEST(Quantize, SumsToTarget) {
+    for (u32 n : {8u, 11u, 16u}) {
+        std::vector<u64> counts(256);
+        Xoshiro256 rng(n);
+        for (auto& c : counts) c = rng.below(10000);
+        auto pdf = quantize_pdf(counts, n);
+        EXPECT_EQ(std::accumulate(pdf.begin(), pdf.end(), u64{0}), u64{1} << n);
+    }
+}
+
+TEST(Quantize, PresentSymbolsGetNonZero) {
+    std::vector<u64> counts(256, 0);
+    counts[3] = 1;            // extremely rare
+    counts[7] = 100000000;    // dominant
+    auto pdf = quantize_pdf(counts, 11);
+    EXPECT_GE(pdf[3], 1u);
+    EXPECT_EQ(pdf[0], 0u);
+    EXPECT_GT(pdf[7], 1900u);
+}
+
+TEST(Quantize, AbsentSymbolsStayZero) {
+    std::vector<u64> counts(256, 5);
+    counts[100] = 0;
+    auto pdf = quantize_pdf(counts, 11);
+    EXPECT_EQ(pdf[100], 0u);
+}
+
+TEST(Quantize, ManyRareSymbolsReclaimed) {
+    // 255 rare symbols each force f=1; the dominant symbol must absorb the
+    // rounding so the total still hits 2^n exactly.
+    std::vector<u64> counts(256, 1);
+    counts[0] = 1u << 30;
+    auto pdf = quantize_pdf(counts, 8);
+    EXPECT_EQ(std::accumulate(pdf.begin(), pdf.end(), u64{0}), 256u);
+    for (u32 s = 1; s < 256; ++s) EXPECT_EQ(pdf[s], 1u);
+    EXPECT_EQ(pdf[0], 1u);
+}
+
+TEST(Quantize, SingleSymbol) {
+    std::vector<u64> counts(4, 0);
+    counts[2] = 42;
+    auto pdf = quantize_pdf(counts, 11);
+    EXPECT_EQ(pdf[2], u32{1} << 11);
+}
+
+TEST(Quantize, TooManySymbolsThrows) {
+    std::vector<u64> counts(512, 1);
+    EXPECT_THROW(quantize_pdf(counts, 8), Error);  // 512 present > 2^8
+}
+
+TEST(Quantize, EmptyThrows) {
+    std::vector<u64> counts(8, 0);
+    EXPECT_THROW(quantize_pdf(counts, 8), Error);
+}
+
+TEST(Cumulative, PrefixSum) {
+    std::vector<u32> pdf{1, 0, 3, 4};
+    auto cum = cumulative(pdf);
+    ASSERT_EQ(cum.size(), 5u);
+    EXPECT_EQ(cum[0], 0u);
+    EXPECT_EQ(cum[1], 1u);
+    EXPECT_EQ(cum[2], 1u);
+    EXPECT_EQ(cum[3], 4u);
+    EXPECT_EQ(cum[4], 8u);
+}
+
+class QuantizeSweep : public ::testing::TestWithParam<std::tuple<u32, u32>> {};
+
+TEST_P(QuantizeSweep, AlwaysNormalized) {
+    auto [prob_bits, alphabet] = GetParam();
+    Xoshiro256 rng(prob_bits * 1000 + alphabet);
+    for (int iter = 0; iter < 20; ++iter) {
+        std::vector<u64> counts(alphabet);
+        for (auto& c : counts) c = rng.below(1u << rng.below(20));
+        if (std::accumulate(counts.begin(), counts.end(), u64{0}) == 0) counts[0] = 1;
+        u64 present = 0;
+        for (u64 c : counts) present += (c > 0);
+        if (present > (u64{1} << prob_bits)) continue;
+        auto pdf = quantize_pdf(counts, prob_bits);
+        EXPECT_EQ(std::accumulate(pdf.begin(), pdf.end(), u64{0}), u64{1} << prob_bits);
+        for (u32 s = 0; s < alphabet; ++s) {
+            EXPECT_EQ(pdf[s] > 0, counts[s] > 0) << "symbol " << s;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, QuantizeSweep,
+    ::testing::Combine(::testing::Values(8u, 11u, 12u, 16u),
+                       ::testing::Values(2u, 27u, 256u, 4096u)));
+
+}  // namespace
+}  // namespace recoil

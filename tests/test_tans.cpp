@@ -1,0 +1,184 @@
+// Tests for the tANS substrate and the multians-style self-synchronizing
+// parallel decoder (baseline C).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rans/symbol_stats.hpp"
+#include "tans/multians.hpp"
+#include "tans/tans_codec.hpp"
+#include "test_util.hpp"
+
+namespace recoil {
+namespace {
+
+TansTable table_for(std::span<const u8> syms, u32 table_log) {
+    std::vector<u64> counts(256, 0);
+    for (u8 s : syms) ++counts[s];
+    auto pdf = quantize_pdf(counts, table_log);
+    return TansTable(pdf, table_log);
+}
+
+TEST(TansTable, DecodeEntriesWellFormed) {
+    auto syms = test::geometric_symbols<u8>(20000, 0.5, 256, 51);
+    auto t = table_for(syms, 11);
+    std::vector<u32> per_sym(256, 0);
+    for (u32 slot = 0; slot < t.table_size(); ++slot) {
+        const auto& e = t.decode_entry(slot);
+        EXPECT_LE(e.nbits, 11u);
+        EXPECT_LT(u32{e.base} + ((u32{1} << e.nbits) - 1), t.table_size());
+        ++per_sym[e.sym];
+    }
+    for (u32 s = 0; s < 256; ++s) EXPECT_EQ(per_sym[s], t.freq(s));
+}
+
+TEST(TansTable, EncodeStepInvertsDecode) {
+    auto syms = test::geometric_symbols<u8>(20000, 0.6, 256, 52);
+    auto t = table_for(syms, 11);
+    const u32 L = t.table_size();
+    // For every slot: decoding undoes encoding of that entry's symbol.
+    for (u32 slot = 0; slot < L; ++slot) {
+        const auto& d = t.decode_entry(slot);
+        // Encoding d.sym from full state (L + prev_slot) must reach `slot`
+        // where prev_slot = d.base + bits.
+        for (u32 bits : {u32{0}, (u32{1} << d.nbits) - 1}) {
+            const u32 prev_slot = d.base + bits;
+            const auto step = t.encode_step(L + prev_slot, d.sym);
+            EXPECT_EQ(step.next_slot, slot);
+            EXPECT_EQ(step.nbits, d.nbits);
+            EXPECT_EQ(step.bits, bits);
+        }
+    }
+}
+
+TEST(TansCodec, RoundTrip) {
+    for (double q : {0.1, 0.5, 0.9}) {
+        auto syms = test::geometric_symbols<u8>(50000, q, 256, 53);
+        auto t = table_for(syms, 11);
+        auto enc = tans_encode<u8>(syms, t);
+        auto dec = tans_decode<u8>(enc, t);
+        EXPECT_EQ(dec, syms);
+    }
+}
+
+TEST(TansCodec, RoundTripTableLog16) {
+    auto syms = test::geometric_symbols<u8>(50000, 0.7, 256, 54);
+    auto t = table_for(syms, 16);
+    auto enc = tans_encode<u8>(syms, t);
+    auto dec = tans_decode<u8>(enc, t);
+    EXPECT_EQ(dec, syms);
+}
+
+TEST(TansCodec, CompressionNearEntropy) {
+    auto syms = test::geometric_symbols<u8>(200000, 0.5, 256, 55);
+    auto t = table_for(syms, 12);
+    auto enc = tans_encode<u8>(syms, t);
+    std::vector<u64> counts(256, 0);
+    for (u8 s : syms) ++counts[s];
+    double ideal = 0;
+    for (u32 s = 0; s < 256; ++s) {
+        if (counts[s])
+            ideal += counts[s] * (12 - std::log2(static_cast<double>(t.freq(s))));
+    }
+    const double actual = static_cast<double>(enc.words.size()) * 16;
+    EXPECT_LT(actual, ideal * 1.01 + 64);
+    EXPECT_GT(actual, ideal * 0.99 - 64);
+}
+
+TEST(TansCodec, EmptyInput) {
+    std::vector<u64> counts(4, 1);
+    auto pdf = quantize_pdf(counts, 8);
+    TansTable t(pdf, 8);
+    std::vector<u8> syms;
+    auto enc = tans_encode<u8>(std::span<const u8>(syms), t);
+    EXPECT_TRUE(tans_decode<u8>(enc, t).empty());
+}
+
+TEST(Multians, MatchesSerialSmallTable) {
+    auto syms = test::geometric_symbols<u8>(400000, 0.6, 256, 56);
+    auto t = table_for(syms, 11);
+    auto enc = tans_encode<u8>(syms, t);
+    MultiansStats stats;
+    MultiansOptions opt;
+    opt.words_per_segment = 1024;
+    auto dec = multians_decode<u8>(enc, t, opt, nullptr, &stats);
+    EXPECT_EQ(dec, syms);
+    EXPECT_GT(stats.segments, 4u);
+}
+
+TEST(Multians, SelfSynchronizesQuicklyAtLog11) {
+    auto syms = test::geometric_symbols<u8>(600000, 0.6, 256, 57);
+    auto t = table_for(syms, 11);
+    auto enc = tans_encode<u8>(syms, t);
+    MultiansStats stats;
+    MultiansOptions opt;
+    opt.words_per_segment = 2048;
+    ThreadPool pool(8);
+    auto dec = multians_decode<u8>(enc, t, opt, &pool, &stats);
+    EXPECT_EQ(dec, syms);
+    EXPECT_TRUE(stats.converged);
+    // The paper's premise: small-table tANS self-synchronizes, so the
+    // fixpoint needs far fewer rounds than the serial worst case.
+    EXPECT_LT(stats.rounds, stats.segments / 2 + 2);
+}
+
+TEST(Multians, StrugglesAtLog16) {
+    // With a 2^16-state table trajectories rarely merge: expect no quick
+    // convergence (the paper's unusable-throughput regime) but a correct
+    // result via the serial fallback.
+    auto syms = test::geometric_symbols<u8>(300000, 0.6, 256, 58);
+    auto t = table_for(syms, 16);
+    auto enc = tans_encode<u8>(syms, t);
+    MultiansStats stats;
+    MultiansOptions opt;
+    opt.words_per_segment = 512;
+    opt.max_rounds = 6;
+    auto dec = multians_decode<u8>(enc, t, opt, nullptr, &stats);
+    EXPECT_EQ(dec, syms);
+    // Either it needed the fallback or it burned most of the round budget.
+    EXPECT_TRUE(stats.serial_fallback || stats.rounds >= 4);
+}
+
+TEST(Multians, SingleSegment) {
+    auto syms = test::geometric_symbols<u8>(3000, 0.5, 256, 59);
+    auto t = table_for(syms, 11);
+    auto enc = tans_encode<u8>(syms, t);
+    MultiansOptions opt;
+    opt.words_per_segment = 1u << 30;
+    MultiansStats stats;
+    auto dec = multians_decode<u8>(enc, t, opt, nullptr, &stats);
+    EXPECT_EQ(dec, syms);
+    EXPECT_EQ(stats.segments, 1u);
+}
+
+TEST(Multians, DominantSymbolZeroBitTail) {
+    // Regression: a symbol with f > L/2 has zero-bit decode entries; the
+    // first-encoded symbols consume no bits, so the bottom segment must
+    // drain the zero-bit chain after reaching bit position 0.
+    auto syms = test::geometric_symbols<u8>(300000, 0.04, 256, 66);  // ~96% zeros
+    auto t = table_for(syms, 11);
+    auto enc = tans_encode<u8>(syms, t);
+    MultiansOptions opt;
+    opt.words_per_segment = 256;
+    MultiansStats stats;
+    auto dec = multians_decode<u8>(enc, t, opt, nullptr, &stats);
+    EXPECT_EQ(dec, syms);
+    EXPECT_FALSE(stats.serial_fallback);
+}
+
+TEST(Multians, WorstCaseStillCorrect) {
+    // Tiny segments + tiny round cap forces the serial fallback path.
+    auto syms = test::geometric_symbols<u8>(100000, 0.3, 256, 60);
+    auto t = table_for(syms, 12);
+    auto enc = tans_encode<u8>(syms, t);
+    MultiansOptions opt;
+    opt.words_per_segment = 16;
+    opt.max_rounds = 2;
+    MultiansStats stats;
+    auto dec = multians_decode<u8>(enc, t, opt, nullptr, &stats);
+    EXPECT_EQ(dec, syms);
+}
+
+}  // namespace
+}  // namespace recoil

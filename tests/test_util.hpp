@@ -1,0 +1,36 @@
+#pragma once
+// Shared helpers for the test suite: deterministic synthetic symbol streams
+// with controllable skew, and model construction shortcuts.
+
+#include <span>
+#include <vector>
+
+#include "rans/static_model.hpp"
+#include "rans/symbol_stats.hpp"
+#include "util/xoshiro.hpp"
+
+namespace recoil::test {
+
+/// Geometric-ish symbol stream over [0, alphabet): p(k) ~ q^k. q close to 1
+/// is nearly uniform (incompressible), small q is highly skewed.
+template <typename TSym = u8>
+std::vector<TSym> geometric_symbols(std::size_t n, double q, u32 alphabet,
+                                    u64 seed) {
+    Xoshiro256 rng(seed);
+    std::vector<TSym> out(n);
+    for (auto& s : out) {
+        u32 v = 0;
+        while (v + 1 < alphabet && rng.uniform() < q) ++v;
+        s = static_cast<TSym>(v);
+    }
+    return out;
+}
+
+template <typename TSym = u8>
+StaticModel model_for(std::span<const TSym> syms, u32 prob_bits, u32 alphabet) {
+    std::vector<u64> counts(alphabet, 0);
+    for (TSym s : syms) ++counts[static_cast<u32>(s)];
+    return StaticModel(counts, prob_bits);
+}
+
+}  // namespace recoil::test
