@@ -1,0 +1,141 @@
+// Serve-subsystem benchmark: warm- vs cold-cache serve latency for a
+// 2176-split asset (the paper's "Large" parallelism), byte-range wire cost,
+// and aggregate request throughput for a mixed fleet of client classes
+// batched through the RequestScheduler.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "serve/server.hpp"
+#include "util/xoshiro.hpp"
+
+using namespace recoil;
+using namespace recoil::serve;
+
+namespace {
+
+struct ClientClass {
+    const char* name;
+    u32 parallelism;
+    u32 weight;  ///< share of fleet traffic
+};
+
+constexpr ClientClass kFleet[] = {
+    {"phone (2 cores)", 2, 40},
+    {"laptop (8 cores)", 8, 30},
+    {"workstation (16 cores)", 16, 20},
+    {"GPU box (2176 warps)", bench::kLargeSplits, 10},
+};
+
+double avg_serve_seconds(ContentServer& server, const ServeRequest& req, int n,
+                         bool cold) {
+    if (!cold) server.serve(req);  // prime
+    double total = 0;
+    for (int i = 0; i < n; ++i) {
+        if (cold) server.cache().clear();
+        Stopwatch sw;
+        auto res = server.serve(req);
+        total += sw.seconds();
+        if (!res.ok) {
+            std::fprintf(stderr, "serve failed: %s\n", res.error.c_str());
+            std::exit(1);
+        }
+    }
+    return total / n;
+}
+
+}  // namespace
+
+int main() {
+    const double scale = workload::bench_scale();
+    const u64 size = static_cast<u64>(10'000'000 * scale);
+    const int n = bench::runs();
+    std::printf("bench_serve: %llu-byte asset, %u splits, %d runs\n\n",
+                static_cast<unsigned long long>(size), bench::kLargeSplits, n);
+
+    auto data = workload::gen_text(size, 2024);
+    ContentServer server;
+    Stopwatch enc_sw;
+    auto asset = server.store().encode_bytes("asset", data, bench::kLargeSplits);
+    std::printf("encoded once in %.2f s: master %llu B, %u split points\n\n",
+                enc_sw.seconds(),
+                static_cast<unsigned long long>(asset->master_bytes),
+                asset->file()->metadata.num_splits() - 1);
+
+    // --- warm vs cold serve latency per client class ---
+    std::printf("%-24s %12s %12s %12s %8s\n", "client", "wire B", "cold ms",
+                "warm us", "ratio");
+    double worst_ratio = 1e30;
+    for (const ClientClass& c : kFleet) {
+        const ServeRequest req{"asset", c.parallelism, std::nullopt};
+        const double cold = avg_serve_seconds(server, req, n, true);
+        const double warm = avg_serve_seconds(server, req, n * 10, false);
+        const double ratio = warm > 0 ? cold / warm : 1e9;
+        worst_ratio = std::min(worst_ratio, ratio);
+        auto res = server.serve(req);
+        std::printf("%-24s %12llu %12.3f %12.2f %7.0fx\n", c.name,
+                    static_cast<unsigned long long>(res.stats.wire_bytes),
+                    cold * 1e3, warm * 1e6, ratio);
+    }
+    std::printf("\nwarm-cache serving is >= %.0fx faster than cold "
+                "(acceptance: >= 10x)\n\n", worst_ratio);
+
+    // --- byte-range serving: wire cost proportional to the slice ---
+    const u64 span = std::min<u64>(size / 2, 16384);
+    auto range_res =
+        server.serve(ServeRequest{"asset", 1, {{size / 2, size / 2 + span}}});
+    auto full_res = server.serve(ServeRequest{"asset", 2, std::nullopt});
+    std::printf("range [%llu, +%llu): wire %llu B vs full wire %llu B "
+                "(%u covering splits)\n\n",
+                static_cast<unsigned long long>(size / 2),
+                static_cast<unsigned long long>(span),
+                static_cast<unsigned long long>(range_res.stats.wire_bytes),
+                static_cast<unsigned long long>(full_res.stats.wire_bytes),
+                range_res.stats.splits_served);
+
+    // --- mixed-fleet aggregate throughput through the scheduler ---
+    std::vector<ServeRequest> mix;
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 512; ++i) {
+        const u32 roll = static_cast<u32>(rng.below(100));
+        u32 acc = 0;
+        for (const ClientClass& c : kFleet) {
+            acc += c.weight;
+            if (roll < acc) {
+                mix.push_back(ServeRequest{"asset", c.parallelism, std::nullopt});
+                break;
+            }
+        }
+        if (i % 10 == 0 && size > 4096) {  // 10% byte-range traffic
+            const u64 lo = rng.below(size - 4096);
+            mix.back().range = {{lo, lo + 4096}};
+        }
+    }
+
+    RequestScheduler sched(server, &global_pool());
+    double total_s = 0;
+    u64 total_bytes = 0, hits = 0;
+    for (int run = 0; run < n; ++run) {
+        for (const auto& r : mix) sched.submit(r);
+        Stopwatch sw;
+        auto results = sched.flush();
+        total_s += sw.seconds();
+        const BatchStats b = summarize(results);
+        if (b.failures != 0) {
+            std::fprintf(stderr, "batch had %llu failures\n",
+                         static_cast<unsigned long long>(b.failures));
+            return 1;
+        }
+        total_bytes += b.wire_bytes;
+        hits += b.cache_hits;
+    }
+    const double reqs_per_s = n * static_cast<double>(mix.size()) / total_s;
+    std::printf("mixed fleet: %zu reqs/batch x %d batches: %.0f req/s, "
+                "%.2f GB/s wire, %.1f%% cache hits\n",
+                mix.size(), n, reqs_per_s,
+                gbps(static_cast<double>(total_bytes), total_s),
+                100.0 * static_cast<double>(hits) /
+                    (static_cast<double>(n) * static_cast<double>(mix.size())));
+
+    return worst_ratio >= 10.0 ? 0 : 1;
+}

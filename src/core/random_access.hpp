@@ -5,6 +5,7 @@
 // the bitstream region it needs — impossible with a plain interleaved rANS
 // stream, and one more reason the metadata records symbol indices (§3.1).
 
+#include <algorithm>
 #include <vector>
 
 #include "core/recoil_decoder.hpp"
@@ -29,9 +30,13 @@ inline RangePlan plan_range(const RecoilMetadata& meta, u64 lo, u64 hi) {
     RECOIL_CHECK(lo < hi && hi <= meta.num_symbols, "plan_range: bad range");
     const u32 S = meta.num_splits();
     auto owner = [&](u64 pos) {
-        u32 k = 0;
-        while (k < meta.splits.size() && meta.splits[k].min_index <= pos) ++k;
-        return k;  // S-1 when past every split point
+        // min_index is strictly ascending (validated), so the first split
+        // whose min_index exceeds pos is a binary search, not an O(S) scan —
+        // this runs on every range request and S reaches 2176+.
+        auto it = std::upper_bound(
+            meta.splits.begin(), meta.splits.end(), pos,
+            [](u64 p, const SplitPoint& sp) { return p < sp.min_index; });
+        return static_cast<u32>(it - meta.splits.begin());  // S-1 past the end
     };
     RangePlan plan;
     plan.first_split = owner(lo);
@@ -45,6 +50,34 @@ inline RangePlan plan_range(const RecoilMetadata& meta, u64 lo, u64 hi) {
     return plan;
 }
 
+/// Decode splits [k_lo, k_hi] of `meta` into a fresh buffer covering
+/// absolute symbol positions [cover_lo, cover_hi). Decode paths index the
+/// output by absolute symbol position; the buffer is rebased so position
+/// cover_lo lands at index 0. Every write of the chosen splits falls inside
+/// [cover_lo, cover_hi), so all dereferences are in bounds; the rebased
+/// pointer itself is formed via integer arithmetic to stay clear of
+/// out-of-bounds pointer UB. Shared by recoil_decode_range and the serve
+/// subsystem's range-wire decoder.
+template <typename Cfg = Rans32, u32 NLanes = kLanes, typename TSym,
+          typename RangeFn = ScalarRangeFn<Cfg, NLanes, TSym>>
+std::vector<TSym> recoil_decode_cover(std::span<const typename Cfg::UnitT> units,
+                                      const RecoilMetadata& meta,
+                                      const DecodeTables& t, u32 k_lo, u32 k_hi,
+                                      u64 cover_lo, u64 cover_hi,
+                                      ThreadPool* pool = nullptr,
+                                      const RangeFn& range_fn = {}) {
+    std::vector<TSym> cover(cover_hi - cover_lo);
+    TSym* rebased = reinterpret_cast<TSym*>(
+        reinterpret_cast<std::uintptr_t>(cover.data()) -
+        static_cast<std::uintptr_t>(cover_lo) * sizeof(TSym));
+    for_each_index(pool, u64{k_hi} - k_lo + 1, [&](u64 i) {
+        recoil_decode_split<Cfg, NLanes, TSym>(
+            units, meta, t, k_lo + static_cast<u32>(i), rebased, nullptr,
+            range_fn);
+    });
+    return cover;
+}
+
 /// Decode symbols [lo, hi) only. Cost is proportional to the covering
 /// splits, not the stream; with M splits over N symbols, expect
 /// ~(hi - lo) + N/M symbols of work.
@@ -56,37 +89,9 @@ std::vector<TSym> recoil_decode_range(std::span<const typename Cfg::UnitT> units
                                       ThreadPool* pool = nullptr,
                                       const RangeFn& range_fn = {}) {
     const RangePlan plan = plan_range(meta, lo, hi);
-    std::vector<TSym> cover(plan.cover_hi - plan.cover_lo);
-    // Decode paths index the output by absolute symbol position; rebase the
-    // buffer so position cover_lo lands at cover[0]. Every write of the
-    // chosen splits falls inside [cover_lo, cover_hi), so all dereferences
-    // are in bounds; the rebased pointer itself is formed via integer
-    // arithmetic to stay clear of out-of-bounds pointer UB.
-    TSym* rebased = reinterpret_cast<TSym*>(
-        reinterpret_cast<std::uintptr_t>(cover.data()) -
-        static_cast<std::uintptr_t>(plan.cover_lo) * sizeof(TSym));
-
-    auto run_one = [&](u64 i) {
-        recoil_decode_split<Cfg, NLanes, TSym>(
-            units, meta, t, plan.first_split + static_cast<u32>(i), rebased,
-            nullptr, range_fn);
-    };
-    const u64 count = plan.last_split - plan.first_split + 1;
-    if (pool == nullptr || count == 1) {
-        for (u64 i = 0; i < count; ++i) run_one(i);
-    } else {
-        std::exception_ptr first_error;
-        std::mutex err_mu;
-        pool->parallel_for(count, [&](u64 i) {
-            try {
-                run_one(i);
-            } catch (...) {
-                std::scoped_lock lk(err_mu);
-                if (!first_error) first_error = std::current_exception();
-            }
-        });
-        if (first_error) std::rethrow_exception(first_error);
-    }
+    auto cover = recoil_decode_cover<Cfg, NLanes, TSym>(
+        units, meta, t, plan.first_split, plan.last_split, plan.cover_lo,
+        plan.cover_hi, pool, range_fn);
     return std::vector<TSym>(cover.begin() + static_cast<std::ptrdiff_t>(lo - plan.cover_lo),
                              cover.begin() + static_cast<std::ptrdiff_t>(hi - plan.cover_lo));
 }

@@ -118,28 +118,12 @@ void recoil_decode_into(std::span<const typename Cfg::UnitT> units,
     const u32 S = meta.num_splits();
     std::vector<RecoilDecodeStats> per_split(stats ? S : 0);
 
-    auto run_one = [&](u64 k) {
+    for_each_index(pool, S, [&](u64 k) {
         recoil_decode_split<Cfg, NLanes, TSym>(units, meta, t, static_cast<u32>(k),
                                                out.data(),
                                                stats ? &per_split[k] : nullptr,
                                                range_fn);
-    };
-
-    if (pool == nullptr || S == 1) {
-        for (u32 k = 0; k < S; ++k) run_one(k);
-    } else {
-        std::exception_ptr first_error;
-        std::mutex err_mu;
-        pool->parallel_for(S, [&](u64 k) {
-            try {
-                run_one(k);
-            } catch (...) {
-                std::scoped_lock lk(err_mu);
-                if (!first_error) first_error = std::current_exception();
-            }
-        });
-        if (first_error) std::rethrow_exception(first_error);
-    }
+    });
 
     if (stats) {
         for (const auto& s : per_split) {

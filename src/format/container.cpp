@@ -3,65 +3,16 @@
 #include <cstring>
 
 #include "core/metadata_codec.hpp"
+#include "format/wire_io.hpp"
 #include "util/error.hpp"
 
 namespace recoil::format {
 
+using namespace wire;
+
 namespace {
 
 constexpr char kMagic[4] = {'R', 'C', 'F', '1'};
-
-void put_u32(std::vector<u8>& out, u32 v) {
-    for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
-}
-void put_u64(std::vector<u8>& out, u64 v) {
-    for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
-}
-
-struct Cursor {
-    std::span<const u8> in;
-    std::size_t pos = 0;
-    void need(std::size_t n) const {
-        if (pos + n > in.size()) raise("container: truncated");
-    }
-    u8 get_u8() {
-        need(1);
-        return in[pos++];
-    }
-    u32 get_u32() {
-        need(4);
-        u32 v = 0;
-        for (int i = 0; i < 4; ++i) v |= u32{in[pos + i]} << (8 * i);
-        pos += 4;
-        return v;
-    }
-    u64 get_u64() {
-        need(8);
-        u64 v = 0;
-        for (int i = 0; i < 8; ++i) v |= u64{in[pos + i]} << (8 * i);
-        pos += 8;
-        return v;
-    }
-    std::span<const u8> get_bytes(std::size_t n) {
-        need(n);
-        auto s = in.subspan(pos, n);
-        pos += n;
-        return s;
-    }
-};
-
-void put_freq_table(std::vector<u8>& out, std::span<const u32> freq) {
-    put_u32(out, static_cast<u32>(freq.size()));
-    for (u32 f : freq) put_u32(out, f);
-}
-
-std::vector<u32> get_freq_table(Cursor& c) {
-    const u32 n = c.get_u32();
-    if (n == 0 || n > (u32{1} << 20)) raise("container: bad alphabet size");
-    std::vector<u32> freq(n);
-    for (auto& f : freq) f = c.get_u32();
-    return freq;
-}
 
 }  // namespace
 
@@ -115,21 +66,12 @@ std::vector<u8> save_recoil_file(const RecoilFile& f) {
     const auto* ub = reinterpret_cast<const u8*>(f.units.data());
     out.insert(out.end(), ub, ub + f.units.size() * 2);
 
-    put_u64(out, fnv1a(out));
+    append_checksum(out);
     return out;
 }
 
 RecoilFile load_recoil_file(std::span<const u8> bytes) {
-    if (bytes.size() < 16) raise("container: too short");
-    const u64 stored_sum = [&] {
-        u64 v = 0;
-        for (int i = 0; i < 8; ++i) v |= u64{bytes[bytes.size() - 8 + i]} << (8 * i);
-        return v;
-    }();
-    if (fnv1a(bytes.first(bytes.size() - 8)) != stored_sum)
-        raise("container: checksum mismatch");
-
-    Cursor c{bytes.first(bytes.size() - 8)};
+    Cursor c{checked_payload(bytes, "container"), "container"};
     if (std::memcmp(c.get_bytes(4).data(), kMagic, 4) != 0)
         raise("container: bad magic");
     if (c.get_u8() != 1) raise("container: unsupported version");
@@ -146,25 +88,40 @@ RecoilFile load_recoil_file(std::span<const u8> bytes) {
         const u32 k = c.get_u32();
         if (k == 0 || k > 256) raise("container: bad model count");
         p.freqs.resize(k);
-        for (auto& freq : p.freqs) freq = get_freq_table(c);
+        for (auto& freq : p.freqs) freq = get_freq_table(c, f.prob_bits);
         const u64 ids_len = c.get_u64();
         auto ids = c.get_bytes(ids_len);
         p.ids.assign(ids.begin(), ids.end());
         f.model = std::move(p);
     } else {
-        f.model = RecoilFile::StaticPayload{get_freq_table(c)};
+        f.model = RecoilFile::StaticPayload{get_freq_table(c, f.prob_bits)};
     }
 
     const u64 meta_len = c.get_u64();
     f.metadata = deserialize_metadata(c.get_bytes(meta_len));
 
     const u64 unit_count = c.get_u64();
-    auto units = c.get_bytes(unit_count * 2);
+    auto units = c.get_unit_bytes(unit_count);
     f.units.resize(unit_count);
     std::memcpy(f.units.data(), units.data(), unit_count * 2);
     if (f.metadata.num_units != unit_count)
         raise("container: metadata/bitstream length mismatch");
     return f;
+}
+
+u64 serialized_file_size(const RecoilFile& f) {
+    u64 n = 4 + 4;  // magic; version/sym_width/indexed/prob_bits
+    if (f.is_indexed()) {
+        const auto& p = std::get<RecoilFile::IndexedPayload>(f.model);
+        n += 4;
+        for (const auto& freq : p.freqs) n += 4 + 4 * freq.size();
+        n += 8 + p.ids.size();
+    } else {
+        n += 4 + 4 * std::get<RecoilFile::StaticPayload>(f.model).freq.size();
+    }
+    n += 8 + serialize_metadata(f.metadata).size();
+    n += 8 + f.units.size() * 2;
+    return n + 8;  // checksum
 }
 
 std::vector<u8> serve_combined(const RecoilFile& f, u32 target_splits) {
@@ -218,18 +175,13 @@ std::vector<u8> save_conventional_file(const ConventionalFile& f) {
     put_u64(out, f.payload.units.size());
     const auto* ub = reinterpret_cast<const u8*>(f.payload.units.data());
     out.insert(out.end(), ub, ub + f.payload.units.size() * 2);
-    put_u64(out, fnv1a(out));
+    append_checksum(out);
     return out;
 }
 
 ConventionalFile load_conventional_file(std::span<const u8> bytes) {
-    if (bytes.size() < 16) raise("conventional container: too short");
-    u64 stored = 0;
-    for (int i = 0; i < 8; ++i)
-        stored |= u64{bytes[bytes.size() - 8 + i]} << (8 * i);
-    if (fnv1a(bytes.first(bytes.size() - 8)) != stored)
-        raise("conventional container: checksum mismatch");
-    Cursor c{bytes.first(bytes.size() - 8)};
+    Cursor c{checked_payload(bytes, "conventional container"),
+             "conventional container"};
     if (std::memcmp(c.get_bytes(4).data(), kConvMagic, 4) != 0)
         raise("conventional container: bad magic");
     if (c.get_u8() != 1) raise("conventional container: unsupported version");
@@ -241,7 +193,7 @@ ConventionalFile load_conventional_file(std::span<const u8> bytes) {
     if (f.prob_bits < 1 || f.prob_bits > 16)
         raise("conventional container: bad prob_bits");
     (void)c.get_u8();
-    f.freq = get_freq_table(c);
+    f.freq = get_freq_table(c, f.prob_bits);
     f.payload.num_symbols = c.get_u64();
     const u64 parts = c.get_u64();
     if (parts == 0 || parts > (u64{1} << 24))
@@ -265,7 +217,7 @@ ConventionalFile load_conventional_file(std::span<const u8> bytes) {
     const u64 unit_count = c.get_u64();
     if (unit_count != units_covered)
         raise("conventional container: unit count mismatch");
-    auto units = c.get_bytes(unit_count * 2);
+    auto units = c.get_unit_bytes(unit_count);
     f.payload.units.resize(unit_count);
     std::memcpy(f.payload.units.data(), units.data(), unit_count * 2);
     return f;

@@ -49,6 +49,10 @@ struct RecoilFile {
 std::vector<u8> save_recoil_file(const RecoilFile& f);
 RecoilFile load_recoil_file(std::span<const u8> bytes);
 
+/// Exact byte count save_recoil_file would produce, without materializing
+/// the O(bitstream) buffer (only the metadata is encoded to measure it).
+u64 serialized_file_size(const RecoilFile& f);
+
 /// Serve a client with `target_splits` parallel capacity (§3.3): combines
 /// metadata in O(M) and re-serializes; the bitstream bytes are shared.
 std::vector<u8> serve_combined(const RecoilFile& f, u32 target_splits);

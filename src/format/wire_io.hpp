@@ -1,0 +1,112 @@
+#pragma once
+// Little-endian wire primitives shared by every serializer/parser in the
+// library (container, chunked stream, range wire). Parsers consume untrusted
+// bytes: Cursor::need compares against the remaining length so an
+// attacker-controlled u64 size cannot wrap `pos + n` past the bounds check,
+// and freq tables are validated to sum to exactly 2^prob_bits before they
+// can reach a model's table builder.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/ints.hpp"
+
+namespace recoil::format {
+
+/// FNV-1a 64-bit, used as the container integrity checksum (container.cpp).
+u64 fnv1a(std::span<const u8> bytes);
+
+namespace wire {
+
+inline void put_u32(std::vector<u8>& out, u32 v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+inline void put_u64(std::vector<u8>& out, u64 v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+struct Cursor {
+    std::span<const u8> in;
+    const char* ctx = "wire";  ///< error-message prefix
+    std::size_t pos = 0;
+
+    void need(std::size_t n) const {
+        // pos <= in.size() is an invariant, so comparing against the
+        // remainder cannot overflow no matter how large n is.
+        if (n > in.size() - pos) raise(std::string(ctx) + ": truncated");
+    }
+    u8 get_u8() {
+        need(1);
+        return in[pos++];
+    }
+    u32 get_u32() {
+        need(4);
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i) v |= u32{in[pos + i]} << (8 * i);
+        pos += 4;
+        return v;
+    }
+    u64 get_u64() {
+        need(8);
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i) v |= u64{in[pos + i]} << (8 * i);
+        pos += 8;
+        return v;
+    }
+    std::span<const u8> get_bytes(std::size_t n) {
+        need(n);
+        auto s = in.subspan(pos, n);
+        pos += n;
+        return s;
+    }
+    /// Bytes of `count` 16-bit units; guards the count*2 multiply against
+    /// wrapping before the bounds check.
+    std::span<const u8> get_unit_bytes(u64 count) {
+        if (count > (in.size() - pos) / 2)
+            raise(std::string(ctx) + ": truncated");
+        return get_bytes(static_cast<std::size_t>(count) * 2);
+    }
+};
+
+inline void append_checksum(std::vector<u8>& out) { put_u64(out, fnv1a(out)); }
+
+/// Verify the trailing checksum and return the payload it covers.
+inline std::span<const u8> checked_payload(std::span<const u8> bytes,
+                                           const char* ctx) {
+    if (bytes.size() < 16) raise(std::string(ctx) + ": too short");
+    u64 stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= u64{bytes[bytes.size() - 8 + i]} << (8 * i);
+    auto payload = bytes.first(bytes.size() - 8);
+    if (fnv1a(payload) != stored)
+        raise(std::string(ctx) + ": checksum mismatch");
+    return payload;
+}
+
+inline void put_freq_table(std::vector<u8>& out, std::span<const u32> freq) {
+    put_u32(out, static_cast<u32>(freq.size()));
+    for (u32 f : freq) put_u32(out, f);
+}
+
+/// Parse a freq table and require it to be a valid quantized pdf for
+/// `prob_bits` (entries summing to exactly 2^prob_bits), so hostile values
+/// cannot overflow the decode-side cumulative tables.
+inline std::vector<u32> get_freq_table(Cursor& c, u32 prob_bits) {
+    const u32 n = c.get_u32();
+    if (n == 0 || n > (u32{1} << 20))
+        raise(std::string(c.ctx) + ": bad alphabet size");
+    std::vector<u32> freq(n);
+    u64 total = 0;
+    for (auto& f : freq) {
+        f = c.get_u32();
+        total += f;
+    }
+    if (total != u64{1} << prob_bits)
+        raise(std::string(c.ctx) + ": frequency table does not sum to 2^prob_bits");
+    return freq;
+}
+
+}  // namespace wire
+}  // namespace recoil::format

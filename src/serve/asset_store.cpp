@@ -1,0 +1,72 @@
+#include "serve/asset_store.hpp"
+
+#include "core/recoil_encoder.hpp"
+#include "rans/symbol_stats.hpp"
+#include "util/error.hpp"
+
+namespace recoil::serve {
+
+std::shared_ptr<const Asset> AssetStore::insert(Asset a) {
+    std::unique_lock lk(mu_);
+    a.uid = next_uid_++;
+    auto ptr = std::make_shared<const Asset>(std::move(a));
+    assets_[ptr->name] = ptr;
+    return ptr;
+}
+
+std::shared_ptr<const Asset> AssetStore::add_file(std::string name,
+                                                 format::RecoilFile f) {
+    Asset a;
+    a.name = std::move(name);
+    a.max_parallelism = f.metadata.num_splits();
+    a.master_bytes = format::serialized_file_size(f);
+    a.payload = std::move(f);
+    return insert(std::move(a));
+}
+
+std::shared_ptr<const Asset> AssetStore::add_chunked(std::string name,
+                                                     stream::ChunkedStream s) {
+    RECOIL_CHECK(!s.chunks.empty(), "add_chunked: empty stream");
+    Asset a;
+    a.name = std::move(name);
+    a.max_parallelism = static_cast<u32>(s.total_splits());
+    a.master_bytes = s.serialized_size();
+    a.payload = std::move(s);
+    return insert(std::move(a));
+}
+
+std::shared_ptr<const Asset> AssetStore::encode_bytes(std::string name,
+                                                      std::span<const u8> data,
+                                                      u32 max_splits,
+                                                      u32 prob_bits) {
+    RECOIL_CHECK(!data.empty(), "encode_bytes: empty asset");
+    StaticModel model(histogram(data), prob_bits);
+    auto enc = recoil_encode<Rans32, 32>(data, model, max_splits);
+    return add_file(std::move(name), format::make_recoil_file(enc, model, 1));
+}
+
+std::shared_ptr<const Asset> AssetStore::find(const std::string& name) const {
+    std::shared_lock lk(mu_);
+    auto it = assets_.find(name);
+    return it == assets_.end() ? nullptr : it->second;
+}
+
+bool AssetStore::erase(const std::string& name) {
+    std::unique_lock lk(mu_);
+    return assets_.erase(name) != 0;
+}
+
+std::vector<std::string> AssetStore::names() const {
+    std::shared_lock lk(mu_);
+    std::vector<std::string> out;
+    out.reserve(assets_.size());
+    for (const auto& [name, _] : assets_) out.push_back(name);
+    return out;
+}
+
+std::size_t AssetStore::size() const {
+    std::shared_lock lk(mu_);
+    return assets_.size();
+}
+
+}  // namespace recoil::serve

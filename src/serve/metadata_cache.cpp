@@ -1,0 +1,84 @@
+#include "serve/metadata_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace recoil::serve {
+
+WireBytes MetadataCache::get(const std::string& asset_key, u32 parallelism,
+                             u32* splits_out) {
+    std::scoped_lock lk(mu_);
+    auto it = index_.find(Key{asset_key, parallelism});
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (splits_out != nullptr) *splits_out = it->second->splits;
+    return it->second->wire;
+}
+
+void MetadataCache::put(const std::string& asset_key, u32 parallelism,
+                        WireBytes wire, u32 splits) {
+    RECOIL_CHECK(wire != nullptr, "cache put: null payload");
+    if (wire->size() > capacity_) return;  // would evict everything for nothing
+    std::scoped_lock lk(mu_);
+    const Key key{asset_key, parallelism};
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        stats_.bytes -= it->second->wire->size();
+        stats_.bytes += wire->size();
+        it->second->wire = std::move(wire);
+        it->second->splits = splits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+        stats_.bytes += wire->size();
+        lru_.push_front(Entry{key, std::move(wire), splits});
+        index_.emplace(key, lru_.begin());
+        ++stats_.insertions;
+    }
+    stats_.entries = index_.size();
+    while (stats_.bytes > capacity_ && !lru_.empty()) evict_lru_locked();
+}
+
+void MetadataCache::evict_lru_locked() {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.wire->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    stats_.entries = index_.size();
+}
+
+void MetadataCache::erase_asset(const std::string& asset_key) {
+    std::scoped_lock lk(mu_);
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        const std::string& a = it->key.asset;
+        const bool derived = a.size() > asset_key.size() &&
+                             a.compare(0, asset_key.size(), asset_key) == 0 &&
+                             a[asset_key.size()] == '\n';
+        if (a == asset_key || derived) {
+            stats_.bytes -= it->wire->size();
+            index_.erase(it->key);
+            it = lru_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    stats_.entries = index_.size();
+}
+
+void MetadataCache::clear() {
+    std::scoped_lock lk(mu_);
+    lru_.clear();
+    index_.clear();
+    stats_.bytes = 0;
+    stats_.entries = 0;
+}
+
+CacheStats MetadataCache::stats() const {
+    std::scoped_lock lk(mu_);
+    return stats_;
+}
+
+}  // namespace recoil::serve

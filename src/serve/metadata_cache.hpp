@@ -1,0 +1,84 @@
+#pragma once
+// LRU cache of serialized serve responses keyed by (asset key, client
+// parallelism). The §3.3 serving path is cheap but not free — combine_splits
+// walks M split points and the wire re-serialization copies the bitstream —
+// and real traffic concentrates on a few client classes (phone / laptop /
+// GPU), so the hot responses are cached whole and handed out by reference.
+// Range responses reuse the same cache under a derived asset key (see
+// server.cpp), hence the string key rather than an asset pointer.
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ints.hpp"
+
+namespace recoil::serve {
+
+/// A served response's bytes, shared between the cache and in-flight
+/// requests so eviction never invalidates a response being written out.
+using WireBytes = std::shared_ptr<const std::vector<u8>>;
+
+struct CacheStats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 insertions = 0;
+    u64 evictions = 0;
+    u64 bytes = 0;    ///< current cached payload bytes
+    u64 entries = 0;  ///< current entry count
+};
+
+class MetadataCache {
+public:
+    explicit MetadataCache(u64 capacity_bytes) : capacity_(capacity_bytes) {}
+
+    /// nullptr on miss. A hit refreshes the entry's LRU position and, when
+    /// `splits_out` is given, reports the split count stored with the entry.
+    WireBytes get(const std::string& asset_key, u32 parallelism,
+                  u32* splits_out = nullptr);
+
+    /// Insert (or refresh) an entry, evicting LRU entries past capacity.
+    /// Payloads larger than the whole cache are not cached at all. `splits`
+    /// is the work-item count the response carries, echoed back by get().
+    void put(const std::string& asset_key, u32 parallelism, WireBytes wire,
+             u32 splits = 0);
+
+    /// Drop every entry for `asset_key` (all parallelisms, and derived keys
+    /// of the form "asset_key\n..." such as range responses).
+    void erase_asset(const std::string& asset_key);
+
+    void clear();
+    CacheStats stats() const;
+    u64 capacity_bytes() const noexcept { return capacity_; }
+
+private:
+    struct Key {
+        std::string asset;
+        u32 parallelism;
+        bool operator==(const Key&) const = default;
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const noexcept {
+            return std::hash<std::string>{}(k.asset) * 0x9e3779b97f4a7c15ull ^
+                   k.parallelism;
+        }
+    };
+    struct Entry {
+        Key key;
+        WireBytes wire;
+        u32 splits = 0;
+    };
+
+    void evict_lru_locked();
+
+    mutable std::mutex mu_;
+    u64 capacity_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+    CacheStats stats_;
+};
+
+}  // namespace recoil::serve

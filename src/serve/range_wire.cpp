@@ -1,0 +1,176 @@
+#include "serve/range_wire.hpp"
+
+#include <cstring>
+
+#include "core/metadata_codec.hpp"
+#include "core/random_access.hpp"
+#include "format/wire_io.hpp"
+#include "simd/dispatch.hpp"
+#include "util/error.hpp"
+
+namespace recoil::serve {
+
+using namespace format::wire;
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'R', '1'};
+constexpr u8 kFlagHasPrev = 1;
+constexpr u8 kFlagIncludesFinal = 2;
+
+/// Everything decode needs, parsed and checksum-verified.
+struct ParsedRange {
+    RangeWireInfo info;
+    std::vector<u32> freq;
+    RecoilMetadata meta;  ///< slice metadata: absolute symbols, rebased units
+    std::vector<u16> units;
+    u32 j0 = 0, j1 = 0;  ///< slice split indices to decode, inclusive
+};
+
+ParsedRange parse_range_wire(std::span<const u8> bytes) {
+    Cursor c{checked_payload(bytes, "range wire"), "range wire"};
+    if (std::memcmp(c.get_bytes(4).data(), kMagic, 4) != 0)
+        raise("range wire: bad magic");
+    if (c.get_u8() != 1) raise("range wire: unsupported version");
+
+    ParsedRange p;
+    RangeWireInfo& info = p.info;
+    info.sym_width = c.get_u8();
+    if (info.sym_width != 1 && info.sym_width != 2)
+        raise("range wire: bad symbol width");
+    const u8 flags = c.get_u8();
+    info.has_prev = (flags & kFlagHasPrev) != 0;
+    info.includes_final = (flags & kFlagIncludesFinal) != 0;
+    info.prob_bits = c.get_u8();
+    if (info.prob_bits < 1 || info.prob_bits > 16)
+        raise("range wire: bad prob_bits");
+
+    p.freq = get_freq_table(c, info.prob_bits);
+
+    info.lo = c.get_u64();
+    info.hi = c.get_u64();
+    info.first_split = c.get_u32();
+
+    const u64 meta_len = c.get_u64();
+    p.meta = deserialize_metadata(c.get_bytes(meta_len));
+
+    const u64 unit_count = c.get_u64();
+    auto units = c.get_unit_bytes(unit_count);
+    p.units.resize(unit_count);
+    std::memcpy(p.units.data(), units.data(), unit_count * 2);
+    if (p.meta.num_units != unit_count)
+        raise("range wire: metadata/slice length mismatch");
+    info.unit_count = unit_count;
+
+    // Derive the decode schedule and coverage from the slice structure.
+    const u32 slice_splits = p.meta.num_splits();
+    if (info.has_prev && p.meta.splits.empty())
+        raise("range wire: boundary split missing");
+    p.j0 = info.has_prev ? 1 : 0;
+    p.j1 = info.includes_final ? slice_splits - 1
+                               : slice_splits - 2;  // skip the implicit final
+    if (p.j1 < p.j0 || p.j1 >= slice_splits)
+        raise("range wire: no decodable splits");
+    info.splits_served = p.j1 - p.j0 + 1;
+    info.cover_lo = info.has_prev ? p.meta.splits.front().min_index : 0;
+    info.cover_hi = info.includes_final ? p.meta.num_symbols
+                                        : p.meta.splits.back().min_index;
+    if (info.lo < info.cover_lo || info.hi > info.cover_hi ||
+        info.lo >= info.hi)
+        raise("range wire: requested range outside slice coverage");
+    return p;
+}
+
+template <typename TSym>
+std::vector<TSym> decode_range_impl(std::span<const u8> bytes,
+                                    ThreadPool* pool) {
+    ParsedRange p = parse_range_wire(bytes);
+    if (p.info.sym_width != sizeof(TSym))
+        raise("range wire: symbol width mismatch");
+    StaticModel model(std::span<const u32>(p.freq), p.info.prob_bits, 0);
+    const DecodeTables& tables = model.tables();
+    const RangeWireInfo& info = p.info;
+
+    simd::SimdRangeFn<TSym> range_fn;
+    auto cover = recoil_decode_cover<Rans32, 32, TSym>(
+        std::span<const u16>(p.units), p.meta, tables, p.j0, p.j1,
+        info.cover_lo, info.cover_hi, pool, range_fn);
+    return std::vector<TSym>(
+        cover.begin() + static_cast<std::ptrdiff_t>(info.lo - info.cover_lo),
+        cover.begin() + static_cast<std::ptrdiff_t>(info.hi - info.cover_lo));
+}
+
+}  // namespace
+
+std::vector<u8> build_range_wire(const format::RecoilFile& f, u64 lo, u64 hi) {
+    if (f.is_indexed())
+        raise("range wire: indexed-model assets are not supported");
+    const RecoilMetadata& meta = f.metadata;
+    const RangePlan plan = plan_range(meta, lo, hi);  // validates the range
+    const u32 S = meta.num_splits();
+    const bool has_prev = plan.first_split > 0;
+    const bool includes_final = plan.last_split == S - 1;
+
+    // Unit slice bounds (see header comment for why these are safe).
+    const u64 unit_lo = plan.first_split <= 1
+                            ? 0
+                            : meta.splits[plan.first_split - 2].offset + 1;
+    const u64 unit_hi = includes_final ? meta.num_units
+                                       : meta.splits[plan.last_split].offset + 1;
+
+    RecoilMetadata sub;
+    sub.lanes = meta.lanes;
+    sub.state_store_bits = meta.state_store_bits;
+    sub.num_symbols = meta.num_symbols;  // absolute indexing
+    sub.num_units = unit_hi - unit_lo;
+    sub.final_states = meta.final_states;
+    const u32 entry_lo = has_prev ? plan.first_split - 1 : plan.first_split;
+    const u32 entry_hi =  // exclusive; the final split has no entry of its own
+        includes_final ? S - 1 : plan.last_split + 1;
+    for (u32 i = entry_lo; i < entry_hi; ++i) {
+        SplitPoint sp = meta.splits[i];
+        sp.offset -= unit_lo;
+        sub.splits.push_back(std::move(sp));
+    }
+
+    std::vector<u8> out;
+    out.insert(out.end(), kMagic, kMagic + 4);
+    out.push_back(1);  // version
+    out.push_back(f.sym_width);
+    out.push_back(static_cast<u8>((has_prev ? kFlagHasPrev : 0) |
+                                  (includes_final ? kFlagIncludesFinal : 0)));
+    out.push_back(static_cast<u8>(f.prob_bits));
+
+    const auto& payload = std::get<format::RecoilFile::StaticPayload>(f.model);
+    put_freq_table(out, payload.freq);
+
+    put_u64(out, lo);
+    put_u64(out, hi);
+    put_u32(out, plan.first_split);
+
+    const std::vector<u8> meta_bytes = serialize_metadata(sub);
+    put_u64(out, meta_bytes.size());
+    out.insert(out.end(), meta_bytes.begin(), meta_bytes.end());
+
+    put_u64(out, unit_hi - unit_lo);
+    const auto* ub = reinterpret_cast<const u8*>(f.units.data() + unit_lo);
+    out.insert(out.end(), ub, ub + (unit_hi - unit_lo) * 2);
+
+    append_checksum(out);
+    return out;
+}
+
+RangeWireInfo inspect_range_wire(std::span<const u8> bytes) {
+    return parse_range_wire(bytes).info;
+}
+
+std::vector<u8> decode_range_wire(std::span<const u8> bytes, ThreadPool* pool) {
+    return decode_range_impl<u8>(bytes, pool);
+}
+
+std::vector<u16> decode_range_wire_u16(std::span<const u8> bytes,
+                                       ThreadPool* pool) {
+    return decode_range_impl<u16>(bytes, pool);
+}
+
+}  // namespace recoil::serve

@@ -1,0 +1,51 @@
+#pragma once
+// Byte-range serving: ship only the split points and bitstream units that
+// cover a requested symbol range [lo, hi), so a client fetching a slice of a
+// large asset pays wire bytes proportional to the slice, not the asset.
+//
+// The slice is decodable by the unmodified 3-phase split decoder because
+//  * symbol indexing stays ABSOLUTE (the decoder derives lane ids from
+//    position % lanes, which rebasing would break), and
+//  * unit offsets are rebased to the slice: units append in symbol order
+//    (see rans/interleaved.hpp), so every unit the covering splits pop lies
+//    in [splits[first-2].offset + 1, splits[last].offset + 1) — bounds
+//    computable from metadata alone.
+// The shipped metadata is the covering splits plus the preceding boundary
+// split (the decoder's phase-2/3 limits), re-encoded with the standard §4.3
+// codec against slice-local expectations.
+
+#include <span>
+#include <vector>
+
+#include "format/container.hpp"
+#include "util/thread_pool.hpp"
+
+namespace recoil::serve {
+
+/// Parsed range-wire header, for stats and tests.
+struct RangeWireInfo {
+    u8 sym_width = 0;
+    u32 prob_bits = 0;
+    u64 lo = 0, hi = 0;              ///< requested symbol range
+    u64 cover_lo = 0, cover_hi = 0;  ///< symbols the shipped splits produce
+    u64 unit_count = 0;              ///< shipped bitstream units
+    u32 first_split = 0;             ///< first covering split in the master
+    u32 splits_served = 0;           ///< covering split count
+    bool has_prev = false;           ///< boundary split entry shipped
+    bool includes_final = false;     ///< slice reaches the bitstream end
+};
+
+/// Build the wire for symbols [lo, hi) of a static-model asset. Raises
+/// recoil::Error for indexed-model files or an out-of-range request.
+std::vector<u8> build_range_wire(const format::RecoilFile& f, u64 lo, u64 hi);
+
+RangeWireInfo inspect_range_wire(std::span<const u8> bytes);
+
+/// Client side: parse, validate and decode, returning exactly the [lo, hi)
+/// symbols. The u8/u16 variant must match the wire's sym_width.
+std::vector<u8> decode_range_wire(std::span<const u8> bytes,
+                                  ThreadPool* pool = nullptr);
+std::vector<u16> decode_range_wire_u16(std::span<const u8> bytes,
+                                       ThreadPool* pool = nullptr);
+
+}  // namespace recoil::serve

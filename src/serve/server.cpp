@@ -1,0 +1,166 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+#include "core/random_access.hpp"
+#include "core/split_planner.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace recoil::serve {
+
+namespace {
+
+/// Cache keys embed the asset's store generation, so replacing an asset
+/// under the same name orphans the predecessor's entries instead of serving
+/// its bytes; the orphans age out through normal LRU eviction. Both forms
+/// start with "name\n", which is what erase_asset() prefix-matches.
+std::string asset_key(const Asset& a) {
+    return a.name + "\n#" + std::to_string(a.uid);
+}
+
+std::string range_key(const Asset& a, u64 lo, u64 hi) {
+    return asset_key(a) + "\nrange:" + std::to_string(lo) + "-" +
+           std::to_string(hi);
+}
+
+}  // namespace
+
+ServeResult ContentServer::serve(const ServeRequest& req) noexcept {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    Stopwatch total;
+    ServeResult res;
+    try {
+        res = serve_impl(req);
+    } catch (const std::exception& e) {
+        res = ServeResult{};
+        res.error = e.what();
+    }
+    res.stats.total_seconds = total.seconds();
+    if (res.ok) {
+        wire_bytes_.fetch_add(res.stats.wire_bytes, std::memory_order_relaxed);
+        if (res.stats.cache_hit)
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return res;
+}
+
+ServeResult ContentServer::serve_impl(const ServeRequest& req) {
+    auto asset = store_.find(req.asset);
+    if (asset == nullptr) raise("serve: unknown asset '" + req.asset + "'");
+
+    ServeResult res;
+    if (req.range) {
+        range_requests_.fetch_add(1, std::memory_order_relaxed);
+        const auto [lo, hi] = *req.range;
+        const format::RecoilFile* file = asset->file();
+        if (file == nullptr)
+            raise("serve: range requests require a single-stream asset");
+        const std::string key = range_key(*asset, lo, hi);
+        u32 splits = 0;
+        if (WireBytes wire =
+                opt_.cache_ranges ? cache_.get(key, 0, &splits) : nullptr) {
+            res.wire = std::move(wire);
+            res.stats.cache_hit = true;
+        } else {
+            Stopwatch combine;
+            auto bytes = build_range_wire(*file, lo, hi);
+            res.stats.combine_seconds = combine.seconds();
+            const RangePlan plan = plan_range(file->metadata, lo, hi);
+            splits = plan.last_split - plan.first_split + 1;
+            res.wire = std::make_shared<const std::vector<u8>>(std::move(bytes));
+            if (opt_.cache_ranges) cache_.put(key, 0, res.wire, splits);
+        }
+        res.stats.splits_served = splits;
+    } else {
+        const u32 parallelism =
+            std::clamp(req.parallelism, u32{1}, asset->max_parallelism);
+        const std::string key = asset_key(*asset);
+        u32 splits = 0;
+        if (WireBytes wire = cache_.get(key, parallelism, &splits)) {
+            res.wire = std::move(wire);
+            res.stats.cache_hit = true;
+        } else {
+            // Combine explicitly (rather than via serve_combined) so the
+            // stats report the work-item count the wire actually carries —
+            // combine_splits may grant fewer than requested, and a chunked
+            // stream at least one split per chunk.
+            Stopwatch combine;
+            std::vector<u8> bytes;
+            if (asset->is_chunked()) {
+                auto combined = asset->chunked()->combined(parallelism);
+                splits = static_cast<u32>(combined.total_splits());
+                bytes = combined.serialize();
+            } else {
+                format::RecoilFile served = *asset->file();
+                served.metadata =
+                    combine_splits(served.metadata, parallelism);
+                splits = served.metadata.num_splits();
+                bytes = format::save_recoil_file(served);
+            }
+            res.stats.combine_seconds = combine.seconds();
+            res.wire = std::make_shared<const std::vector<u8>>(std::move(bytes));
+            cache_.put(key, parallelism, res.wire, splits);
+        }
+        res.stats.splits_served = splits;
+    }
+    res.stats.wire_bytes = res.wire->size();
+    res.ok = true;
+    return res;
+}
+
+bool ContentServer::evict_asset(const std::string& name) {
+    cache_.erase_asset(name);
+    return store_.erase(name);
+}
+
+ContentServer::Totals ContentServer::totals() const noexcept {
+    Totals t;
+    t.requests = requests_.load(std::memory_order_relaxed);
+    t.failures = failures_.load(std::memory_order_relaxed);
+    t.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    t.range_requests = range_requests_.load(std::memory_order_relaxed);
+    t.wire_bytes = wire_bytes_.load(std::memory_order_relaxed);
+    return t;
+}
+
+u64 RequestScheduler::submit(ServeRequest req) {
+    std::scoped_lock lk(mu_);
+    pending_.push_back(std::move(req));
+    return pending_.size() - 1;
+}
+
+std::size_t RequestScheduler::pending() const {
+    std::scoped_lock lk(mu_);
+    return pending_.size();
+}
+
+std::vector<ServeResult> RequestScheduler::flush() {
+    std::vector<ServeRequest> batch;
+    {
+        std::scoped_lock lk(mu_);
+        batch.swap(pending_);
+    }
+    std::vector<ServeResult> out(batch.size());
+    if (batch.empty()) return out;
+    pool_->parallel_for(batch.size(),
+                        [&](u64 i) { out[i] = server_.serve(batch[i]); });
+    return out;
+}
+
+BatchStats summarize(std::span<const ServeResult> results) {
+    BatchStats s;
+    s.requests = results.size();
+    for (const ServeResult& r : results) {
+        if (!r.ok) ++s.failures;
+        if (r.stats.cache_hit) ++s.cache_hits;
+        s.wire_bytes += r.stats.wire_bytes;
+        s.max_latency_seconds = std::max(s.max_latency_seconds, r.stats.total_seconds);
+        s.sum_latency_seconds += r.stats.total_seconds;
+    }
+    return s;
+}
+
+}  // namespace recoil::serve

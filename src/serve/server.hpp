@@ -1,0 +1,124 @@
+#pragma once
+// Front door of the serve subsystem: ContentServer resolves requests against
+// the AssetStore, adapts split metadata per client (§3.3) through the LRU
+// wire cache, and serves symbol sub-ranges via the range wire.
+// RequestScheduler batches concurrent client requests onto the shared
+// ThreadPool so a mixed fleet saturates the machine without per-request
+// threads.
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/asset_store.hpp"
+#include "serve/metadata_cache.hpp"
+#include "serve/range_wire.hpp"
+#include "util/thread_pool.hpp"
+
+namespace recoil::serve {
+
+struct ServeRequest {
+    std::string asset;
+    /// Client's parallel decode capacity (warps/threads); clamped to the
+    /// asset's encoded split budget. Ignored for range requests, which ship
+    /// the master's fine-grained covering splits.
+    u32 parallelism = 1;
+    /// Symbol range [lo, hi) to serve instead of the whole asset.
+    std::optional<std::pair<u64, u64>> range;
+};
+
+struct ServeStats {
+    u64 wire_bytes = 0;
+    /// Parallel work items the response actually carries (splits in the
+    /// served metadata, or covering splits for a range).
+    u32 splits_served = 0;
+    bool cache_hit = false;
+    double combine_seconds = 0;  ///< metadata adaptation + serialization (miss)
+    double total_seconds = 0;
+};
+
+struct ServeResult {
+    bool ok = false;
+    std::string error;
+    WireBytes wire;
+    ServeStats stats;
+};
+
+struct ServerOptions {
+    u64 cache_capacity_bytes = u64{256} << 20;
+    bool cache_ranges = true;  ///< range responses join the LRU cache too
+};
+
+class ContentServer {
+public:
+    explicit ContentServer(ServerOptions opt = {})
+        : opt_(opt), cache_(opt.cache_capacity_bytes) {}
+
+    AssetStore& store() noexcept { return store_; }
+    MetadataCache& cache() noexcept { return cache_; }
+
+    /// Serve one request. Never throws: failures come back as !ok with the
+    /// error message, so scheduler workers cannot tear down the pool.
+    ServeResult serve(const ServeRequest& req) noexcept;
+
+    /// Remove an asset and every cached response derived from it.
+    bool evict_asset(const std::string& name);
+
+    struct Totals {
+        u64 requests = 0;
+        u64 failures = 0;
+        u64 cache_hits = 0;
+        u64 range_requests = 0;
+        u64 wire_bytes = 0;
+    };
+    Totals totals() const noexcept;
+
+private:
+    ServeResult serve_impl(const ServeRequest& req);
+
+    ServerOptions opt_;
+    AssetStore store_;
+    MetadataCache cache_;
+    std::atomic<u64> requests_{0};
+    std::atomic<u64> failures_{0};
+    std::atomic<u64> cache_hits_{0};
+    std::atomic<u64> range_requests_{0};
+    std::atomic<u64> wire_bytes_{0};
+};
+
+/// Collects requests and runs one batch on the pool; results come back in
+/// submission order. flush() is a barrier, as the underlying pool's
+/// parallel_for is. submit() is thread-safe.
+class RequestScheduler {
+public:
+    explicit RequestScheduler(ContentServer& server, ThreadPool* pool = nullptr)
+        : server_(server), pool_(pool != nullptr ? pool : &global_pool()) {}
+
+    /// Queue a request; returns its index in the next flush()'s results.
+    u64 submit(ServeRequest req);
+    std::size_t pending() const;
+    std::vector<ServeResult> flush();
+
+private:
+    ContentServer& server_;
+    ThreadPool* pool_;
+    mutable std::mutex mu_;
+    std::vector<ServeRequest> pending_;
+};
+
+/// Aggregate view of one batch, for benches and logs.
+struct BatchStats {
+    u64 requests = 0;
+    u64 failures = 0;
+    u64 cache_hits = 0;
+    u64 wire_bytes = 0;
+    double max_latency_seconds = 0;
+    double sum_latency_seconds = 0;
+};
+BatchStats summarize(std::span<const ServeResult> results);
+
+}  // namespace recoil::serve

@@ -9,49 +9,17 @@
 #include "core/recoil_encoder.hpp"
 #include "core/split_planner.hpp"
 #include "format/container.hpp"
+#include "format/wire_io.hpp"
 #include "rans/symbol_stats.hpp"
 #include "util/error.hpp"
 
 namespace recoil::stream {
 
+using namespace format::wire;
+
 namespace {
 
 constexpr char kMagic[4] = {'R', 'C', 'S', '1'};
-
-void put_u32(std::vector<u8>& out, u32 v) {
-    for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
-}
-void put_u64(std::vector<u8>& out, u64 v) {
-    for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
-}
-
-struct Cursor {
-    std::span<const u8> in;
-    std::size_t pos = 0;
-    void need(std::size_t n) const {
-        if (pos + n > in.size()) raise("chunked: truncated");
-    }
-    u32 get_u32() {
-        need(4);
-        u32 v = 0;
-        for (int i = 0; i < 4; ++i) v |= u32{in[pos + i]} << (8 * i);
-        pos += 4;
-        return v;
-    }
-    u64 get_u64() {
-        need(8);
-        u64 v = 0;
-        for (int i = 0; i < 8; ++i) v |= u64{in[pos + i]} << (8 * i);
-        pos += 8;
-        return v;
-    }
-    std::span<const u8> get_bytes(std::size_t n) {
-        need(n);
-        auto s = in.subspan(pos, n);
-        pos += n;
-        return s;
-    }
-};
 
 }  // namespace
 
@@ -74,8 +42,7 @@ std::vector<u8> ChunkedStream::serialize() const {
     put_u32(out, prob_bits);
     put_u32(out, static_cast<u32>(chunks.size()));
     for (const Chunk& c : chunks) {
-        put_u32(out, static_cast<u32>(c.freq.size()));
-        for (u32 f : c.freq) put_u32(out, f);
+        put_freq_table(out, c.freq);
         const auto meta = serialize_metadata(c.metadata);
         put_u64(out, meta.size());
         out.insert(out.end(), meta.begin(), meta.end());
@@ -83,19 +50,22 @@ std::vector<u8> ChunkedStream::serialize() const {
         const auto* ub = reinterpret_cast<const u8*>(c.units.data());
         out.insert(out.end(), ub, ub + c.units.size() * 2);
     }
-    put_u64(out, format::fnv1a(out));
+    append_checksum(out);
     return out;
 }
 
-ChunkedStream ChunkedStream::parse(std::span<const u8> bytes) {
-    if (bytes.size() < 20) raise("chunked: too short");
-    u64 stored = 0;
-    for (int i = 0; i < 8; ++i)
-        stored |= u64{bytes[bytes.size() - 8 + i]} << (8 * i);
-    if (format::fnv1a(bytes.first(bytes.size() - 8)) != stored)
-        raise("chunked: checksum mismatch");
+u64 ChunkedStream::serialized_size() const {
+    u64 n = 4 + 4 + 4;  // magic, prob_bits, chunk count
+    for (const Chunk& c : chunks) {
+        n += 4 + 4 * c.freq.size();
+        n += 8 + serialize_metadata(c.metadata).size();
+        n += 8 + c.units.size() * 2;
+    }
+    return n + 8;  // checksum
+}
 
-    Cursor c{bytes.first(bytes.size() - 8)};
+ChunkedStream ChunkedStream::parse(std::span<const u8> bytes) {
+    Cursor c{checked_payload(bytes, "chunked"), "chunked"};
     if (std::memcmp(c.get_bytes(4).data(), kMagic, 4) != 0)
         raise("chunked: bad magic");
     ChunkedStream s;
@@ -105,14 +75,11 @@ ChunkedStream ChunkedStream::parse(std::span<const u8> bytes) {
     if (n > (u32{1} << 24)) raise("chunked: absurd chunk count");
     s.chunks.resize(n);
     for (Chunk& ch : s.chunks) {
-        const u32 alpha = c.get_u32();
-        if (alpha == 0 || alpha > (u32{1} << 20)) raise("chunked: bad alphabet");
-        ch.freq.resize(alpha);
-        for (auto& f : ch.freq) f = c.get_u32();
+        ch.freq = get_freq_table(c, s.prob_bits);
         const u64 mlen = c.get_u64();
         ch.metadata = deserialize_metadata(c.get_bytes(mlen));
         const u64 ulen = c.get_u64();
-        auto units = c.get_bytes(ulen * 2);
+        auto units = c.get_unit_bytes(ulen);
         ch.units.resize(ulen);
         std::memcpy(ch.units.data(), units.data(), ulen * 2);
         if (ch.metadata.num_units != ulen)
@@ -171,30 +138,14 @@ std::vector<u8> decode_chunked(const ChunkedStream& stream, ThreadPool* pool,
 
     std::vector<u8> out(chunk_base.back());
     simd::SimdRangeFn<u8> range{backend};
-    auto run_one = [&](u64 t) {
+    for_each_index(pool, tasks.size(), [&](u64 t) {
         const Task task = tasks[t];
         const Chunk& c = stream.chunks[task.chunk];
         recoil_decode_split<Rans32, 32, u8>(
             std::span<const u16>(c.units), c.metadata,
             models[task.chunk].tables(), task.split,
             out.data() + chunk_base[task.chunk], nullptr, range);
-    };
-
-    if (pool == nullptr || tasks.size() <= 1) {
-        for (u64 t = 0; t < tasks.size(); ++t) run_one(t);
-    } else {
-        std::exception_ptr first_error;
-        std::mutex err_mu;
-        pool->parallel_for(tasks.size(), [&](u64 t) {
-            try {
-                run_one(t);
-            } catch (...) {
-                std::scoped_lock lk(err_mu);
-                if (!first_error) first_error = std::current_exception();
-            }
-        });
-        if (first_error) std::rethrow_exception(first_error);
-    }
+    });
     return out;
 }
 

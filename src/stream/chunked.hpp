@@ -53,6 +53,10 @@ struct ChunkedStream {
     std::vector<u8> serialize() const;
     static ChunkedStream parse(std::span<const u8> bytes);
 
+    /// Exact byte count serialize() would produce, without materializing the
+    /// O(bitstream) buffer (only the per-chunk metadata is encoded).
+    u64 serialized_size() const;
+
     /// Decoder-adaptive serving across chunks: combine every chunk's
     /// metadata so the whole stream offers ~`target_parallelism` work items
     /// (at least one split per chunk). Metadata-only, O(total splits).

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -102,5 +103,27 @@ private:
 
 /// Process-wide pool used by decode paths when the caller does not supply one.
 ThreadPool& global_pool();
+
+/// Run body(i) for i in [0, count): inline when `pool` is null or the count
+/// is 1, otherwise across the pool with the first worker exception rethrown
+/// in the caller. The shared loop of every parallel decode path.
+inline void for_each_index(ThreadPool* pool, u64 count,
+                           const std::function<void(u64)>& body) {
+    if (pool == nullptr || count <= 1) {
+        for (u64 i = 0; i < count; ++i) body(i);
+        return;
+    }
+    std::exception_ptr first_error;
+    std::mutex err_mu;
+    pool->parallel_for(count, [&](u64 i) {
+        try {
+            body(i);
+        } catch (...) {
+            std::scoped_lock lk(err_mu);
+            if (!first_error) first_error = std::current_exception();
+        }
+    });
+    if (first_error) std::rethrow_exception(first_error);
+}
 
 }  // namespace recoil

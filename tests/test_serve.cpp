@@ -1,0 +1,346 @@
+// Tests for the serve subsystem: LRU wire cache semantics, combined-metadata
+// serving correctness (served wire decodes bit-exact against a direct full
+// decode), byte-range serving edge cases, and the batch scheduler.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/recoil_decoder.hpp"
+#include "serve/server.hpp"
+#include "simd/dispatch.hpp"
+#include "test_util.hpp"
+#include "util/xoshiro.hpp"
+#include "workload/datasets.hpp"
+
+namespace recoil::serve {
+namespace {
+
+std::shared_ptr<const std::vector<u8>> make_wire(std::size_t n, u8 fill) {
+    return std::make_shared<const std::vector<u8>>(n, fill);
+}
+
+TEST(MetadataCache, HitMissAndByteAccounting) {
+    MetadataCache cache(1000);
+    EXPECT_EQ(cache.get("a", 8), nullptr);
+    cache.put("a", 8, make_wire(400, 1));
+    cache.put("a", 16, make_wire(400, 2));
+    auto hit = cache.get("a", 8);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->front(), 1);
+
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.bytes, 800u);
+}
+
+TEST(MetadataCache, LruEvictionOrderRespectsRecency) {
+    MetadataCache cache(1000);
+    cache.put("a", 1, make_wire(400, 1));
+    cache.put("a", 2, make_wire(400, 2));
+    ASSERT_NE(cache.get("a", 1), nullptr);  // refresh entry 1
+    cache.put("a", 3, make_wire(400, 3));   // over capacity: evicts entry 2
+    EXPECT_NE(cache.get("a", 1), nullptr);
+    EXPECT_NE(cache.get("a", 3), nullptr);
+    EXPECT_EQ(cache.get("a", 2), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(MetadataCache, OversizedPayloadIsNotCached) {
+    MetadataCache cache(100);
+    cache.put("a", 1, make_wire(500, 1));
+    EXPECT_EQ(cache.get("a", 1), nullptr);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(MetadataCache, EraseAssetDropsDerivedKeysToo) {
+    MetadataCache cache(10000);
+    cache.put("a", 1, make_wire(10, 1));
+    cache.put("a\nrange:5-9", 0, make_wire(10, 2));
+    cache.put("ab", 1, make_wire(10, 3));  // prefix but not derived
+    cache.erase_asset("a");
+    EXPECT_EQ(cache.get("a", 1), nullptr);
+    EXPECT_EQ(cache.get("a\nrange:5-9", 0), nullptr);
+    EXPECT_NE(cache.get("ab", 1), nullptr);
+}
+
+struct ServeFixture : ::testing::Test {
+    static constexpr u64 kSymbols = 200000;
+    static constexpr u32 kMaxSplits = 64;
+
+    std::vector<u8> data;
+    ContentServer server;
+    std::shared_ptr<const Asset> asset;
+
+    ServeFixture()
+        : data(test::geometric_symbols<u8>(kSymbols, 0.6, 256, 11)),
+          asset(server.store().encode_bytes("asset", data, kMaxSplits)) {}
+
+    std::vector<u8> decode_full_wire(std::span<const u8> wire) {
+        auto got = format::load_recoil_file(wire);
+        auto model = got.build_static_model();
+        ThreadPool pool(2);
+        simd::SimdRangeFn<u8> range;
+        return recoil_decode<Rans32, 32, u8>(std::span<const u16>(got.units),
+                                             got.metadata, model.tables(), &pool,
+                                             nullptr, range);
+    }
+};
+
+TEST_F(ServeFixture, SecondRequestIsACacheHitWithIdenticalBytes) {
+    const ServeRequest req{"asset", 16, std::nullopt};
+    auto cold = server.serve(req);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_FALSE(cold.stats.cache_hit);
+
+    auto warm = server.serve(req);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_TRUE(warm.stats.cache_hit);
+    EXPECT_EQ(warm.wire, cold.wire);  // shared, not recombined
+
+    auto other = server.serve(ServeRequest{"asset", 8, std::nullopt});
+    ASSERT_TRUE(other.ok);
+    EXPECT_FALSE(other.stats.cache_hit);  // distinct parallelism, distinct entry
+
+    const auto t = server.totals();
+    EXPECT_EQ(t.requests, 3u);
+    EXPECT_EQ(t.cache_hits, 1u);
+    EXPECT_EQ(t.failures, 0u);
+}
+
+TEST_F(ServeFixture, CombinedWireDecodesBitExactAtEveryParallelism) {
+    const std::vector<u8> direct = recoil_decode<Rans32, 32, u8>(
+        std::span<const u16>(asset->file()->units), asset->file()->metadata,
+        asset->file()->build_static_model().tables());
+    ASSERT_EQ(direct, data);
+
+    for (u32 p : {1u, 2u, 7u, 16u, 64u, 5000u}) {
+        auto res = server.serve(ServeRequest{"asset", p, std::nullopt});
+        ASSERT_TRUE(res.ok) << res.error;
+        auto got = format::load_recoil_file(*res.wire);
+        EXPECT_LE(got.metadata.num_splits(), std::min(p, kMaxSplits));
+        EXPECT_EQ(res.stats.splits_served, got.metadata.num_splits());
+        EXPECT_EQ(decode_full_wire(*res.wire), direct) << "parallelism " << p;
+    }
+}
+
+TEST_F(ServeFixture, LowerParallelismShipsFewerWireBytes) {
+    auto small = server.serve(ServeRequest{"asset", 2, std::nullopt});
+    auto large = server.serve(ServeRequest{"asset", kMaxSplits, std::nullopt});
+    ASSERT_TRUE(small.ok && large.ok);
+    EXPECT_LT(small.stats.wire_bytes, large.stats.wire_bytes);
+    EXPECT_LE(large.stats.wire_bytes, asset->master_bytes);
+}
+
+TEST_F(ServeFixture, ChunkedAssetServesAndDecodes) {
+    auto video = workload::gen_text(60000, 42);
+    stream::ChunkedEncoder enc({11, 16});
+    for (u64 off = 0; off < video.size(); off += 20000)
+        enc.add_chunk(std::span<const u8>(video).subspan(off, 20000));
+    server.store().add_chunked("video", enc.finish());
+
+    auto res = server.serve(ServeRequest{"video", 8, std::nullopt});
+    ASSERT_TRUE(res.ok) << res.error;
+    auto got = stream::ChunkedStream::parse(*res.wire);
+    EXPECT_LE(got.total_splits(), 8u + got.chunks.size());
+    EXPECT_EQ(res.stats.splits_served, got.total_splits());
+    EXPECT_EQ(stream::decode_chunked(got), video);
+}
+
+TEST_F(ServeFixture, RangeServingMatchesFullDecodeEverywhere) {
+    Xoshiro256 rng(77);
+    ThreadPool pool(2);
+    for (int iter = 0; iter < 25; ++iter) {
+        const u64 lo = rng.below(kSymbols - 1);
+        const u64 hi = lo + 1 + rng.below(std::min<u64>(kSymbols - lo, 9000));
+        auto res = server.serve(ServeRequest{"asset", 4, {{lo, hi}}});
+        ASSERT_TRUE(res.ok) << res.error;
+        auto part = decode_range_wire(*res.wire, &pool);
+        ASSERT_EQ(part.size(), hi - lo);
+        EXPECT_TRUE(std::equal(part.begin(), part.end(), data.begin() + lo))
+            << "range [" << lo << ", " << hi << ")";
+    }
+}
+
+TEST_F(ServeFixture, RangeEdgeCases) {
+    const auto& meta = asset->file()->metadata;
+    ASSERT_GE(meta.splits.size(), 8u);
+
+    std::vector<std::pair<u64, u64>> ranges = {
+        {0, 1},                        // single symbol at the stream start
+        {kSymbols - 1, kSymbols},      // single symbol at the stream end
+        {kSymbols / 2, kSymbols / 2 + 1},
+        {0, kSymbols},                 // full range
+        {meta.splits[2].min_index, meta.splits[3].min_index},  // one whole split
+        {meta.splits[2].min_index + 5, meta.splits[3].min_index - 5},  // inside it
+        {meta.splits.back().min_index, kSymbols},  // final split only
+    };
+    for (auto [lo, hi] : ranges) {
+        auto res = server.serve(ServeRequest{"asset", 1, {{lo, hi}}});
+        ASSERT_TRUE(res.ok) << res.error << " [" << lo << ", " << hi << ")";
+        auto info = inspect_range_wire(*res.wire);
+        EXPECT_EQ(info.lo, lo);
+        EXPECT_EQ(info.hi, hi);
+        EXPECT_LE(info.cover_lo, lo);
+        EXPECT_GE(info.cover_hi, hi);
+        auto part = decode_range_wire(*res.wire);
+        ASSERT_EQ(part.size(), hi - lo);
+        EXPECT_TRUE(std::equal(part.begin(), part.end(), data.begin() + lo));
+    }
+
+    // A range confined to one split ships a fragment, not the asset.
+    auto res = server.serve(
+        ServeRequest{"asset", 1, {{meta.splits[2].min_index + 5,
+                                   meta.splits[3].min_index - 5}}});
+    ASSERT_TRUE(res.ok);
+    EXPECT_LT(res.stats.wire_bytes, asset->master_bytes / 4);
+    EXPECT_LE(res.stats.splits_served, 3u);
+}
+
+TEST_F(ServeFixture, RangeResponsesAreCachedUnderTheAssetKey) {
+    const ServeRequest req{"asset", 1, {{1000, 2000}}};
+    auto cold = server.serve(req);
+    auto warm = server.serve(req);
+    ASSERT_TRUE(cold.ok && warm.ok);
+    EXPECT_FALSE(cold.stats.cache_hit);
+    EXPECT_TRUE(warm.stats.cache_hit);
+    EXPECT_EQ(warm.wire, cold.wire);
+
+    server.evict_asset("asset");
+    auto gone = server.serve(req);
+    EXPECT_FALSE(gone.ok);  // asset and its cached ranges are both gone
+}
+
+TEST_F(ServeFixture, FailuresAreReportedNotThrown) {
+    auto unknown = server.serve(ServeRequest{"nope", 4, std::nullopt});
+    EXPECT_FALSE(unknown.ok);
+    EXPECT_NE(unknown.error.find("unknown asset"), std::string::npos);
+
+    auto bad_range = server.serve(ServeRequest{"asset", 4, {{5, 5}}});
+    EXPECT_FALSE(bad_range.ok);
+    auto past_end = server.serve(ServeRequest{"asset", 4, {{0, kSymbols + 1}}});
+    EXPECT_FALSE(past_end.ok);
+
+    auto chunked_data = workload::gen_text(30000, 1);
+    stream::ChunkedEncoder enc;
+    enc.add_chunk(chunked_data);
+    server.store().add_chunked("chunked", enc.finish());
+    auto range_on_chunked = server.serve(ServeRequest{"chunked", 4, {{0, 10}}});
+    EXPECT_FALSE(range_on_chunked.ok);
+
+    EXPECT_EQ(server.totals().failures, 4u);
+}
+
+TEST_F(ServeFixture, CorruptWireIsRejected) {
+    auto res = server.serve(ServeRequest{"asset", 1, {{100, 400}}});
+    ASSERT_TRUE(res.ok);
+    std::vector<u8> mangled = *res.wire;
+    mangled[mangled.size() / 2] ^= 0x40;
+    EXPECT_THROW(decode_range_wire(mangled), Error);
+    EXPECT_THROW(inspect_range_wire(std::vector<u8>{'R', 'C', 'R', '1'}), Error);
+}
+
+TEST_F(ServeFixture, HostileWireWithValidChecksumIsRejected) {
+    // An attacker can recompute the FNV trailer, so structural validation
+    // must hold on its own: poisoned freq tables (table-builder overflow)
+    // and wrap-around length fields must both be rejected, not decoded.
+    auto res = server.serve(ServeRequest{"asset", 1, {{100, 400}}});
+    ASSERT_TRUE(res.ok);
+    auto reseal = [](std::vector<u8> w) {
+        const u64 sum = format::fnv1a(
+            std::span<const u8>(w.data(), w.size() - 8));
+        for (int i = 0; i < 8; ++i)
+            w[w.size() - 8 + i] = static_cast<u8>(sum >> (8 * i));
+        return w;
+    };
+
+    // Header: magic(4) ver/sym/flags/prob(4) alpha(4), then 256 freq words.
+    std::vector<u8> bad_freq = *res.wire;
+    for (int i = 0; i < 4; ++i) bad_freq[12 + i] = 0xFF;
+    EXPECT_THROW(decode_range_wire(reseal(std::move(bad_freq))), Error);
+
+    const std::size_t meta_len_off = 12 + 4 * 256 + 8 + 8 + 4;
+    std::vector<u8> bad_len = *res.wire;
+    for (int i = 0; i < 8; ++i) bad_len[meta_len_off + i] = 0xFF;
+    EXPECT_THROW(decode_range_wire(reseal(std::move(bad_len))), Error);
+}
+
+TEST_F(ServeFixture, ReplacingAnAssetInvalidatesCachedResponses) {
+    const ServeRequest req{"asset", 8, std::nullopt};
+    ASSERT_FALSE(server.serve(req).stats.cache_hit);
+    ASSERT_TRUE(server.serve(req).stats.cache_hit);
+
+    auto v2 = test::geometric_symbols<u8>(kSymbols, 0.4, 256, 99);
+    server.store().encode_bytes("asset", v2, kMaxSplits);
+    auto res = server.serve(req);
+    ASSERT_TRUE(res.ok);
+    EXPECT_FALSE(res.stats.cache_hit);  // fresh uid, not the v1 entry
+    EXPECT_EQ(decode_full_wire(*res.wire), v2);
+}
+
+TEST_F(ServeFixture, MasterBytesMatchesActualSerialization) {
+    EXPECT_EQ(asset->master_bytes,
+              format::save_recoil_file(*asset->file()).size());
+
+    auto bytes = workload::gen_text(30000, 5);
+    stream::ChunkedEncoder enc;
+    for (u64 off = 0; off < bytes.size(); off += 10000)
+        enc.add_chunk(std::span<const u8>(bytes).subspan(off, 10000));
+    auto s = enc.finish();
+    EXPECT_EQ(s.serialized_size(), s.serialize().size());
+}
+
+TEST_F(ServeFixture, EvictionUnderPressureKeepsTheHotEntry) {
+    // Capacity for ~2 full responses: the repeatedly-requested class must
+    // survive a stream of one-off parallelisms.
+    auto probe = server.serve(ServeRequest{"asset", 16, std::nullopt});
+    ASSERT_TRUE(probe.ok);
+    ContentServer small({probe.stats.wire_bytes * 5 / 2, true});
+    small.store().add_file("asset", *asset->file());
+
+    ASSERT_FALSE(small.serve({"asset", 16, std::nullopt}).stats.cache_hit);
+    for (u32 p = 2; p < 8; ++p) {
+        ASSERT_TRUE(small.serve(ServeRequest{"asset", p, std::nullopt}).ok);
+        EXPECT_TRUE(small.serve({"asset", 16, std::nullopt}).stats.cache_hit)
+            << "hot entry evicted after one-off parallelism " << p;
+    }
+    EXPECT_GT(small.cache().stats().evictions, 0u);
+}
+
+TEST_F(ServeFixture, SchedulerBatchMatchesSerialServes) {
+    ThreadPool pool(3);
+    RequestScheduler sched(server, &pool);
+    std::vector<ServeRequest> reqs;
+    for (u32 p : {2u, 8u, 16u, 2u, 8u, 64u})
+        reqs.push_back(ServeRequest{"asset", p, std::nullopt});
+    reqs.push_back(ServeRequest{"asset", 1, {{500, 900}}});
+    reqs.push_back(ServeRequest{"missing", 1, std::nullopt});
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(sched.submit(reqs[i]), i);
+    EXPECT_EQ(sched.pending(), reqs.size());
+
+    auto results = sched.flush();
+    ASSERT_EQ(results.size(), reqs.size());
+    EXPECT_EQ(sched.pending(), 0u);
+    for (std::size_t i = 0; i + 1 < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok) << i << ": " << results[i].error;
+        auto direct = server.serve(reqs[i]);
+        EXPECT_EQ(*results[i].wire, *direct.wire) << "request " << i;
+    }
+    EXPECT_FALSE(results.back().ok);
+
+    const BatchStats batch = summarize(results);
+    EXPECT_EQ(batch.requests, reqs.size());
+    EXPECT_EQ(batch.failures, 1u);
+    EXPECT_GE(batch.max_latency_seconds, 0.0);
+
+    // A second identical batch is fully warm: every valid request hits.
+    for (const auto& r : reqs) sched.submit(r);
+    const BatchStats warm = summarize(sched.flush());
+    EXPECT_EQ(warm.cache_hits, reqs.size() - 1);
+}
+
+}  // namespace
+}  // namespace recoil::serve
