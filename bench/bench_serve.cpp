@@ -1,12 +1,15 @@
 // Serve-subsystem benchmark: warm- vs cold-cache serve latency for a
 // 2176-split asset (the paper's "Large" parallelism), byte-range wire cost,
-// and aggregate request throughput for a mixed fleet of client classes
-// batched through the RequestScheduler.
+// single-flight coalescing under a concurrent cold stampede, and aggregate
+// request throughput for a mixed fleet of client classes driven through the
+// async Session API. `--quick` shrinks the workload for CI smoke runs.
 
 #include <cstdio>
+#include <cstring>
+#include <future>
 
 #include "bench_util.hpp"
-#include "serve/server.hpp"
+#include "serve/session.hpp"
 #include "util/xoshiro.hpp"
 
 using namespace recoil;
@@ -36,8 +39,8 @@ double avg_serve_seconds(ContentServer& server, const ServeRequest& req, int n,
         Stopwatch sw;
         auto res = server.serve(req);
         total += sw.seconds();
-        if (!res.ok) {
-            std::fprintf(stderr, "serve failed: %s\n", res.error.c_str());
+        if (!res.ok()) {
+            std::fprintf(stderr, "serve failed: %s\n", res.detail.c_str());
             std::exit(1);
         }
     }
@@ -46,12 +49,16 @@ double avg_serve_seconds(ContentServer& server, const ServeRequest& req, int n,
 
 }  // namespace
 
-int main() {
-    const double scale = workload::bench_scale();
+int main(int argc, char** argv) {
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    const double scale = quick ? 0.02 : workload::bench_scale();
     const u64 size = static_cast<u64>(10'000'000 * scale);
-    const int n = bench::runs();
-    std::printf("bench_serve: %llu-byte asset, %u splits, %d runs\n\n",
-                static_cast<unsigned long long>(size), bench::kLargeSplits, n);
+    const int n = quick ? 2 : bench::runs();
+    std::printf("bench_serve: %llu-byte asset, %u splits, %d runs%s\n\n",
+                static_cast<unsigned long long>(size), bench::kLargeSplits, n,
+                quick ? " (--quick)" : "");
 
     auto data = workload::gen_text(size, 2024);
     ContentServer server;
@@ -59,7 +66,7 @@ int main() {
     auto asset = server.store().encode_bytes("asset", data, bench::kLargeSplits);
     std::printf("encoded once in %.2f s: master %llu B, %u split points\n\n",
                 enc_sw.seconds(),
-                static_cast<unsigned long long>(asset->master_bytes),
+                static_cast<unsigned long long>(asset->master_bytes()),
                 asset->file()->metadata.num_splits() - 1);
 
     // --- warm vs cold serve latency per client class ---
@@ -93,7 +100,40 @@ int main() {
                 static_cast<unsigned long long>(full_res.stats.wire_bytes),
                 range_res.stats.splits_served);
 
-    // --- mixed-fleet aggregate throughput through the scheduler ---
+    // --- cold stampede: single-flight coalescing through the Session ---
+    const unsigned stampede = 32;
+    server.cache().clear();
+    const auto before = server.totals();
+    {
+        Session session(server, {8});
+        std::vector<std::shared_future<ServeResult>> futs;
+        for (unsigned i = 0; i < stampede; ++i)
+            futs.push_back(
+                session.submit(ServeRequest{"asset", 16, std::nullopt}));
+        Stopwatch sw;
+        session.wait_idle();
+        const double s = sw.seconds();
+        const auto after = server.totals();
+        const u64 coalesced = after.coalesced_requests - before.coalesced_requests;
+        const u64 cache_hits = after.cache_hits - before.cache_hits;
+        std::printf("cold stampede: %u concurrent identical requests in %.2f ms: "
+                    "%llu combines, %llu coalesced, %llu cache hits, "
+                    "%.1f MB recombination saved\n\n",
+                    stampede, s * 1e3,
+                    static_cast<unsigned long long>(stampede - coalesced -
+                                                    cache_hits),
+                    static_cast<unsigned long long>(coalesced),
+                    static_cast<unsigned long long>(cache_hits),
+                    static_cast<double>(after.bytes_saved - before.bytes_saved) /
+                        1e6);
+        for (auto& f : futs)
+            if (!f.get().ok()) {
+                std::fprintf(stderr, "stampede serve failed\n");
+                return 1;
+            }
+    }
+
+    // --- mixed-fleet aggregate throughput through the async session ---
     std::vector<ServeRequest> mix;
     Xoshiro256 rng(7);
     for (int i = 0; i < 512; ++i) {
@@ -112,14 +152,21 @@ int main() {
         }
     }
 
-    RequestScheduler sched(server, &global_pool());
+    const auto fleet_before = server.totals();
+    Session session(server, {static_cast<unsigned>(
+                        std::thread::hardware_concurrency())});
     double total_s = 0;
     u64 total_bytes = 0, hits = 0;
     for (int run = 0; run < n; ++run) {
-        for (const auto& r : mix) sched.submit(r);
+        std::vector<std::shared_future<ServeResult>> futs;
+        futs.reserve(mix.size());
         Stopwatch sw;
-        auto results = sched.flush();
+        for (const auto& r : mix) futs.push_back(session.submit(r));
+        session.wait_idle();
         total_s += sw.seconds();
+        std::vector<ServeResult> results;
+        results.reserve(futs.size());
+        for (auto& f : futs) results.push_back(f.get());
         const BatchStats b = summarize(results);
         if (b.failures != 0) {
             std::fprintf(stderr, "batch had %llu failures\n",
@@ -129,13 +176,20 @@ int main() {
         total_bytes += b.wire_bytes;
         hits += b.cache_hits;
     }
+    const auto fleet_after = server.totals();
     const double reqs_per_s = n * static_cast<double>(mix.size()) / total_s;
-    std::printf("mixed fleet: %zu reqs/batch x %d batches: %.0f req/s, "
+    std::printf("mixed fleet: %zu reqs/round x %d rounds: %.0f req/s, "
                 "%.2f GB/s wire, %.1f%% cache hits\n",
                 mix.size(), n, reqs_per_s,
                 gbps(static_cast<double>(total_bytes), total_s),
                 100.0 * static_cast<double>(hits) /
                     (static_cast<double>(n) * static_cast<double>(mix.size())));
+    std::printf("  sharing: %llu coalesced requests, %.1f MB served from "
+                "shared buffers instead of recombined\n",
+                static_cast<unsigned long long>(fleet_after.coalesced_requests -
+                                                fleet_before.coalesced_requests),
+                static_cast<double>(fleet_after.bytes_saved -
+                                    fleet_before.bytes_saved) / 1e6);
 
     return worst_ratio >= 10.0 ? 0 : 1;
 }

@@ -1,22 +1,37 @@
-// Content-delivery scenario (§1, §3.3) on the serve subsystem: a server
-// encodes a 10 MB asset once with 2176-way split metadata (enough for a
-// high-end GPU) and keeps it in an AssetStore. Clients attach their parallel
-// capacity to the request; the ContentServer adapts the metadata — never the
-// bitstream — per client, the LRU cache makes repeat traffic for a popular
-// client class nearly free, and byte-range requests ship only the splits
-// covering the requested symbols.
+// Content-delivery scenario (§1, §3.3) on the serve subsystem, speaking the
+// versioned wire protocol across a simulated process boundary: clients build
+// framed requests (encode_request), the server answers opaque frames
+// (ContentServer::serve_frame), and clients parse typed responses
+// (decode_response) — exactly what an HTTP/gRPC frontend would forward. The
+// server encodes a 10 MB asset once with 2176-way split metadata, adapts
+// metadata per client class through the LRU wire cache, coalesces a
+// concurrent cold stampede into one combine, and serves byte ranges over
+// both single-file and chunked assets.
 
 #include <algorithm>
 #include <cstdio>
+#include <future>
 
 #include "core/recoil_decoder.hpp"
-#include "serve/server.hpp"
+#include "serve/session.hpp"
 #include "simd/dispatch.hpp"
 #include "util/stopwatch.hpp"
 #include "workload/datasets.hpp"
 
 using namespace recoil;
 using namespace recoil::serve;
+
+namespace {
+
+/// Client side of the protocol: frame the request, hand the opaque frame to
+/// the server (a network hop in a real deployment), parse the typed response.
+ServeResult roundtrip(ContentServer& server, const ServeRequest& req) {
+    const std::vector<u8> request_frame = encode_request(req);
+    const std::vector<u8> response_frame = server.serve_frame(request_frame);
+    return decode_response(response_frame);
+}
+
+}  // namespace
 
 int main() {
     const u64 size = 10'000'000;
@@ -27,8 +42,8 @@ int main() {
     ContentServer server;
     auto asset = server.store().encode_bytes("asset", data, 2176);
     std::printf("server: master %llu B (%u split points)\n\n",
-                static_cast<unsigned long long>(asset->master_bytes),
-                asset->file()->metadata.num_splits() - 1);
+                static_cast<unsigned long long>(asset->master_bytes()),
+                asset->max_parallelism() - 1);
 
     struct Client {
         const char* name;
@@ -43,13 +58,15 @@ int main() {
     };
 
     // First wave: every class is a cache miss (combine + serialize). Second
-    // wave: the same classes come back and are served from the cache.
+    // wave: the same classes come back and are served from the cache. Both
+    // cross the protocol boundary as framed messages.
     for (int wave = 0; wave < 2; ++wave) {
         std::printf("wave %d (%s):\n", wave + 1, wave == 0 ? "cold" : "warm");
         for (const Client& c : clients) {
-            auto res = server.serve(ServeRequest{"asset", c.parallelism, {}});
-            if (!res.ok) {
-                std::fprintf(stderr, "serve failed: %s\n", res.error.c_str());
+            auto res = roundtrip(server, ServeRequest{"asset", c.parallelism, {}});
+            if (!res.ok()) {
+                std::fprintf(stderr, "serve failed [%s]: %s\n",
+                             error_name(res.code), res.detail.c_str());
                 return 1;
             }
 
@@ -65,13 +82,12 @@ int main() {
                                                      nullptr, range);
             const double dec_s = dec_sw.seconds();
             std::printf(
-                "  %-24s wire %8llu B (saved %6llu B) | %s in %8.3f ms | "
+                "  %-24s wire %8llu B (saved %6llu B) | %s | "
                 "decoded %.2f GB/s [%s]\n",
                 c.name, static_cast<unsigned long long>(res.stats.wire_bytes),
-                static_cast<unsigned long long>(asset->master_bytes -
+                static_cast<unsigned long long>(asset->master_bytes() -
                                                 res.stats.wire_bytes),
                 res.stats.cache_hit ? "cache hit " : "combined  ",
-                res.stats.total_seconds * 1e3,
                 gbps(static_cast<double>(out.size()), dec_s),
                 out == data ? "OK" : "MISMATCH");
             if (out != data) return 1;
@@ -79,33 +95,95 @@ int main() {
         std::printf("\n");
     }
 
+    // Cold stampede: 24 identical cold requests through the async Session;
+    // single-flight coalescing shares one combine's wire, the rest of the
+    // burst hits the cache the leader populated.
+    server.cache().clear();
+    {
+        const auto before = server.totals();
+        Session session(server, {8});
+        std::vector<std::shared_future<ServeResult>> futs;
+        for (int i = 0; i < 24; ++i)
+            futs.push_back(session.submit(ServeRequest{"asset", 16, {}}));
+        session.wait_idle();
+        for (auto& f : futs)
+            if (!f.get().ok()) return 1;
+        const auto t = server.totals();
+        std::printf("cold stampede: 24 identical requests -> %llu coalesced + "
+                    "%llu cache hits, %.1f MB recombination avoided\n\n",
+                    static_cast<unsigned long long>(t.coalesced_requests -
+                                                    before.coalesced_requests),
+                    static_cast<unsigned long long>(t.cache_hits -
+                                                    before.cache_hits),
+                    static_cast<double>(t.bytes_saved - before.bytes_saved) / 1e6);
+    }
+
     // Byte-range request: a client needs symbols [6 MB, 6 MB + 16 KB) only.
     const u64 lo = 6'000'000, hi = lo + 16'384;
-    auto range_res = server.serve(ServeRequest{"asset", 4, {{lo, hi}}});
-    if (!range_res.ok) {
-        std::fprintf(stderr, "range serve failed: %s\n", range_res.error.c_str());
+    auto range_res = roundtrip(server, ServeRequest{"asset", 4, {{lo, hi}}});
+    if (!range_res.ok()) {
+        std::fprintf(stderr, "range serve failed [%s]: %s\n",
+                     error_name(range_res.code), range_res.detail.c_str());
         return 1;
     }
     auto part = decode_range_wire(*range_res.wire);
     bool match = std::equal(part.begin(), part.end(), data.begin() + lo);
     std::printf("range [%llu, %llu): wire %llu B (%u covering splits, "
-                "%.4f%% of master) [%s]\n\n",
+                "%.4f%% of master) [%s]\n",
                 static_cast<unsigned long long>(lo),
                 static_cast<unsigned long long>(hi),
                 static_cast<unsigned long long>(range_res.stats.wire_bytes),
                 range_res.stats.splits_served,
                 100.0 * static_cast<double>(range_res.stats.wire_bytes) /
-                    static_cast<double>(asset->master_bytes),
+                    static_cast<double>(asset->master_bytes()),
                 match ? "OK" : "MISMATCH");
     if (!match) return 1;
 
+    // Chunked asset (a 40-frame clip): ranges decompose into per-chunk
+    // covering splits, so a slice spanning frame boundaries still works.
+    const u64 frame_bytes = 50'000;
+    auto clip = workload::gen_text(40 * frame_bytes, 77);
+    stream::ChunkedEncoder enc({11, 32});
+    for (u64 off = 0; off < clip.size(); off += frame_bytes)
+        enc.add_chunk(std::span<const u8>(clip).subspan(off, frame_bytes));
+    server.store().add_chunked("clip", enc.finish());
+
+    const u64 clip_lo = 7 * frame_bytes - 1000, clip_hi = 9 * frame_bytes + 1000;
+    auto clip_res = roundtrip(server, ServeRequest{"clip", 1, {{clip_lo, clip_hi}}});
+    if (!clip_res.ok()) {
+        std::fprintf(stderr, "chunked range failed [%s]: %s\n",
+                     error_name(clip_res.code), clip_res.detail.c_str());
+        return 1;
+    }
+    auto clip_part = decode_range_wire(*clip_res.wire);
+    auto clip_info = inspect_range_wire(*clip_res.wire);
+    match = std::equal(clip_part.begin(), clip_part.end(), clip.begin() + clip_lo);
+    std::printf("chunked range [%llu, %llu): %zu segments, wire %llu B [%s]\n",
+                static_cast<unsigned long long>(clip_lo),
+                static_cast<unsigned long long>(clip_hi),
+                clip_info.segments.size(),
+                static_cast<unsigned long long>(clip_res.stats.wire_bytes),
+                match ? "OK" : "MISMATCH");
+    if (!match) return 1;
+
+    // Typed errors cross the boundary too: the client sees a code, never a
+    // crash or a stringly-typed guess.
+    auto bad = roundtrip(server, ServeRequest{"asset", 1, {{size, size + 5}}});
+    std::printf("invalid range -> typed error [%s]: %s\n\n",
+                error_name(bad.code), bad.detail.c_str());
+    if (bad.code != ErrorCode::invalid_range) return 1;
+
     const auto t = server.totals();
     const auto c = server.cache().stats();
-    std::printf("server totals: %llu requests, %llu cache hits, %llu wire B; "
-                "cache holds %llu entries / %llu B\n",
+    std::printf("server totals: %llu requests (%llu range), %llu cache hits, "
+                "%llu coalesced, %.1f MB saved, %llu failures; cache holds "
+                "%llu entries / %llu B\n",
                 static_cast<unsigned long long>(t.requests),
+                static_cast<unsigned long long>(t.range_requests),
                 static_cast<unsigned long long>(t.cache_hits),
-                static_cast<unsigned long long>(t.wire_bytes),
+                static_cast<unsigned long long>(t.coalesced_requests),
+                static_cast<double>(t.bytes_saved) / 1e6,
+                static_cast<unsigned long long>(t.failures),
                 static_cast<unsigned long long>(c.entries),
                 static_cast<unsigned long long>(c.bytes));
     return 0;

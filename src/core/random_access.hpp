@@ -50,6 +50,17 @@ inline RangePlan plan_range(const RecoilMetadata& meta, u64 lo, u64 hi) {
     return plan;
 }
 
+/// One past the highest symbol position the plan's covering splits *touch*.
+/// Decoding writes only [cover_lo, cover_hi), but the last covering split's
+/// synchronization phase decodes (and discards) positions up to its anchor,
+/// so per-position side information — an indexed model's ids — must be
+/// available up to here, not just cover_hi.
+inline u64 plan_touch_hi(const RecoilMetadata& meta, const RangePlan& plan) {
+    return plan.last_split >= meta.num_splits() - 1
+               ? meta.num_symbols
+               : meta.splits[plan.last_split].anchor_index + 1;
+}
+
 /// Decode splits [k_lo, k_hi] of `meta` into a fresh buffer covering
 /// absolute symbol positions [cover_lo, cover_hi). Decode paths index the
 /// output by absolute symbol position; the buffer is rebased so position

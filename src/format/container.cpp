@@ -40,6 +40,11 @@ IndexedModelSet RecoilFile::build_indexed_model() const {
 }
 
 std::vector<u8> save_recoil_file(const RecoilFile& f) {
+    return save_recoil_file(f, f.metadata);
+}
+
+std::vector<u8> save_recoil_file(const RecoilFile& f,
+                                 const RecoilMetadata& metadata) {
     std::vector<u8> out;
     out.insert(out.end(), kMagic, kMagic + 4);
     out.push_back(1);  // version
@@ -58,7 +63,7 @@ std::vector<u8> save_recoil_file(const RecoilFile& f) {
         put_freq_table(out, p.freq);
     }
 
-    const std::vector<u8> meta = serialize_metadata(f.metadata);
+    const std::vector<u8> meta = serialize_metadata(metadata);
     put_u64(out, meta.size());
     out.insert(out.end(), meta.begin(), meta.end());
 
@@ -125,9 +130,7 @@ u64 serialized_file_size(const RecoilFile& f) {
 }
 
 std::vector<u8> serve_combined(const RecoilFile& f, u32 target_splits) {
-    RecoilFile served = f;
-    served.metadata = combine_splits(f.metadata, target_splits);
-    return save_recoil_file(served);
+    return save_recoil_file(f, combine_splits(f.metadata, target_splits));
 }
 
 template <typename Model>

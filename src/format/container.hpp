@@ -47,6 +47,11 @@ struct RecoilFile {
 /// Serialize/parse. Parsing validates structure, metadata invariants and the
 /// checksum; corrupt input raises recoil::Error.
 std::vector<u8> save_recoil_file(const RecoilFile& f);
+/// Serialize `f`'s model and bitstream with `metadata` substituted — the
+/// §3.3 serving path's shape (combine metadata, keep everything else)
+/// without deep-copying the file first.
+std::vector<u8> save_recoil_file(const RecoilFile& f,
+                                 const RecoilMetadata& metadata);
 RecoilFile load_recoil_file(std::span<const u8> bytes);
 
 /// Exact byte count save_recoil_file would produce, without materializing

@@ -20,6 +20,9 @@ u64 fnv1a(std::span<const u8> bytes);
 
 namespace wire {
 
+inline void put_u16(std::vector<u8>& out, u16 v) {
+    for (int i = 0; i < 2; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
 inline void put_u32(std::vector<u8>& out, u32 v) {
     for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
 }
@@ -40,6 +43,13 @@ struct Cursor {
     u8 get_u8() {
         need(1);
         return in[pos++];
+    }
+    u16 get_u16() {
+        need(2);
+        u16 v = 0;
+        for (int i = 0; i < 2; ++i) v = static_cast<u16>(v | (u16{in[pos + i]} << (8 * i)));
+        pos += 2;
+        return v;
     }
     u32 get_u32() {
         need(4);

@@ -1,0 +1,63 @@
+#include "serve/asset.hpp"
+
+#include "core/split_planner.hpp"
+#include "util/error.hpp"
+
+namespace recoil::serve {
+
+const char* kind_name(AssetKind kind) noexcept {
+    switch (kind) {
+        case AssetKind::static_file: return "static_file";
+        case AssetKind::indexed_file: return "indexed_file";
+        case AssetKind::chunked: return "chunked";
+    }
+    return "unknown";
+}
+
+namespace {
+
+WireBytes share(std::vector<u8> bytes) {
+    return std::make_shared<const std::vector<u8>>(std::move(bytes));
+}
+
+}  // namespace
+
+FileAsset::FileAsset(std::string name, format::RecoilFile f)
+    : Asset(std::move(name), format::serialized_file_size(f),
+            f.metadata.num_splits()),
+      file_(std::move(f)) {}
+
+ServedWire FileAsset::combine(u32 parallelism) const {
+    // combine_splits may grant fewer splits than requested; report the count
+    // the wire actually carries. Serializing with substituted metadata keeps
+    // the bitstream (and an indexed asset's id stream) uncopied.
+    RecoilMetadata combined = combine_splits(file_.metadata, parallelism);
+    const u32 splits = combined.num_splits();
+    return {share(format::save_recoil_file(file_, combined)), splits};
+}
+
+ServedWire FileAsset::range(u64 lo, u64 hi) const {
+    BuiltRangeWire built = build_range_wire(file_, lo, hi);
+    return {share(std::move(built.bytes)), built.splits};
+}
+
+ChunkedAsset::ChunkedAsset(std::string name, stream::ChunkedStream s)
+    : Asset(std::move(name), s.serialized_size(),
+            static_cast<u32>(s.total_splits())),
+      stream_(std::move(s)) {
+    RECOIL_CHECK(!stream_.chunks.empty(), "ChunkedAsset: empty stream");
+}
+
+ServedWire ChunkedAsset::combine(u32 parallelism) const {
+    // A chunked stream grants at least one split per chunk.
+    stream::ChunkedStream combined = stream_.combined(parallelism);
+    const u32 splits = static_cast<u32>(combined.total_splits());
+    return {share(combined.serialize()), splits};
+}
+
+ServedWire ChunkedAsset::range(u64 lo, u64 hi) const {
+    BuiltRangeWire built = build_range_wire(stream_, lo, hi);
+    return {share(std::move(built.bytes)), built.splits};
+}
+
+}  // namespace recoil::serve

@@ -6,33 +6,22 @@
 
 namespace recoil::serve {
 
-std::shared_ptr<const Asset> AssetStore::insert(Asset a) {
+std::shared_ptr<const Asset> AssetStore::insert(std::shared_ptr<Asset> a) {
     std::unique_lock lk(mu_);
-    a.uid = next_uid_++;
-    auto ptr = std::make_shared<const Asset>(std::move(a));
-    assets_[ptr->name] = ptr;
+    a->uid_ = next_uid_++;
+    std::shared_ptr<const Asset> ptr = std::move(a);
+    assets_[ptr->name()] = ptr;
     return ptr;
 }
 
 std::shared_ptr<const Asset> AssetStore::add_file(std::string name,
                                                  format::RecoilFile f) {
-    Asset a;
-    a.name = std::move(name);
-    a.max_parallelism = f.metadata.num_splits();
-    a.master_bytes = format::serialized_file_size(f);
-    a.payload = std::move(f);
-    return insert(std::move(a));
+    return insert(std::make_shared<FileAsset>(std::move(name), std::move(f)));
 }
 
 std::shared_ptr<const Asset> AssetStore::add_chunked(std::string name,
                                                      stream::ChunkedStream s) {
-    RECOIL_CHECK(!s.chunks.empty(), "add_chunked: empty stream");
-    Asset a;
-    a.name = std::move(name);
-    a.max_parallelism = static_cast<u32>(s.total_splits());
-    a.master_bytes = s.serialized_size();
-    a.payload = std::move(s);
-    return insert(std::move(a));
+    return insert(std::make_shared<ChunkedAsset>(std::move(name), std::move(s)));
 }
 
 std::shared_ptr<const Asset> AssetStore::encode_bytes(std::string name,

@@ -1,56 +1,19 @@
 #pragma once
-// Asset layer of the content-delivery service (§1, §3.3). Each asset is
-// encoded ONCE at the largest parallelism any client may request; everything
-// the serving path later adapts is metadata, never the bitstream. An asset
-// is either a single Recoil container (format::RecoilFile) or a chunked
-// stream (stream::ChunkedStream) for frame/tile-structured content.
+// Thread-safe name -> Asset map. Assets are immutable once added and held by
+// shared_ptr, so a concurrent reader's pointer stays valid across erase().
+// Re-adding a name replaces the asset under a fresh uid.
 
 #include <memory>
 #include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
-#include <variant>
 #include <vector>
 
-#include "format/container.hpp"
-#include "stream/chunked.hpp"
+#include "serve/asset.hpp"
 
 namespace recoil::serve {
 
-/// One immutable encoded asset. `master_bytes` is the serialized size of the
-/// full-parallelism master container (what a cache-less server keeps on
-/// disk); `max_parallelism` is the split budget chosen at encode time and
-/// the ceiling for any client's request.
-struct Asset {
-    std::string name;
-    std::variant<format::RecoilFile, stream::ChunkedStream> payload;
-    u64 master_bytes = 0;
-    u32 max_parallelism = 1;
-    /// Store-assigned generation, unique per insert. Cached responses are
-    /// keyed by (name, uid) so replacing an asset under the same name can
-    /// never serve the predecessor's bytes.
-    u64 uid = 0;
-
-    bool is_chunked() const noexcept {
-        return std::holds_alternative<stream::ChunkedStream>(payload);
-    }
-    /// nullptr when the asset is chunked.
-    const format::RecoilFile* file() const noexcept {
-        return std::get_if<format::RecoilFile>(&payload);
-    }
-    const stream::ChunkedStream* chunked() const noexcept {
-        return std::get_if<stream::ChunkedStream>(&payload);
-    }
-    u64 num_symbols() const noexcept {
-        return is_chunked() ? chunked()->total_symbols()
-                            : file()->metadata.num_symbols;
-    }
-};
-
-/// Thread-safe name -> Asset map. Assets are immutable once added and held
-/// by shared_ptr, so a concurrent reader's pointer stays valid across
-/// erase(). Re-adding a name replaces the asset under a fresh uid.
 class AssetStore {
 public:
     std::shared_ptr<const Asset> add_file(std::string name, format::RecoilFile f);
@@ -69,7 +32,7 @@ public:
     std::size_t size() const;
 
 private:
-    std::shared_ptr<const Asset> insert(Asset a);
+    std::shared_ptr<const Asset> insert(std::shared_ptr<Asset> a);
 
     mutable std::shared_mutex mu_;
     std::unordered_map<std::string, std::shared_ptr<const Asset>> assets_;

@@ -14,13 +14,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/protocol.hpp"
 #include "util/ints.hpp"
 
 namespace recoil::serve {
-
-/// A served response's bytes, shared between the cache and in-flight
-/// requests so eviction never invalidates a response being written out.
-using WireBytes = std::shared_ptr<const std::vector<u8>>;
 
 struct CacheStats {
     u64 hits = 0;

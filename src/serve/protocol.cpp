@@ -1,0 +1,220 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+#include "format/wire_io.hpp"
+
+namespace recoil::serve {
+
+using namespace format::wire;
+
+namespace {
+
+constexpr char kRequestMagic[4] = {'R', 'C', 'R', 'Q'};
+constexpr char kResponseMagic[4] = {'R', 'C', 'R', 'S'};
+
+constexpr u8 kRequestFlagHasRange = 1;
+constexpr u8 kResponseFlagCacheHit = 1;
+constexpr u8 kResponseFlagCoalesced = 2;
+
+[[noreturn]] void fail(ErrorCode code, const std::string& what) {
+    throw ProtocolError(code, what);
+}
+
+/// Frame-level integrity: length floor + trailing FNV checksum, classified
+/// into typed codes (unlike wire_io's checked_payload, which reports strings
+/// only). Returns the payload the checksum covers.
+std::span<const u8> verify_frame(std::span<const u8> frame, const char* ctx) {
+    if (frame.size() < 16)
+        fail(ErrorCode::malformed_frame, std::string(ctx) + ": frame too short");
+    u64 stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= u64{frame[frame.size() - 8 + i]} << (8 * i);
+    auto payload = frame.first(frame.size() - 8);
+    if (format::fnv1a(payload) != stored)
+        fail(ErrorCode::checksum_mismatch, std::string(ctx) + ": checksum mismatch");
+    return payload;
+}
+
+/// Wrap the structural parse so cursor bounds violations (plain recoil::Error
+/// from wire_io) surface as typed malformed_frame errors.
+template <typename Fn>
+auto parse_frame(std::span<const u8> payload, const char* ctx, Fn&& fn) {
+    Cursor c{payload, ctx};
+    try {
+        auto out = fn(c);
+        if (c.pos != payload.size())
+            fail(ErrorCode::malformed_frame, std::string(ctx) + ": trailing bytes");
+        return out;
+    } catch (const ProtocolError&) {
+        throw;
+    } catch (const Error& e) {
+        fail(ErrorCode::malformed_frame, e.what());
+    }
+}
+
+void check_magic(Cursor& c, const char (&magic)[4], const char* ctx) {
+    if (std::memcmp(c.get_bytes(4).data(), magic, 4) != 0)
+        fail(ErrorCode::malformed_frame, std::string(ctx) + ": bad magic");
+}
+
+void check_version(Cursor& c, const char* ctx) {
+    const u8 v = c.get_u8();
+    if (v != kProtocolVersion)
+        fail(ErrorCode::unsupported_version,
+             std::string(ctx) + ": unsupported version " + std::to_string(v));
+}
+
+}  // namespace
+
+const char* error_name(ErrorCode code) noexcept {
+    switch (code) {
+        case ErrorCode::ok: return "ok";
+        case ErrorCode::unknown_asset: return "unknown_asset";
+        case ErrorCode::invalid_range: return "invalid_range";
+        case ErrorCode::not_acceptable: return "not_acceptable";
+        case ErrorCode::bad_request: return "bad_request";
+        case ErrorCode::malformed_frame: return "malformed_frame";
+        case ErrorCode::checksum_mismatch: return "checksum_mismatch";
+        case ErrorCode::unsupported_version: return "unsupported_version";
+        case ErrorCode::internal: return "internal";
+    }
+    return "unknown";
+}
+
+const char* payload_name(PayloadKind kind) noexcept {
+    switch (kind) {
+        case PayloadKind::none: return "none";
+        case PayloadKind::file: return "file";
+        case PayloadKind::chunked: return "chunked";
+        case PayloadKind::range: return "range";
+    }
+    return "unknown";
+}
+
+std::vector<u8> encode_request(const ServeRequest& req) {
+    // Fail fast on anything decode_request would reject: an unparseable
+    // frame wastes a round trip and comes back as a server-side bad_request.
+    RECOIL_CHECK(!req.asset.empty() && req.asset.size() <= kMaxAssetNameLen,
+                 "encode_request: bad asset name length");
+    RECOIL_CHECK(req.parallelism != 0, "encode_request: zero parallelism");
+    RECOIL_CHECK(req.accept != 0 && (req.accept & ~kAcceptAll) == 0,
+                 "encode_request: bad accept mask");
+    std::vector<u8> out;
+    out.insert(out.end(), kRequestMagic, kRequestMagic + 4);
+    out.push_back(kProtocolVersion);
+    out.push_back(req.range ? kRequestFlagHasRange : 0);
+    out.push_back(req.accept);
+    out.push_back(0);  // reserved
+    put_u32(out, req.parallelism);
+    put_u32(out, static_cast<u32>(req.asset.size()));
+    out.insert(out.end(), req.asset.begin(), req.asset.end());
+    if (req.range) {
+        put_u64(out, req.range->first);
+        put_u64(out, req.range->second);
+    }
+    append_checksum(out);
+    return out;
+}
+
+ServeRequest decode_request(std::span<const u8> frame) {
+    const char* ctx = "serve request";
+    auto payload = verify_frame(frame, ctx);
+    return parse_frame(payload, ctx, [&](Cursor& c) {
+        check_magic(c, kRequestMagic, ctx);
+        check_version(c, ctx);
+        const u8 flags = c.get_u8();
+        if ((flags & ~kRequestFlagHasRange) != 0)
+            fail(ErrorCode::malformed_frame, std::string(ctx) + ": unknown flags");
+        ServeRequest req;
+        req.accept = c.get_u8();
+        if (req.accept == 0 || (req.accept & ~kAcceptAll) != 0)
+            fail(ErrorCode::bad_request, std::string(ctx) + ": bad accept mask");
+        if (c.get_u8() != 0)
+            fail(ErrorCode::malformed_frame, std::string(ctx) + ": reserved byte set");
+        req.parallelism = c.get_u32();
+        if (req.parallelism == 0)
+            fail(ErrorCode::bad_request, std::string(ctx) + ": zero parallelism");
+        const u32 name_len = c.get_u32();
+        if (name_len == 0 || name_len > kMaxAssetNameLen)
+            fail(ErrorCode::bad_request, std::string(ctx) + ": bad asset name length");
+        auto name = c.get_bytes(name_len);
+        req.asset.assign(name.begin(), name.end());
+        if ((flags & kRequestFlagHasRange) != 0) {
+            const u64 lo = c.get_u64();
+            const u64 hi = c.get_u64();
+            req.range = {lo, hi};
+        }
+        return req;
+    });
+}
+
+std::vector<u8> encode_response(const ServeResult& res) {
+    std::vector<u8> out;
+    out.insert(out.end(), kResponseMagic, kResponseMagic + 4);
+    out.push_back(kProtocolVersion);
+    put_u16(out, static_cast<u16>(res.code));
+    out.push_back(static_cast<u8>(res.payload));
+    out.push_back(static_cast<u8>((res.stats.cache_hit ? kResponseFlagCacheHit : 0) |
+                                  (res.stats.coalesced ? kResponseFlagCoalesced : 0)));
+    put_u32(out, res.stats.splits_served);
+    std::string detail = res.detail;
+    if (detail.size() > kMaxDetailLen) detail.resize(kMaxDetailLen);
+    put_u32(out, static_cast<u32>(detail.size()));
+    out.insert(out.end(), detail.begin(), detail.end());
+    if (res.ok() && res.wire != nullptr) {
+        put_u64(out, res.wire->size());
+        out.insert(out.end(), res.wire->begin(), res.wire->end());
+    } else {
+        put_u64(out, 0);
+    }
+    append_checksum(out);
+    return out;
+}
+
+ServeResult decode_response(std::span<const u8> frame) {
+    const char* ctx = "serve response";
+    auto payload = verify_frame(frame, ctx);
+    return parse_frame(payload, ctx, [&](Cursor& c) {
+        check_magic(c, kResponseMagic, ctx);
+        check_version(c, ctx);
+        ServeResult res;
+        // Codes beyond the ones this build knows are preserved, not
+        // rejected: the protocol contract lets servers append codes without
+        // a version bump, and error_name() reports them as "unknown".
+        // Payload kinds stay strict — a payload form the client never
+        // accepted (negotiation) could not be decoded anyway.
+        res.code = static_cast<ErrorCode>(c.get_u16());
+        const u8 kind = c.get_u8();
+        if (kind > static_cast<u8>(PayloadKind::range))
+            fail(ErrorCode::malformed_frame, std::string(ctx) + ": unknown payload kind");
+        res.payload = static_cast<PayloadKind>(kind);
+        const u8 flags = c.get_u8();
+        if ((flags & ~(kResponseFlagCacheHit | kResponseFlagCoalesced)) != 0)
+            fail(ErrorCode::malformed_frame, std::string(ctx) + ": unknown flags");
+        res.stats.cache_hit = (flags & kResponseFlagCacheHit) != 0;
+        res.stats.coalesced = (flags & kResponseFlagCoalesced) != 0;
+        res.stats.splits_served = c.get_u32();
+        const u32 detail_len = c.get_u32();
+        if (detail_len > kMaxDetailLen)
+            fail(ErrorCode::malformed_frame, std::string(ctx) + ": detail too long");
+        auto detail = c.get_bytes(detail_len);
+        res.detail.assign(detail.begin(), detail.end());
+        const u64 wire_len = c.get_u64();
+        // Success carries exactly one payload; errors carry none. Enforcing
+        // the correlation keeps transports from trusting half-formed frames.
+        if (res.ok() != (res.payload != PayloadKind::none) ||
+            res.ok() != (wire_len != 0))
+            fail(ErrorCode::malformed_frame,
+                 std::string(ctx) + ": payload/status mismatch");
+        if (wire_len != 0) {
+            auto bytes = c.get_bytes(wire_len);
+            res.wire = std::make_shared<const std::vector<u8>>(bytes.begin(),
+                                                               bytes.end());
+            res.stats.wire_bytes = wire_len;
+        }
+        return res;
+    });
+}
+
+}  // namespace recoil::serve

@@ -1,0 +1,118 @@
+#pragma once
+// Versioned wire protocol of the serve subsystem. ServeRequest/ServeResult
+// are the in-process API *and* have a framed, checksummed wire form
+// (encode_request/decode_request, encode_response/decode_response), so an
+// HTTP/gRPC frontend can cross a process boundary without touching core:
+// it forwards opaque request frames to ContentServer::serve_frame and ships
+// the response frame back. Failures are typed ErrorCode values — the string
+// detail is for humans and logs, never for dispatch. Parsers consume
+// untrusted bytes and throw ProtocolError (a typed recoil::Error), never
+// crash: frames are FNV-checksummed and every length field is bounds-checked
+// through the shared wire_io cursor.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/ints.hpp"
+
+namespace recoil::serve {
+
+/// A served response's payload bytes, shared between the LRU cache, in-flight
+/// coalesced requests and callers, so nothing ever copies a wire to hand it
+/// out and cache eviction never invalidates a response being written.
+using WireBytes = std::shared_ptr<const std::vector<u8>>;
+
+/// Typed failure taxonomy of the serve protocol. Stable wire values: new
+/// codes may be appended, existing values never change meaning.
+enum class ErrorCode : u16 {
+    ok = 0,
+    unknown_asset = 1,        ///< no asset under the requested name
+    invalid_range = 2,        ///< lo >= hi or hi past the asset's symbols
+    not_acceptable = 3,       ///< asset's wire form excluded by accept flags
+    bad_request = 4,          ///< structurally valid frame, nonsense values
+    malformed_frame = 5,      ///< frame structure does not parse
+    checksum_mismatch = 6,    ///< frame integrity check failed
+    unsupported_version = 7,  ///< peer speaks a protocol version we do not
+    internal = 8,             ///< server-side failure while building the wire
+};
+const char* error_name(ErrorCode code) noexcept;
+
+/// Typed parse/serve failure. `code` is authoritative; what() elaborates.
+class ProtocolError : public Error {
+public:
+    ProtocolError(ErrorCode code, const std::string& what)
+        : Error(what), code_(code) {}
+    ErrorCode code() const noexcept { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
+/// Client capability bits (ServeRequest::accept): which wire forms the
+/// client can decode. A server never responds with a form the client did not
+/// accept — it returns not_acceptable instead.
+inline constexpr u8 kAcceptFile = 1;     ///< RecoilFile containers (RCF1)
+inline constexpr u8 kAcceptChunked = 2;  ///< ChunkedStream containers (RCS1)
+inline constexpr u8 kAcceptRange = 4;    ///< multi-segment range wires (RCR2)
+inline constexpr u8 kAcceptAll = kAcceptFile | kAcceptChunked | kAcceptRange;
+
+/// Which container format ServeResult::wire holds.
+enum class PayloadKind : u8 { none = 0, file = 1, chunked = 2, range = 3 };
+const char* payload_name(PayloadKind kind) noexcept;
+
+struct ServeRequest {
+    std::string asset;
+    /// Client's parallel decode capacity (warps/threads); clamped to the
+    /// asset's encoded split budget. Ignored for range requests, which ship
+    /// the master's fine-grained covering splits.
+    u32 parallelism = 1;
+    /// Symbol range [lo, hi) to serve instead of the whole asset.
+    std::optional<std::pair<u64, u64>> range;
+    /// Wire forms the client can decode (kAccept* bits).
+    u8 accept = kAcceptAll;
+};
+
+struct ServeStats {
+    u64 wire_bytes = 0;
+    /// Parallel work items the response actually carries (splits in the
+    /// served metadata, or covering splits for a range).
+    u32 splits_served = 0;
+    bool cache_hit = false;
+    /// Served by waiting on another request's in-flight combine instead of
+    /// recomputing (single-flight coalescing).
+    bool coalesced = false;
+    double combine_seconds = 0;  ///< server-local: adaptation + serialization
+    double total_seconds = 0;    ///< server-local: not carried on the wire
+};
+
+struct ServeResult {
+    ErrorCode code = ErrorCode::internal;
+    std::string detail;  ///< human-readable elaboration of `code`
+    PayloadKind payload = PayloadKind::none;
+    WireBytes wire;      ///< shared payload bytes; null on failure
+    ServeStats stats;
+
+    bool ok() const noexcept { return code == ErrorCode::ok; }
+};
+
+inline constexpr u8 kProtocolVersion = 1;
+inline constexpr u32 kMaxAssetNameLen = 4096;
+inline constexpr u32 kMaxDetailLen = u32{1} << 16;
+
+/// Serialize a request into a framed, checksummed message ("RCRQ" v1).
+std::vector<u8> encode_request(const ServeRequest& req);
+/// Parse a request frame. Throws ProtocolError on any defect; never crashes.
+ServeRequest decode_request(std::span<const u8> frame);
+
+/// Serialize a result into a framed, checksummed message ("RCRS" v1). The
+/// payload bytes ride inside the frame; server-local timing stats do not.
+std::vector<u8> encode_response(const ServeResult& res);
+/// Parse a response frame. Throws ProtocolError on any defect.
+ServeResult decode_response(std::span<const u8> frame);
+
+}  // namespace recoil::serve

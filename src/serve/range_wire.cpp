@@ -5,6 +5,7 @@
 #include "core/metadata_codec.hpp"
 #include "core/random_access.hpp"
 #include "format/wire_io.hpp"
+#include "rans/indexed_model.hpp"
 #include "simd/dispatch.hpp"
 #include "util/error.hpp"
 
@@ -14,102 +15,33 @@ using namespace format::wire;
 
 namespace {
 
-constexpr char kMagic[4] = {'R', 'C', 'R', '1'};
+constexpr char kMagic[4] = {'R', 'C', 'R', '2'};
+constexpr u8 kVersion = 2;
 constexpr u8 kFlagHasPrev = 1;
 constexpr u8 kFlagIncludesFinal = 2;
+constexpr u8 kFlagIndexed = 4;
 
-/// Everything decode needs, parsed and checksum-verified.
-struct ParsedRange {
-    RangeWireInfo info;
-    std::vector<u32> freq;
-    RecoilMetadata meta;  ///< slice metadata: absolute symbols, rebased units
-    std::vector<u16> units;
-    u32 j0 = 0, j1 = 0;  ///< slice split indices to decode, inclusive
+/// One stream a segment is cut from: metadata + units + model payload.
+/// `freqs`/`ids` are set for indexed-model streams, `freq` otherwise.
+struct SegmentSource {
+    u64 base = 0;  ///< stream's first symbol in the asset's flat symbol space
+    const RecoilMetadata* meta = nullptr;
+    std::span<const u16> units;
+    u32 prob_bits = 0;
+    std::span<const u32> freq;
+    const std::vector<std::vector<u32>>* freqs = nullptr;
+    std::span<const u8> ids;
 };
 
-ParsedRange parse_range_wire(std::span<const u8> bytes) {
-    Cursor c{checked_payload(bytes, "range wire"), "range wire"};
-    if (std::memcmp(c.get_bytes(4).data(), kMagic, 4) != 0)
-        raise("range wire: bad magic");
-    if (c.get_u8() != 1) raise("range wire: unsupported version");
-
-    ParsedRange p;
-    RangeWireInfo& info = p.info;
-    info.sym_width = c.get_u8();
-    if (info.sym_width != 1 && info.sym_width != 2)
-        raise("range wire: bad symbol width");
-    const u8 flags = c.get_u8();
-    info.has_prev = (flags & kFlagHasPrev) != 0;
-    info.includes_final = (flags & kFlagIncludesFinal) != 0;
-    info.prob_bits = c.get_u8();
-    if (info.prob_bits < 1 || info.prob_bits > 16)
-        raise("range wire: bad prob_bits");
-
-    p.freq = get_freq_table(c, info.prob_bits);
-
-    info.lo = c.get_u64();
-    info.hi = c.get_u64();
-    info.first_split = c.get_u32();
-
-    const u64 meta_len = c.get_u64();
-    p.meta = deserialize_metadata(c.get_bytes(meta_len));
-
-    const u64 unit_count = c.get_u64();
-    auto units = c.get_unit_bytes(unit_count);
-    p.units.resize(unit_count);
-    std::memcpy(p.units.data(), units.data(), unit_count * 2);
-    if (p.meta.num_units != unit_count)
-        raise("range wire: metadata/slice length mismatch");
-    info.unit_count = unit_count;
-
-    // Derive the decode schedule and coverage from the slice structure.
-    const u32 slice_splits = p.meta.num_splits();
-    if (info.has_prev && p.meta.splits.empty())
-        raise("range wire: boundary split missing");
-    p.j0 = info.has_prev ? 1 : 0;
-    p.j1 = info.includes_final ? slice_splits - 1
-                               : slice_splits - 2;  // skip the implicit final
-    if (p.j1 < p.j0 || p.j1 >= slice_splits)
-        raise("range wire: no decodable splits");
-    info.splits_served = p.j1 - p.j0 + 1;
-    info.cover_lo = info.has_prev ? p.meta.splits.front().min_index : 0;
-    info.cover_hi = info.includes_final ? p.meta.num_symbols
-                                        : p.meta.splits.back().min_index;
-    if (info.lo < info.cover_lo || info.hi > info.cover_hi ||
-        info.lo >= info.hi)
-        raise("range wire: requested range outside slice coverage");
-    return p;
-}
-
-template <typename TSym>
-std::vector<TSym> decode_range_impl(std::span<const u8> bytes,
-                                    ThreadPool* pool) {
-    ParsedRange p = parse_range_wire(bytes);
-    if (p.info.sym_width != sizeof(TSym))
-        raise("range wire: symbol width mismatch");
-    StaticModel model(std::span<const u32>(p.freq), p.info.prob_bits, 0);
-    const DecodeTables& tables = model.tables();
-    const RangeWireInfo& info = p.info;
-
-    simd::SimdRangeFn<TSym> range_fn;
-    auto cover = recoil_decode_cover<Rans32, 32, TSym>(
-        std::span<const u16>(p.units), p.meta, tables, p.j0, p.j1,
-        info.cover_lo, info.cover_hi, pool, range_fn);
-    return std::vector<TSym>(
-        cover.begin() + static_cast<std::ptrdiff_t>(info.lo - info.cover_lo),
-        cover.begin() + static_cast<std::ptrdiff_t>(info.hi - info.cover_lo));
-}
-
-}  // namespace
-
-std::vector<u8> build_range_wire(const format::RecoilFile& f, u64 lo, u64 hi) {
-    if (f.is_indexed())
-        raise("range wire: indexed-model assets are not supported");
-    const RecoilMetadata& meta = f.metadata;
+/// Append one segment covering LOCAL symbols [lo, hi) of `src`; returns the
+/// covering split count.
+u32 append_segment(std::vector<u8>& out, const SegmentSource& src, u64 lo, u64 hi) {
+    const RecoilMetadata& meta = *src.meta;
     const RangePlan plan = plan_range(meta, lo, hi);  // validates the range
     const u32 S = meta.num_splits();
     const bool has_prev = plan.first_split > 0;
     const bool includes_final = plan.last_split == S - 1;
+    const bool indexed = src.freqs != nullptr;
 
     // Unit slice bounds (see header comment for why these are safe).
     const u64 unit_lo = plan.first_split <= 1
@@ -133,31 +65,277 @@ std::vector<u8> build_range_wire(const format::RecoilFile& f, u64 lo, u64 hi) {
         sub.splits.push_back(std::move(sp));
     }
 
-    std::vector<u8> out;
-    out.insert(out.end(), kMagic, kMagic + 4);
-    out.push_back(1);  // version
-    out.push_back(f.sym_width);
+    put_u64(out, src.base);
     out.push_back(static_cast<u8>((has_prev ? kFlagHasPrev : 0) |
-                                  (includes_final ? kFlagIncludesFinal : 0)));
-    out.push_back(static_cast<u8>(f.prob_bits));
-
-    const auto& payload = std::get<format::RecoilFile::StaticPayload>(f.model);
-    put_freq_table(out, payload.freq);
-
+                                  (includes_final ? kFlagIncludesFinal : 0) |
+                                  (indexed ? kFlagIndexed : 0)));
+    out.push_back(static_cast<u8>(src.prob_bits));
+    put_u16(out, 0);  // reserved
     put_u64(out, lo);
     put_u64(out, hi);
     put_u32(out, plan.first_split);
+
+    if (indexed) {
+        put_u32(out, static_cast<u32>(src.freqs->size()));
+        for (const auto& f : *src.freqs) put_freq_table(out, f);
+        // The model-id slice must reach every position the covering splits
+        // touch: synchronization decodes past cover_hi up to the last
+        // split's anchor.
+        const u64 ids_lo = plan.cover_lo;
+        const u64 ids_hi = plan_touch_hi(meta, plan);
+        put_u64(out, ids_lo);
+        put_u64(out, ids_hi - ids_lo);
+        out.insert(out.end(), src.ids.begin() + static_cast<std::ptrdiff_t>(ids_lo),
+                   src.ids.begin() + static_cast<std::ptrdiff_t>(ids_hi));
+    } else {
+        put_freq_table(out, src.freq);
+    }
 
     const std::vector<u8> meta_bytes = serialize_metadata(sub);
     put_u64(out, meta_bytes.size());
     out.insert(out.end(), meta_bytes.begin(), meta_bytes.end());
 
     put_u64(out, unit_hi - unit_lo);
-    const auto* ub = reinterpret_cast<const u8*>(f.units.data() + unit_lo);
+    const auto* ub = reinterpret_cast<const u8*>(src.units.data() + unit_lo);
     out.insert(out.end(), ub, ub + (unit_hi - unit_lo) * 2);
 
+    return plan.last_split - plan.first_split + 1;
+}
+
+BuiltRangeWire build_wire(std::span<const SegmentSource> sources, u64 lo, u64 hi,
+                          u8 sym_width) {
+    BuiltRangeWire built;
+    std::vector<u8>& out = built.bytes;
+    out.insert(out.end(), kMagic, kMagic + 4);
+    out.push_back(kVersion);
+    out.push_back(sym_width);
+    put_u16(out, 0);  // reserved
+    put_u64(out, lo);
+    put_u64(out, hi);
+
+    // Segments: every source stream intersecting [lo, hi).
+    const std::size_t count_pos = out.size();
+    put_u32(out, 0);
+    u32 count = 0;
+    for (const SegmentSource& src : sources) {
+        const u64 n = src.meta->num_symbols;
+        if (src.base >= hi || src.base + n <= lo) continue;
+        const u64 local_lo = lo > src.base ? lo - src.base : 0;
+        const u64 local_hi = std::min(hi - src.base, n);
+        built.splits += append_segment(out, src, local_lo, local_hi);
+        ++count;
+    }
+    RECOIL_CHECK(count > 0, "range wire: no intersecting streams");
+    for (int i = 0; i < 4; ++i)
+        out[count_pos + i] = static_cast<u8>(count >> (8 * i));
+
     append_checksum(out);
+    return built;
+}
+
+/// Everything decode needs for one segment, parsed and validated.
+struct ParsedSegment {
+    RangeSegmentInfo info;
+    u32 prob_bits = 0;
+    std::vector<std::vector<u32>> freqs;  ///< one table unless indexed
+    std::vector<u8> ids;                  ///< indexed: slice starting at ids_lo
+    u64 ids_lo = 0;
+    RecoilMetadata meta;  ///< slice metadata: absolute symbols, rebased units
+    std::vector<u16> units;
+    u32 j0 = 0, j1 = 0;  ///< slice split indices to decode, inclusive
+};
+
+struct ParsedRange {
+    RangeWireInfo info;
+    std::vector<ParsedSegment> segments;
+};
+
+ParsedSegment parse_segment(Cursor& c) {
+    ParsedSegment p;
+    RangeSegmentInfo& info = p.info;
+    info.base = c.get_u64();
+    const u8 flags = c.get_u8();
+    info.has_prev = (flags & kFlagHasPrev) != 0;
+    info.includes_final = (flags & kFlagIncludesFinal) != 0;
+    info.indexed = (flags & kFlagIndexed) != 0;
+    p.prob_bits = c.get_u8();
+    if (p.prob_bits < 1 || p.prob_bits > 16) raise("range wire: bad prob_bits");
+    if (c.get_u16() != 0) raise("range wire: reserved bits set");
+
+    info.lo = c.get_u64();
+    info.hi = c.get_u64();
+    info.first_split = c.get_u32();
+
+    u64 ids_len = 0;
+    if (info.indexed) {
+        const u32 k = c.get_u32();
+        if (k == 0 || k > 256) raise("range wire: bad model count");
+        p.freqs.resize(k);
+        for (auto& f : p.freqs) f = get_freq_table(c, p.prob_bits);
+        p.ids_lo = c.get_u64();
+        ids_len = c.get_u64();
+        auto ids = c.get_bytes(ids_len);
+        p.ids.assign(ids.begin(), ids.end());
+    } else {
+        p.freqs.push_back(get_freq_table(c, p.prob_bits));
+    }
+
+    const u64 meta_len = c.get_u64();
+    p.meta = deserialize_metadata(c.get_bytes(meta_len));
+
+    const u64 unit_count = c.get_u64();
+    auto units = c.get_unit_bytes(unit_count);
+    p.units.resize(unit_count);
+    std::memcpy(p.units.data(), units.data(), unit_count * 2);
+    if (p.meta.num_units != unit_count)
+        raise("range wire: metadata/slice length mismatch");
+    info.unit_count = unit_count;
+
+    // Derive the decode schedule and coverage from the slice structure.
+    const u32 slice_splits = p.meta.num_splits();
+    if ((info.has_prev || !info.includes_final) && p.meta.splits.empty())
+        raise("range wire: boundary split missing");
+    p.j0 = info.has_prev ? 1 : 0;
+    p.j1 = info.includes_final ? slice_splits - 1
+                               : slice_splits - 2;  // skip the implicit final
+    if (p.j1 < p.j0 || p.j1 >= slice_splits)
+        raise("range wire: no decodable splits");
+    info.splits_served = p.j1 - p.j0 + 1;
+    info.cover_lo = info.has_prev ? p.meta.splits.front().min_index : 0;
+    info.cover_hi = info.includes_final ? p.meta.num_symbols
+                                        : p.meta.splits.back().min_index;
+    if (info.lo < info.cover_lo || info.hi > info.cover_hi ||
+        info.lo >= info.hi)
+        raise("range wire: requested range outside slice coverage");
+    if (info.indexed) {
+        // The id slice must start at the coverage base and reach the last
+        // shipped split's anchor (what synchronization touches), exactly.
+        const u64 touch_hi = info.includes_final
+                                 ? p.meta.num_symbols
+                                 : p.meta.splits.back().anchor_index + 1;
+        if (p.ids_lo != info.cover_lo || touch_hi < p.ids_lo ||
+            ids_len != touch_hi - p.ids_lo)
+            raise("range wire: model id slice does not match coverage");
+    }
+    return p;
+}
+
+ParsedRange parse_range_wire(std::span<const u8> bytes) {
+    Cursor c{checked_payload(bytes, "range wire"), "range wire"};
+    if (std::memcmp(c.get_bytes(4).data(), kMagic, 4) != 0)
+        raise("range wire: bad magic");
+    if (c.get_u8() != kVersion) raise("range wire: unsupported version");
+
+    ParsedRange p;
+    RangeWireInfo& info = p.info;
+    info.sym_width = c.get_u8();
+    if (info.sym_width != 1 && info.sym_width != 2)
+        raise("range wire: bad symbol width");
+    if (c.get_u16() != 0) raise("range wire: reserved bits set");
+    info.lo = c.get_u64();
+    info.hi = c.get_u64();
+    if (info.lo >= info.hi) raise("range wire: empty range");
+
+    const u32 count = c.get_u32();
+    if (count == 0 || count > (u32{1} << 24))
+        raise("range wire: bad segment count");
+    p.segments.reserve(count);
+    // Segments must tile [lo, hi) exactly, in order, with no gaps: the next
+    // segment starts where the previous one ended.
+    u64 expected = info.lo;
+    for (u32 i = 0; i < count; ++i) {
+        ParsedSegment seg = parse_segment(c);
+        if (seg.info.lo > expected || seg.info.base != expected - seg.info.lo)
+            raise("range wire: segments do not tile the range");
+        if (seg.info.hi > info.hi - seg.info.base)
+            raise("range wire: segment past the requested range");
+        expected = seg.info.base + seg.info.hi;
+        info.splits_served += seg.info.splits_served;
+        info.segments.push_back(seg.info);
+        p.segments.push_back(std::move(seg));
+    }
+    if (expected != info.hi) raise("range wire: segments do not reach hi");
+    return p;
+}
+
+template <typename TSym>
+std::vector<TSym> decode_range_impl(std::span<const u8> bytes,
+                                    ThreadPool* pool) {
+    ParsedRange p = parse_range_wire(bytes);
+    if (p.info.sym_width != sizeof(TSym))
+        raise("range wire: symbol width mismatch");
+
+    std::vector<TSym> out(p.info.hi - p.info.lo);
+    for (const ParsedSegment& seg : p.segments) {
+        const RangeSegmentInfo& info = seg.info;
+        std::vector<TSym> cover;
+        if (info.indexed) {
+            std::vector<StaticModel> models;
+            models.reserve(seg.freqs.size());
+            for (const auto& f : seg.freqs)
+                models.emplace_back(std::span<const u32>(f), seg.prob_bits, 0);
+            IndexedModelSet set(std::move(models), seg.ids);
+            DecodeTables t = set.tables();
+            // The slice's ids[0] is position ids_lo; rebase so the decoder's
+            // absolute indexing lands on it (integer arithmetic to stay
+            // clear of out-of-bounds pointer UB). Scalar range fn: the SIMD
+            // kernels gather ids in full lane groups, which can reach
+            // outside the shipped slice at the coverage edges.
+            t.ids = reinterpret_cast<const u8*>(
+                reinterpret_cast<std::uintptr_t>(t.ids) -
+                static_cast<std::uintptr_t>(seg.ids_lo));
+            cover = recoil_decode_cover<Rans32, 32, TSym>(
+                std::span<const u16>(seg.units), seg.meta, t, seg.j0, seg.j1,
+                info.cover_lo, info.cover_hi, pool);
+        } else {
+            StaticModel model(std::span<const u32>(seg.freqs[0]), seg.prob_bits, 0);
+            simd::SimdRangeFn<TSym> range_fn;
+            cover = recoil_decode_cover<Rans32, 32, TSym>(
+                std::span<const u16>(seg.units), seg.meta, model.tables(), seg.j0,
+                seg.j1, info.cover_lo, info.cover_hi, pool, range_fn);
+        }
+        std::copy(cover.begin() + static_cast<std::ptrdiff_t>(info.lo - info.cover_lo),
+                  cover.begin() + static_cast<std::ptrdiff_t>(info.hi - info.cover_lo),
+                  out.begin() +
+                      static_cast<std::ptrdiff_t>(info.base + info.lo - p.info.lo));
+    }
     return out;
+}
+
+}  // namespace
+
+BuiltRangeWire build_range_wire(const format::RecoilFile& f, u64 lo, u64 hi) {
+    SegmentSource src;
+    src.base = 0;
+    src.meta = &f.metadata;
+    src.units = f.units;
+    src.prob_bits = f.prob_bits;
+    if (f.is_indexed()) {
+        const auto& payload = std::get<format::RecoilFile::IndexedPayload>(f.model);
+        RECOIL_CHECK(payload.ids.size() >= f.metadata.num_symbols,
+                     "range wire: id stream shorter than the symbol stream");
+        src.freqs = &payload.freqs;
+        src.ids = payload.ids;
+    } else {
+        src.freq = std::get<format::RecoilFile::StaticPayload>(f.model).freq;
+    }
+    return build_wire({&src, 1}, lo, hi, f.sym_width);
+}
+
+BuiltRangeWire build_range_wire(const stream::ChunkedStream& s, u64 lo, u64 hi) {
+    const std::vector<u64> offsets = s.chunk_offsets();
+    std::vector<SegmentSource> sources;
+    sources.reserve(s.chunks.size());
+    for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+        SegmentSource src;
+        src.base = offsets[i];
+        src.meta = &s.chunks[i].metadata;
+        src.units = s.chunks[i].units;
+        src.prob_bits = s.prob_bits;
+        src.freq = s.chunks[i].freq;
+        sources.push_back(src);
+    }
+    return build_wire(sources, lo, hi, 1);
 }
 
 RangeWireInfo inspect_range_wire(std::span<const u8> bytes) {

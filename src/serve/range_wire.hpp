@@ -3,9 +3,16 @@
 // cover a requested symbol range [lo, hi), so a client fetching a slice of a
 // large asset pays wire bytes proportional to the slice, not the asset.
 //
-// The slice is decodable by the unmodified 3-phase split decoder because
-//  * symbol indexing stays ABSOLUTE (the decoder derives lane ids from
-//    position % lanes, which rebasing would break), and
+// The RCR2 wire is a sequence of SEGMENTS, giving every asset kind uniform
+// range semantics:
+//  * a static-model RecoilFile is one segment;
+//  * an indexed-model RecoilFile is one segment that also carries the model
+//    family and the slice of per-symbol model ids the covering splits touch;
+//  * a ChunkedStream decomposes into one segment per intersecting chunk,
+//    each with that chunk's model and covering splits.
+// Each segment is decodable by the unmodified 3-phase split decoder because
+//  * symbol indexing stays ABSOLUTE within the segment's stream (the decoder
+//    derives lane ids from position % lanes, which rebasing would break), and
 //  * unit offsets are rebased to the slice: units append in symbol order
 //    (see rans/interleaved.hpp), so every unit the covering splits pop lies
 //    in [splits[first-2].offset + 1, splits[last].offset + 1) — bounds
@@ -18,26 +25,46 @@
 #include <vector>
 
 #include "format/container.hpp"
+#include "stream/chunked.hpp"
 #include "util/thread_pool.hpp"
 
 namespace recoil::serve {
 
-/// Parsed range-wire header, for stats and tests.
-struct RangeWireInfo {
-    u8 sym_width = 0;
-    u32 prob_bits = 0;
-    u64 lo = 0, hi = 0;              ///< requested symbol range
+/// Parsed per-segment header, for stats and tests. lo/hi/cover are LOCAL to
+/// the segment's stream; add `base` for the asset's flat symbol space.
+struct RangeSegmentInfo {
+    u64 base = 0;                    ///< segment stream's first symbol, absolute
+    u64 lo = 0, hi = 0;              ///< requested symbol range (local)
     u64 cover_lo = 0, cover_hi = 0;  ///< symbols the shipped splits produce
     u64 unit_count = 0;              ///< shipped bitstream units
     u32 first_split = 0;             ///< first covering split in the master
     u32 splits_served = 0;           ///< covering split count
     bool has_prev = false;           ///< boundary split entry shipped
     bool includes_final = false;     ///< slice reaches the bitstream end
+    bool indexed = false;            ///< segment carries an indexed model family
 };
 
-/// Build the wire for symbols [lo, hi) of a static-model asset. Raises
-/// recoil::Error for indexed-model files or an out-of-range request.
-std::vector<u8> build_range_wire(const format::RecoilFile& f, u64 lo, u64 hi);
+/// Parsed range-wire header, for stats and tests.
+struct RangeWireInfo {
+    u8 sym_width = 0;
+    u64 lo = 0, hi = 0;      ///< requested symbol range, asset-absolute
+    u32 splits_served = 0;   ///< total covering splits across segments
+    std::vector<RangeSegmentInfo> segments;
+};
+
+struct BuiltRangeWire {
+    std::vector<u8> bytes;
+    u32 splits = 0;  ///< total covering splits across segments
+};
+
+/// Build the wire for symbols [lo, hi) of a RecoilFile asset (static or
+/// indexed model). Raises recoil::Error for an out-of-range request.
+BuiltRangeWire build_range_wire(const format::RecoilFile& f, u64 lo, u64 hi);
+
+/// Build the wire for symbols [lo, hi) of a chunked asset, addressed in the
+/// stream's flat symbol space: the range decomposes into per-chunk covering
+/// splits, one segment per intersecting chunk.
+BuiltRangeWire build_range_wire(const stream::ChunkedStream& s, u64 lo, u64 hi);
 
 RangeWireInfo inspect_range_wire(std::span<const u8> bytes);
 

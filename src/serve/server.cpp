@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "core/random_access.hpp"
-#include "core/split_planner.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -16,12 +14,19 @@ namespace {
 /// its bytes; the orphans age out through normal LRU eviction. Both forms
 /// start with "name\n", which is what erase_asset() prefix-matches.
 std::string asset_key(const Asset& a) {
-    return a.name + "\n#" + std::to_string(a.uid);
+    return a.name() + "\n#" + std::to_string(a.uid());
 }
 
 std::string range_key(const Asset& a, u64 lo, u64 hi) {
     return asset_key(a) + "\nrange:" + std::to_string(lo) + "-" +
            std::to_string(hi);
+}
+
+ServeResult fail(ErrorCode code, std::string detail) {
+    ServeResult res;
+    res.code = code;
+    res.detail = std::move(detail);
+    return res;
 }
 
 }  // namespace
@@ -32,15 +37,22 @@ ServeResult ContentServer::serve(const ServeRequest& req) noexcept {
     ServeResult res;
     try {
         res = serve_impl(req);
+    } catch (const ProtocolError& e) {
+        res = fail(e.code(), e.what());
     } catch (const std::exception& e) {
-        res = ServeResult{};
-        res.error = e.what();
+        res = fail(ErrorCode::internal, e.what());
     }
     res.stats.total_seconds = total.seconds();
-    if (res.ok) {
+    if (res.ok()) {
         wire_bytes_.fetch_add(res.stats.wire_bytes, std::memory_order_relaxed);
-        if (res.stats.cache_hit)
+        if (res.stats.cache_hit) {
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            bytes_saved_.fetch_add(res.stats.wire_bytes, std::memory_order_relaxed);
+        }
+        if (res.stats.coalesced) {
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            bytes_saved_.fetch_add(res.stats.wire_bytes, std::memory_order_relaxed);
+        }
     } else {
         failures_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -49,66 +61,153 @@ ServeResult ContentServer::serve(const ServeRequest& req) noexcept {
 
 ServeResult ContentServer::serve_impl(const ServeRequest& req) {
     auto asset = store_.find(req.asset);
-    if (asset == nullptr) raise("serve: unknown asset '" + req.asset + "'");
+    if (asset == nullptr)
+        return fail(ErrorCode::unknown_asset,
+                    "serve: unknown asset '" + req.asset + "'");
 
     ServeResult res;
+    ServedWire served;
     if (req.range) {
         range_requests_.fetch_add(1, std::memory_order_relaxed);
+        if ((req.accept & kAcceptRange) == 0)
+            return fail(ErrorCode::not_acceptable,
+                        "serve: client does not accept range wires");
+        // Boundary validation with a typed error, not an invariant throw
+        // from plan_range deep inside the wire builder.
         const auto [lo, hi] = *req.range;
-        const format::RecoilFile* file = asset->file();
-        if (file == nullptr)
-            raise("serve: range requests require a single-stream asset");
-        const std::string key = range_key(*asset, lo, hi);
-        u32 splits = 0;
-        if (WireBytes wire =
-                opt_.cache_ranges ? cache_.get(key, 0, &splits) : nullptr) {
-            res.wire = std::move(wire);
-            res.stats.cache_hit = true;
-        } else {
-            Stopwatch combine;
-            auto bytes = build_range_wire(*file, lo, hi);
-            res.stats.combine_seconds = combine.seconds();
-            const RangePlan plan = plan_range(file->metadata, lo, hi);
-            splits = plan.last_split - plan.first_split + 1;
-            res.wire = std::make_shared<const std::vector<u8>>(std::move(bytes));
-            if (opt_.cache_ranges) cache_.put(key, 0, res.wire, splits);
-        }
-        res.stats.splits_served = splits;
+        if (lo >= hi || hi > asset->num_symbols())
+            return fail(ErrorCode::invalid_range,
+                        "serve: range [" + std::to_string(lo) + ", " +
+                            std::to_string(hi) + ") outside asset of " +
+                            std::to_string(asset->num_symbols()) + " symbols");
+        res.payload = PayloadKind::range;
+        served = serve_shared(range_key(*asset, lo, hi), 0, opt_.cache_ranges,
+                              res.stats,
+                              [&] { return asset->range(lo, hi); });
     } else {
+        const u8 need = asset->payload_kind() == PayloadKind::chunked
+                            ? kAcceptChunked
+                            : kAcceptFile;
+        if ((req.accept & need) == 0)
+            return fail(ErrorCode::not_acceptable,
+                        std::string("serve: client does not accept ") +
+                            payload_name(asset->payload_kind()) + " responses");
         const u32 parallelism =
-            std::clamp(req.parallelism, u32{1}, asset->max_parallelism);
-        const std::string key = asset_key(*asset);
+            std::clamp(req.parallelism, u32{1}, asset->max_parallelism());
+        res.payload = asset->payload_kind();
+        served = serve_shared(asset_key(*asset), parallelism, true, res.stats,
+                              [&] { return asset->combine(parallelism); });
+    }
+    res.wire = std::move(served.wire);
+    res.stats.splits_served = served.splits;
+    res.stats.wire_bytes = res.wire->size();
+    res.code = ErrorCode::ok;
+    return res;
+}
+
+ServedWire ContentServer::serve_shared(const std::string& key, u32 parallelism,
+                                       bool use_cache, ServeStats& stats,
+                                       const std::function<ServedWire()>& build) {
+    if (use_cache) {
         u32 splits = 0;
         if (WireBytes wire = cache_.get(key, parallelism, &splits)) {
-            res.wire = std::move(wire);
-            res.stats.cache_hit = true;
-        } else {
-            // Combine explicitly (rather than via serve_combined) so the
-            // stats report the work-item count the wire actually carries —
-            // combine_splits may grant fewer than requested, and a chunked
-            // stream at least one split per chunk.
-            Stopwatch combine;
-            std::vector<u8> bytes;
-            if (asset->is_chunked()) {
-                auto combined = asset->chunked()->combined(parallelism);
-                splits = static_cast<u32>(combined.total_splits());
-                bytes = combined.serialize();
-            } else {
-                format::RecoilFile served = *asset->file();
-                served.metadata =
-                    combine_splits(served.metadata, parallelism);
-                splits = served.metadata.num_splits();
-                bytes = format::save_recoil_file(served);
-            }
-            res.stats.combine_seconds = combine.seconds();
-            res.wire = std::make_shared<const std::vector<u8>>(std::move(bytes));
-            cache_.put(key, parallelism, res.wire, splits);
+            stats.cache_hit = true;
+            return {std::move(wire), splits};
         }
-        res.stats.splits_served = splits;
     }
-    res.stats.wire_bytes = res.wire->size();
-    res.ok = true;
-    return res;
+
+    // Single-flight: the first request for a key becomes the leader and
+    // combines; concurrent requests park on the flight and share its wire.
+    const std::string flight_key = key + "\nflight:" + std::to_string(parallelism);
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+        std::scoped_lock lk(flights_mu_);
+        auto& slot = flights_[flight_key];
+        if (slot == nullptr) {
+            slot = std::make_shared<Flight>();
+            leader = true;
+        }
+        flight = slot;
+    }
+
+    if (!leader) {
+        waiters_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock lk(flight->mu);
+        flight->cv.wait(lk, [&] { return flight->done; });
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        if (flight->error) std::rethrow_exception(flight->error);
+        stats.coalesced = true;
+        return flight->wire;
+    }
+
+    // Won the flight — but the previous leader may have populated the cache
+    // between our miss and the flight insert (put happens before the flight
+    // retires). Recheck before paying for a combine, and publish the cached
+    // wire to any followers already parked on this flight.
+    if (use_cache) {
+        u32 splits = 0;
+        if (WireBytes cached = cache_.get(key, parallelism, &splits)) {
+            ServedWire wire{std::move(cached), splits};
+            retire_flight(flight_key, flight, &wire, nullptr);
+            stats.cache_hit = true;
+            return wire;
+        }
+    }
+
+    ServedWire wire;
+    Stopwatch combine;
+    try {
+        if (opt_.combine_hook) opt_.combine_hook(key);
+        wire = build();
+        stats.combine_seconds = combine.seconds();
+        // Publish to the cache before retiring the flight, so a request
+        // arriving between the two hits the cache instead of recombining.
+        // Inside the try: a put failure must retire the flight too, or
+        // followers park forever.
+        if (use_cache) cache_.put(key, parallelism, wire.wire, wire.splits);
+    } catch (...) {
+        retire_flight(flight_key, flight, nullptr, std::current_exception());
+        throw;
+    }
+    retire_flight(flight_key, flight, &wire, nullptr);
+    return wire;
+}
+
+void ContentServer::retire_flight(const std::string& flight_key,
+                                  const std::shared_ptr<Flight>& flight,
+                                  const ServedWire* wire,
+                                  std::exception_ptr error) {
+    {
+        std::scoped_lock lk(flights_mu_);
+        flights_.erase(flight_key);
+    }
+    {
+        std::scoped_lock fl(flight->mu);
+        if (wire != nullptr) flight->wire = *wire;
+        flight->error = std::move(error);
+        flight->done = true;
+    }
+    flight->cv.notify_all();
+}
+
+std::vector<u8> ContentServer::serve_frame(
+    std::span<const u8> request_frame) noexcept {
+    try {
+        ServeRequest req;
+        try {
+            req = decode_request(request_frame);
+        } catch (const ProtocolError& e) {
+            requests_.fetch_add(1, std::memory_order_relaxed);
+            failures_.fetch_add(1, std::memory_order_relaxed);
+            return encode_response(fail(e.code(), e.what()));
+        }
+        return encode_response(serve(req));
+    } catch (...) {
+        // encode_response can only fail on allocation exhaustion; an empty
+        // frame (rejected by any decoder) beats terminating the server.
+        return {};
+    }
 }
 
 bool ContentServer::evict_asset(const std::string& name) {
@@ -123,39 +222,18 @@ ContentServer::Totals ContentServer::totals() const noexcept {
     t.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     t.range_requests = range_requests_.load(std::memory_order_relaxed);
     t.wire_bytes = wire_bytes_.load(std::memory_order_relaxed);
+    t.coalesced_requests = coalesced_.load(std::memory_order_relaxed);
+    t.bytes_saved = bytes_saved_.load(std::memory_order_relaxed);
     return t;
-}
-
-u64 RequestScheduler::submit(ServeRequest req) {
-    std::scoped_lock lk(mu_);
-    pending_.push_back(std::move(req));
-    return pending_.size() - 1;
-}
-
-std::size_t RequestScheduler::pending() const {
-    std::scoped_lock lk(mu_);
-    return pending_.size();
-}
-
-std::vector<ServeResult> RequestScheduler::flush() {
-    std::vector<ServeRequest> batch;
-    {
-        std::scoped_lock lk(mu_);
-        batch.swap(pending_);
-    }
-    std::vector<ServeResult> out(batch.size());
-    if (batch.empty()) return out;
-    pool_->parallel_for(batch.size(),
-                        [&](u64 i) { out[i] = server_.serve(batch[i]); });
-    return out;
 }
 
 BatchStats summarize(std::span<const ServeResult> results) {
     BatchStats s;
     s.requests = results.size();
     for (const ServeResult& r : results) {
-        if (!r.ok) ++s.failures;
+        if (!r.ok()) ++s.failures;
         if (r.stats.cache_hit) ++s.cache_hits;
+        if (r.stats.coalesced) ++s.coalesced;
         s.wire_bytes += r.stats.wire_bytes;
         s.max_latency_seconds = std::max(s.max_latency_seconds, r.stats.total_seconds);
         s.sum_latency_seconds += r.stats.total_seconds;

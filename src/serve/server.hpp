@@ -1,72 +1,59 @@
 #pragma once
 // Front door of the serve subsystem: ContentServer resolves requests against
 // the AssetStore, adapts split metadata per client (§3.3) through the LRU
-// wire cache, and serves symbol sub-ranges via the range wire.
-// RequestScheduler batches concurrent client requests onto the shared
-// ThreadPool so a mixed fleet saturates the machine without per-request
-// threads.
+// wire cache, and serves symbol sub-ranges via the range wire. Failures are
+// typed (protocol.hpp ErrorCode), never thrown. Concurrent cold requests for
+// the same response are single-flighted: one combine runs, everyone shares
+// the resulting wire. serve_frame() is the transport boundary — opaque
+// request frame in, response frame out — so a network frontend needs no
+// knowledge of assets or caching.
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <mutex>
-#include <optional>
 #include <span>
 #include <string>
-#include <utility>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/asset_store.hpp"
 #include "serve/metadata_cache.hpp"
-#include "serve/range_wire.hpp"
-#include "util/thread_pool.hpp"
+#include "serve/protocol.hpp"
 
 namespace recoil::serve {
-
-struct ServeRequest {
-    std::string asset;
-    /// Client's parallel decode capacity (warps/threads); clamped to the
-    /// asset's encoded split budget. Ignored for range requests, which ship
-    /// the master's fine-grained covering splits.
-    u32 parallelism = 1;
-    /// Symbol range [lo, hi) to serve instead of the whole asset.
-    std::optional<std::pair<u64, u64>> range;
-};
-
-struct ServeStats {
-    u64 wire_bytes = 0;
-    /// Parallel work items the response actually carries (splits in the
-    /// served metadata, or covering splits for a range).
-    u32 splits_served = 0;
-    bool cache_hit = false;
-    double combine_seconds = 0;  ///< metadata adaptation + serialization (miss)
-    double total_seconds = 0;
-};
-
-struct ServeResult {
-    bool ok = false;
-    std::string error;
-    WireBytes wire;
-    ServeStats stats;
-};
 
 struct ServerOptions {
     u64 cache_capacity_bytes = u64{256} << 20;
     bool cache_ranges = true;  ///< range responses join the LRU cache too
+    /// Observability/test hook: invoked (if set) with the cache key at the
+    /// start of every miss combine, before the wire is built.
+    std::function<void(const std::string&)> combine_hook;
 };
 
 class ContentServer {
 public:
     explicit ContentServer(ServerOptions opt = {})
-        : opt_(opt), cache_(opt.cache_capacity_bytes) {}
+        : opt_(std::move(opt)), cache_(opt_.cache_capacity_bytes) {}
 
     AssetStore& store() noexcept { return store_; }
     MetadataCache& cache() noexcept { return cache_; }
 
-    /// Serve one request. Never throws: failures come back as !ok with the
-    /// error message, so scheduler workers cannot tear down the pool.
+    /// Serve one request. Never throws: failures come back as a typed
+    /// ErrorCode, so scheduler workers cannot tear down their pool.
     ServeResult serve(const ServeRequest& req) noexcept;
+
+    /// Transport entry: parse a request frame, serve it, return the encoded
+    /// response frame. Malformed frames become typed error responses.
+    std::vector<u8> serve_frame(std::span<const u8> request_frame) noexcept;
 
     /// Remove an asset and every cached response derived from it.
     bool evict_asset(const std::string& name);
+
+    /// Requests currently parked on another request's in-flight combine.
+    u64 coalescing_waiters() const noexcept {
+        return waiters_.load(std::memory_order_relaxed);
+    }
 
     struct Totals {
         u64 requests = 0;
@@ -74,47 +61,58 @@ public:
         u64 cache_hits = 0;
         u64 range_requests = 0;
         u64 wire_bytes = 0;
+        /// Requests served by waiting on an in-flight combine (single-flight
+        /// coalescing): N concurrent cold misses run N-1 fewer combines.
+        u64 coalesced_requests = 0;
+        /// Wire bytes delivered from shared buffers (cache hits + coalesced)
+        /// rather than freshly combined — work the protocol design saved.
+        u64 bytes_saved = 0;
     };
     Totals totals() const noexcept;
 
 private:
+    /// In-flight combine shared by coalesced requests for one response key.
+    struct Flight {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        ServedWire wire;
+        std::exception_ptr error;
+    };
+
     ServeResult serve_impl(const ServeRequest& req);
+    /// Cache lookup + single-flight combine for one response key.
+    ServedWire serve_shared(const std::string& key, u32 parallelism,
+                            bool use_cache, ServeStats& stats,
+                            const std::function<ServedWire()>& build);
+    /// Remove the flight from the map, publish its outcome (wire or error)
+    /// and wake every parked follower. Every leader exit path must end
+    /// here, or followers block forever on a stranded flight.
+    void retire_flight(const std::string& flight_key,
+                       const std::shared_ptr<Flight>& flight,
+                       const ServedWire* wire, std::exception_ptr error);
 
     ServerOptions opt_;
     AssetStore store_;
     MetadataCache cache_;
+    std::mutex flights_mu_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+    std::atomic<u64> waiters_{0};
     std::atomic<u64> requests_{0};
     std::atomic<u64> failures_{0};
     std::atomic<u64> cache_hits_{0};
     std::atomic<u64> range_requests_{0};
     std::atomic<u64> wire_bytes_{0};
+    std::atomic<u64> coalesced_{0};
+    std::atomic<u64> bytes_saved_{0};
 };
 
-/// Collects requests and runs one batch on the pool; results come back in
-/// submission order. flush() is a barrier, as the underlying pool's
-/// parallel_for is. submit() is thread-safe.
-class RequestScheduler {
-public:
-    explicit RequestScheduler(ContentServer& server, ThreadPool* pool = nullptr)
-        : server_(server), pool_(pool != nullptr ? pool : &global_pool()) {}
-
-    /// Queue a request; returns its index in the next flush()'s results.
-    u64 submit(ServeRequest req);
-    std::size_t pending() const;
-    std::vector<ServeResult> flush();
-
-private:
-    ContentServer& server_;
-    ThreadPool* pool_;
-    mutable std::mutex mu_;
-    std::vector<ServeRequest> pending_;
-};
-
-/// Aggregate view of one batch, for benches and logs.
+/// Aggregate view of a set of results, for benches and logs.
 struct BatchStats {
     u64 requests = 0;
     u64 failures = 0;
     u64 cache_hits = 0;
+    u64 coalesced = 0;
     u64 wire_bytes = 0;
     double max_latency_seconds = 0;
     double sum_latency_seconds = 0;

@@ -1,0 +1,74 @@
+#include "serve/session.hpp"
+
+#include "util/error.hpp"
+
+namespace recoil::serve {
+
+Session::Session(ContentServer& server, Options opt) : server_(server) {
+    const unsigned n = opt.workers == 0 ? 1 : opt.workers;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+Session::~Session() {
+    {
+        std::scoped_lock lk(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+std::shared_future<ServeResult> Session::submit(ServeRequest req, Callback cb) {
+    std::promise<ServeResult> promise;
+    std::shared_future<ServeResult> fut = promise.get_future().share();
+    {
+        std::scoped_lock lk(mu_);
+        RECOIL_CHECK(!stopping_, "Session::submit after shutdown began");
+        queue_.push_back(Task{std::move(req), std::move(promise), std::move(cb)});
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void Session::wait_idle() {
+    std::unique_lock lk(mu_);
+    idle_cv_.wait(lk, [&] { return queue_.empty() && active_ == 0; });
+}
+
+std::size_t Session::in_flight() const {
+    std::scoped_lock lk(mu_);
+    return queue_.size() + active_;
+}
+
+void Session::worker_loop() {
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock lk(mu_);
+            cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping, and fully drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        // serve() is noexcept; failures arrive as typed results.
+        ServeResult res = server_.serve(task.req);
+        if (task.cb) {
+            try {
+                task.cb(res);
+            } catch (...) {
+                // Completion callbacks must not tear down the session.
+            }
+        }
+        task.promise.set_value(std::move(res));
+        {
+            std::scoped_lock lk(mu_);
+            --active_;
+            if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+}  // namespace recoil::serve

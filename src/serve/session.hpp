@@ -1,0 +1,69 @@
+#pragma once
+// Async submission front end of the serve subsystem, replacing the old
+// barrier-only RequestScheduler: submit() returns immediately with a future
+// (and optionally fires a completion callback), so a mixed fleet's requests
+// overlap instead of advancing in lock-step batches. Workers call
+// ContentServer::serve, which single-flights concurrent cold requests for
+// the same response — submitting the same cold key from many workers costs
+// one combine, and everyone shares the wire.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace recoil::serve {
+
+class Session {
+public:
+    struct Options {
+        /// Concurrent serves. >= 2 lets cold requests coalesce instead of
+        /// serializing behind one worker.
+        unsigned workers = 4;
+    };
+    /// Invoked on a worker thread when the request completes, before the
+    /// future becomes ready. Exceptions are swallowed (workers must live).
+    using Callback = std::function<void(const ServeResult&)>;
+
+    explicit Session(ContentServer& server) : Session(server, Options()) {}
+    Session(ContentServer& server, Options opt);
+    /// Drains outstanding requests (every future becomes ready), then joins.
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Queue a request; the shared future is also safe to drop (fire and
+    /// forget) or to copy to multiple consumers.
+    std::shared_future<ServeResult> submit(ServeRequest req, Callback cb = {});
+
+    /// Block until every submitted request has completed.
+    void wait_idle();
+
+    /// Requests submitted but not yet completed.
+    std::size_t in_flight() const;
+
+private:
+    struct Task {
+        ServeRequest req;
+        std::promise<ServeResult> promise;
+        Callback cb;
+    };
+
+    void worker_loop();
+
+    ContentServer& server_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;       ///< workers: work available / stopping
+    std::condition_variable idle_cv_;  ///< wait_idle: everything completed
+    std::deque<Task> queue_;
+    std::size_t active_ = 0;  ///< tasks currently being served
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace recoil::serve

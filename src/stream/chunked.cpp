@@ -36,6 +36,13 @@ void ChunkedEncoder::add_chunk(std::span<const u8> data) {
     stream_.chunks.push_back(std::move(c));
 }
 
+std::vector<u64> ChunkedStream::chunk_offsets() const {
+    std::vector<u64> off(chunks.size() + 1, 0);
+    for (std::size_t i = 0; i < chunks.size(); ++i)
+        off[i + 1] = off[i] + chunks[i].metadata.num_symbols;
+    return off;
+}
+
 std::vector<u8> ChunkedStream::serialize() const {
     std::vector<u8> out;
     out.insert(out.end(), kMagic, kMagic + 4);

@@ -49,6 +49,11 @@ struct ChunkedStream {
         return n;
     }
 
+    /// Absolute symbol offset of each chunk's first symbol, with the stream
+    /// total appended (chunks.size() + 1 entries). This is the flat symbol
+    /// space that byte-range requests over chunked assets address.
+    std::vector<u64> chunk_offsets() const;
+
     /// Serialize with integrity checksum; parse validates everything.
     std::vector<u8> serialize() const;
     static ChunkedStream parse(std::span<const u8> bytes);

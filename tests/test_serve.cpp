@@ -1,6 +1,7 @@
 // Tests for the serve subsystem: LRU wire cache semantics, combined-metadata
 // serving correctness (served wire decodes bit-exact against a direct full
-// decode), byte-range serving edge cases, and the batch scheduler.
+// decode), byte-range serving across all three asset kinds (static file,
+// indexed file, chunked stream), typed error codes, and content negotiation.
 
 #include <gtest/gtest.h>
 
@@ -89,25 +90,36 @@ struct ServeFixture : ::testing::Test {
     }
 };
 
+TEST_F(ServeFixture, AssetKindsReportTheirShape) {
+    EXPECT_EQ(asset->kind(), AssetKind::static_file);
+    EXPECT_EQ(asset->payload_kind(), PayloadKind::file);
+    EXPECT_EQ(asset->num_symbols(), kSymbols);
+    EXPECT_NE(asset->file(), nullptr);
+    EXPECT_EQ(asset->chunked(), nullptr);
+    EXPECT_STREQ(kind_name(asset->kind()), "static_file");
+}
+
 TEST_F(ServeFixture, SecondRequestIsACacheHitWithIdenticalBytes) {
     const ServeRequest req{"asset", 16, std::nullopt};
     auto cold = server.serve(req);
-    ASSERT_TRUE(cold.ok) << cold.error;
+    ASSERT_TRUE(cold.ok()) << cold.detail;
     EXPECT_FALSE(cold.stats.cache_hit);
+    EXPECT_EQ(cold.payload, PayloadKind::file);
 
     auto warm = server.serve(req);
-    ASSERT_TRUE(warm.ok) << warm.error;
+    ASSERT_TRUE(warm.ok()) << warm.detail;
     EXPECT_TRUE(warm.stats.cache_hit);
-    EXPECT_EQ(warm.wire, cold.wire);  // shared, not recombined
+    EXPECT_EQ(warm.wire, cold.wire);  // shared, not recombined or copied
 
     auto other = server.serve(ServeRequest{"asset", 8, std::nullopt});
-    ASSERT_TRUE(other.ok);
+    ASSERT_TRUE(other.ok());
     EXPECT_FALSE(other.stats.cache_hit);  // distinct parallelism, distinct entry
 
     const auto t = server.totals();
     EXPECT_EQ(t.requests, 3u);
     EXPECT_EQ(t.cache_hits, 1u);
     EXPECT_EQ(t.failures, 0u);
+    EXPECT_EQ(t.bytes_saved, warm.stats.wire_bytes);
 }
 
 TEST_F(ServeFixture, CombinedWireDecodesBitExactAtEveryParallelism) {
@@ -118,7 +130,7 @@ TEST_F(ServeFixture, CombinedWireDecodesBitExactAtEveryParallelism) {
 
     for (u32 p : {1u, 2u, 7u, 16u, 64u, 5000u}) {
         auto res = server.serve(ServeRequest{"asset", p, std::nullopt});
-        ASSERT_TRUE(res.ok) << res.error;
+        ASSERT_TRUE(res.ok()) << res.detail;
         auto got = format::load_recoil_file(*res.wire);
         EXPECT_LE(got.metadata.num_splits(), std::min(p, kMaxSplits));
         EXPECT_EQ(res.stats.splits_served, got.metadata.num_splits());
@@ -129,9 +141,9 @@ TEST_F(ServeFixture, CombinedWireDecodesBitExactAtEveryParallelism) {
 TEST_F(ServeFixture, LowerParallelismShipsFewerWireBytes) {
     auto small = server.serve(ServeRequest{"asset", 2, std::nullopt});
     auto large = server.serve(ServeRequest{"asset", kMaxSplits, std::nullopt});
-    ASSERT_TRUE(small.ok && large.ok);
+    ASSERT_TRUE(small.ok() && large.ok());
     EXPECT_LT(small.stats.wire_bytes, large.stats.wire_bytes);
-    EXPECT_LE(large.stats.wire_bytes, asset->master_bytes);
+    EXPECT_LE(large.stats.wire_bytes, asset->master_bytes());
 }
 
 TEST_F(ServeFixture, ChunkedAssetServesAndDecodes) {
@@ -139,10 +151,13 @@ TEST_F(ServeFixture, ChunkedAssetServesAndDecodes) {
     stream::ChunkedEncoder enc({11, 16});
     for (u64 off = 0; off < video.size(); off += 20000)
         enc.add_chunk(std::span<const u8>(video).subspan(off, 20000));
-    server.store().add_chunked("video", enc.finish());
+    auto chunked = server.store().add_chunked("video", enc.finish());
+    EXPECT_EQ(chunked->kind(), AssetKind::chunked);
+    EXPECT_EQ(chunked->payload_kind(), PayloadKind::chunked);
 
     auto res = server.serve(ServeRequest{"video", 8, std::nullopt});
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.detail;
+    EXPECT_EQ(res.payload, PayloadKind::chunked);
     auto got = stream::ChunkedStream::parse(*res.wire);
     EXPECT_LE(got.total_splits(), 8u + got.chunks.size());
     EXPECT_EQ(res.stats.splits_served, got.total_splits());
@@ -156,7 +171,8 @@ TEST_F(ServeFixture, RangeServingMatchesFullDecodeEverywhere) {
         const u64 lo = rng.below(kSymbols - 1);
         const u64 hi = lo + 1 + rng.below(std::min<u64>(kSymbols - lo, 9000));
         auto res = server.serve(ServeRequest{"asset", 4, {{lo, hi}}});
-        ASSERT_TRUE(res.ok) << res.error;
+        ASSERT_TRUE(res.ok()) << res.detail;
+        EXPECT_EQ(res.payload, PayloadKind::range);
         auto part = decode_range_wire(*res.wire, &pool);
         ASSERT_EQ(part.size(), hi - lo);
         EXPECT_TRUE(std::equal(part.begin(), part.end(), data.begin() + lo))
@@ -179,12 +195,14 @@ TEST_F(ServeFixture, RangeEdgeCases) {
     };
     for (auto [lo, hi] : ranges) {
         auto res = server.serve(ServeRequest{"asset", 1, {{lo, hi}}});
-        ASSERT_TRUE(res.ok) << res.error << " [" << lo << ", " << hi << ")";
+        ASSERT_TRUE(res.ok()) << res.detail << " [" << lo << ", " << hi << ")";
         auto info = inspect_range_wire(*res.wire);
         EXPECT_EQ(info.lo, lo);
         EXPECT_EQ(info.hi, hi);
-        EXPECT_LE(info.cover_lo, lo);
-        EXPECT_GE(info.cover_hi, hi);
+        ASSERT_EQ(info.segments.size(), 1u);  // single-stream asset
+        EXPECT_LE(info.segments[0].cover_lo, lo);
+        EXPECT_GE(info.segments[0].cover_hi, hi);
+        EXPECT_FALSE(info.segments[0].indexed);
         auto part = decode_range_wire(*res.wire);
         ASSERT_EQ(part.size(), hi - lo);
         EXPECT_TRUE(std::equal(part.begin(), part.end(), data.begin() + lo));
@@ -194,52 +212,198 @@ TEST_F(ServeFixture, RangeEdgeCases) {
     auto res = server.serve(
         ServeRequest{"asset", 1, {{meta.splits[2].min_index + 5,
                                    meta.splits[3].min_index - 5}}});
-    ASSERT_TRUE(res.ok);
-    EXPECT_LT(res.stats.wire_bytes, asset->master_bytes / 4);
+    ASSERT_TRUE(res.ok());
+    EXPECT_LT(res.stats.wire_bytes, asset->master_bytes() / 4);
     EXPECT_LE(res.stats.splits_served, 3u);
+}
+
+TEST_F(ServeFixture, RangeOverChunkedAssetDecomposesPerChunk) {
+    const u64 chunk_size = 20000;
+    auto video = workload::gen_text(5 * chunk_size, 42);
+    stream::ChunkedEncoder enc({11, 16});
+    for (u64 off = 0; off < video.size(); off += chunk_size)
+        enc.add_chunk(std::span<const u8>(video).subspan(off, chunk_size));
+    server.store().add_chunked("video", enc.finish());
+
+    const std::vector<std::pair<u64, u64>> ranges = {
+        {0, 100},                               // inside the first chunk
+        {chunk_size - 50, chunk_size + 50},     // straddles one boundary
+        {chunk_size / 2, 4 * chunk_size + 10},  // spans several whole chunks
+        {5 * chunk_size - 1, 5 * chunk_size},   // last symbol of the stream
+        {0, 5 * chunk_size},                    // everything
+    };
+    for (auto [lo, hi] : ranges) {
+        auto res = server.serve(ServeRequest{"video", 1, {{lo, hi}}});
+        ASSERT_TRUE(res.ok()) << res.detail << " [" << lo << ", " << hi << ")";
+        auto info = inspect_range_wire(*res.wire);
+        const u64 expect_segments =
+            std::min<u64>(5, hi / chunk_size + (hi % chunk_size != 0 ? 1 : 0)) -
+            lo / chunk_size;
+        EXPECT_EQ(info.segments.size(), expect_segments)
+            << "[" << lo << ", " << hi << ")";
+        auto part = decode_range_wire(*res.wire);
+        ASSERT_EQ(part.size(), hi - lo);
+        EXPECT_TRUE(std::equal(part.begin(), part.end(), video.begin() + lo))
+            << "range [" << lo << ", " << hi << ")";
+    }
+
+    // A one-chunk slice of a five-chunk stream ships a fraction of the master.
+    auto slice = server.serve(ServeRequest{"video", 1, {{0, 100}}});
+    ASSERT_TRUE(slice.ok());
+    EXPECT_LT(slice.stats.wire_bytes,
+              server.store().find("video")->master_bytes() / 3);
+}
+
+struct IndexedServeFixture : ::testing::Test {
+    static constexpr u64 kSymbols = 120000;
+
+    std::vector<u8> syms;
+    std::vector<u8> ids;
+    ContentServer server;
+    std::shared_ptr<const Asset> asset;
+
+    IndexedServeFixture() {
+        // Two alternating contexts with very different skews — the hyperprior
+        // shape of §3.1 where the model id is selected per symbol index.
+        Xoshiro256 rng(19);
+        syms.resize(kSymbols);
+        ids.resize(kSymbols);
+        std::vector<u64> c0(256, 1), c1(256, 1);
+        for (u64 i = 0; i < kSymbols; ++i) {
+            ids[i] = static_cast<u8>((i / 11) % 2);
+            const double q = ids[i] == 0 ? 0.3 : 0.85;
+            u32 v = 0;
+            while (v < 255 && rng.uniform() < q) ++v;
+            syms[i] = static_cast<u8>(v);
+            (ids[i] == 0 ? c0 : c1)[syms[i]]++;
+        }
+        std::vector<StaticModel> models{StaticModel(c0, 12), StaticModel(c1, 12)};
+
+        format::RecoilFile f;
+        f.sym_width = 1;
+        f.prob_bits = 12;
+        format::RecoilFile::IndexedPayload payload;
+        for (const StaticModel& m : models) {
+            std::vector<u32> freq(m.alphabet());
+            for (u32 s = 0; s < m.alphabet(); ++s) freq[s] = m.freq(s);
+            payload.freqs.push_back(std::move(freq));
+        }
+        payload.ids = ids;
+
+        IndexedModelSet set(std::move(models), ids);
+        auto enc = recoil_encode<Rans32, 32>(std::span<const u8>(syms), set, 48);
+        f.metadata = std::move(enc.metadata);
+        f.units = std::move(enc.bitstream.units);
+        f.model = std::move(payload);
+        asset = server.store().add_file("latents", std::move(f));
+    }
+};
+
+TEST_F(IndexedServeFixture, IndexedAssetServesCombinedWires) {
+    EXPECT_EQ(asset->kind(), AssetKind::indexed_file);
+    for (u32 p : {1u, 5u, 48u}) {
+        auto res = server.serve(ServeRequest{"latents", p, std::nullopt});
+        ASSERT_TRUE(res.ok()) << res.detail;
+        auto got = format::load_recoil_file(*res.wire);
+        ASSERT_TRUE(got.is_indexed());
+        auto set = got.build_indexed_model();
+        auto dec = recoil_decode<Rans32, 32, u8>(std::span<const u16>(got.units),
+                                                 got.metadata, set.tables());
+        EXPECT_EQ(dec, syms) << "parallelism " << p;
+    }
+}
+
+TEST_F(IndexedServeFixture, RangeOverIndexedAssetMatchesEverywhere) {
+    Xoshiro256 rng(7);
+    ThreadPool pool(2);
+    std::vector<std::pair<u64, u64>> ranges = {
+        {0, 1}, {kSymbols - 1, kSymbols}, {0, kSymbols}};
+    for (int iter = 0; iter < 20; ++iter) {
+        const u64 lo = rng.below(kSymbols - 1);
+        ranges.push_back(
+            {lo, lo + 1 + rng.below(std::min<u64>(kSymbols - lo, 8000))});
+    }
+    for (auto [lo, hi] : ranges) {
+        auto res = server.serve(ServeRequest{"latents", 1, {{lo, hi}}});
+        ASSERT_TRUE(res.ok()) << res.detail << " [" << lo << ", " << hi << ")";
+        auto info = inspect_range_wire(*res.wire);
+        ASSERT_EQ(info.segments.size(), 1u);
+        EXPECT_TRUE(info.segments[0].indexed);
+        auto part = decode_range_wire(*res.wire, &pool);
+        ASSERT_EQ(part.size(), hi - lo);
+        EXPECT_TRUE(std::equal(part.begin(), part.end(), syms.begin() + lo))
+            << "range [" << lo << ", " << hi << ")";
+    }
 }
 
 TEST_F(ServeFixture, RangeResponsesAreCachedUnderTheAssetKey) {
     const ServeRequest req{"asset", 1, {{1000, 2000}}};
     auto cold = server.serve(req);
     auto warm = server.serve(req);
-    ASSERT_TRUE(cold.ok && warm.ok);
+    ASSERT_TRUE(cold.ok() && warm.ok());
     EXPECT_FALSE(cold.stats.cache_hit);
     EXPECT_TRUE(warm.stats.cache_hit);
     EXPECT_EQ(warm.wire, cold.wire);
 
     server.evict_asset("asset");
     auto gone = server.serve(req);
-    EXPECT_FALSE(gone.ok);  // asset and its cached ranges are both gone
+    EXPECT_FALSE(gone.ok());  // asset and its cached ranges are both gone
+    EXPECT_EQ(gone.code, ErrorCode::unknown_asset);
 }
 
-TEST_F(ServeFixture, FailuresAreReportedNotThrown) {
+TEST_F(ServeFixture, FailuresAreTypedNotThrown) {
     auto unknown = server.serve(ServeRequest{"nope", 4, std::nullopt});
-    EXPECT_FALSE(unknown.ok);
-    EXPECT_NE(unknown.error.find("unknown asset"), std::string::npos);
+    EXPECT_EQ(unknown.code, ErrorCode::unknown_asset);
+    EXPECT_NE(unknown.detail.find("unknown asset"), std::string::npos);
+    EXPECT_STREQ(error_name(unknown.code), "unknown_asset");
 
-    auto bad_range = server.serve(ServeRequest{"asset", 4, {{5, 5}}});
-    EXPECT_FALSE(bad_range.ok);
+    // Range validation happens at the API boundary with a typed error, not
+    // via an invariant throw from plan_range.
+    auto empty_range = server.serve(ServeRequest{"asset", 4, {{5, 5}}});
+    EXPECT_EQ(empty_range.code, ErrorCode::invalid_range);
+    auto inverted = server.serve(ServeRequest{"asset", 4, {{7, 3}}});
+    EXPECT_EQ(inverted.code, ErrorCode::invalid_range);
     auto past_end = server.serve(ServeRequest{"asset", 4, {{0, kSymbols + 1}}});
-    EXPECT_FALSE(past_end.ok);
+    EXPECT_EQ(past_end.code, ErrorCode::invalid_range);
+    EXPECT_NE(past_end.detail.find(std::to_string(kSymbols)), std::string::npos);
+
+    EXPECT_EQ(server.totals().failures, 4u);
+    EXPECT_EQ(server.totals().range_requests, 3u);
+}
+
+TEST_F(ServeFixture, AcceptFlagsNegotiateTheWireForm) {
+    // A client that cannot decode file containers is refused, not surprised.
+    ServeRequest no_file{"asset", 4, std::nullopt};
+    no_file.accept = kAcceptRange;
+    EXPECT_EQ(server.serve(no_file).code, ErrorCode::not_acceptable);
+
+    ServeRequest no_range{"asset", 4, {{0, 10}}};
+    no_range.accept = kAcceptFile;
+    EXPECT_EQ(server.serve(no_range).code, ErrorCode::not_acceptable);
 
     auto chunked_data = workload::gen_text(30000, 1);
     stream::ChunkedEncoder enc;
     enc.add_chunk(chunked_data);
     server.store().add_chunked("chunked", enc.finish());
-    auto range_on_chunked = server.serve(ServeRequest{"chunked", 4, {{0, 10}}});
-    EXPECT_FALSE(range_on_chunked.ok);
+    ServeRequest no_chunked{"chunked", 4, std::nullopt};
+    no_chunked.accept = kAcceptFile | kAcceptRange;
+    EXPECT_EQ(server.serve(no_chunked).code, ErrorCode::not_acceptable);
 
-    EXPECT_EQ(server.totals().failures, 4u);
+    // Ranges over chunked assets are a supported wire form, not an error.
+    ServeRequest chunked_range{"chunked", 4, {{0, 10}}};
+    auto res = server.serve(chunked_range);
+    ASSERT_TRUE(res.ok()) << res.detail;
+    EXPECT_EQ(decode_range_wire(*res.wire),
+              std::vector<u8>(chunked_data.begin(), chunked_data.begin() + 10));
 }
 
 TEST_F(ServeFixture, CorruptWireIsRejected) {
     auto res = server.serve(ServeRequest{"asset", 1, {{100, 400}}});
-    ASSERT_TRUE(res.ok);
+    ASSERT_TRUE(res.ok());
     std::vector<u8> mangled = *res.wire;
     mangled[mangled.size() / 2] ^= 0x40;
     EXPECT_THROW(decode_range_wire(mangled), Error);
-    EXPECT_THROW(inspect_range_wire(std::vector<u8>{'R', 'C', 'R', '1'}), Error);
+    EXPECT_THROW(inspect_range_wire(std::vector<u8>{'R', 'C', 'R', '2'}), Error);
 }
 
 TEST_F(ServeFixture, HostileWireWithValidChecksumIsRejected) {
@@ -247,7 +411,7 @@ TEST_F(ServeFixture, HostileWireWithValidChecksumIsRejected) {
     // must hold on its own: poisoned freq tables (table-builder overflow)
     // and wrap-around length fields must both be rejected, not decoded.
     auto res = server.serve(ServeRequest{"asset", 1, {{100, 400}}});
-    ASSERT_TRUE(res.ok);
+    ASSERT_TRUE(res.ok());
     auto reseal = [](std::vector<u8> w) {
         const u64 sum = format::fnv1a(
             std::span<const u8>(w.data(), w.size() - 8));
@@ -256,12 +420,15 @@ TEST_F(ServeFixture, HostileWireWithValidChecksumIsRejected) {
         return w;
     };
 
-    // Header: magic(4) ver/sym/flags/prob(4) alpha(4), then 256 freq words.
+    // RCR2 layout: header magic(4) ver(1) sym(1) rsvd(2) lo(8) hi(8)
+    // segs(4) = 28; segment base(8) flags(1) prob(1) rsvd(2) lo(8) hi(8)
+    // first_split(4) = 32, then alpha(4) + 256 freq words.
+    const std::size_t freq_off = 28 + 32 + 4;
     std::vector<u8> bad_freq = *res.wire;
-    for (int i = 0; i < 4; ++i) bad_freq[12 + i] = 0xFF;
+    for (int i = 0; i < 4; ++i) bad_freq[freq_off + i] = 0xFF;
     EXPECT_THROW(decode_range_wire(reseal(std::move(bad_freq))), Error);
 
-    const std::size_t meta_len_off = 12 + 4 * 256 + 8 + 8 + 4;
+    const std::size_t meta_len_off = freq_off + 4 * 256;
     std::vector<u8> bad_len = *res.wire;
     for (int i = 0; i < 8; ++i) bad_len[meta_len_off + i] = 0xFF;
     EXPECT_THROW(decode_range_wire(reseal(std::move(bad_len))), Error);
@@ -275,13 +442,13 @@ TEST_F(ServeFixture, ReplacingAnAssetInvalidatesCachedResponses) {
     auto v2 = test::geometric_symbols<u8>(kSymbols, 0.4, 256, 99);
     server.store().encode_bytes("asset", v2, kMaxSplits);
     auto res = server.serve(req);
-    ASSERT_TRUE(res.ok);
+    ASSERT_TRUE(res.ok());
     EXPECT_FALSE(res.stats.cache_hit);  // fresh uid, not the v1 entry
     EXPECT_EQ(decode_full_wire(*res.wire), v2);
 }
 
 TEST_F(ServeFixture, MasterBytesMatchesActualSerialization) {
-    EXPECT_EQ(asset->master_bytes,
+    EXPECT_EQ(asset->master_bytes(),
               format::save_recoil_file(*asset->file()).size());
 
     auto bytes = workload::gen_text(30000, 5);
@@ -296,50 +463,19 @@ TEST_F(ServeFixture, EvictionUnderPressureKeepsTheHotEntry) {
     // Capacity for ~2 full responses: the repeatedly-requested class must
     // survive a stream of one-off parallelisms.
     auto probe = server.serve(ServeRequest{"asset", 16, std::nullopt});
-    ASSERT_TRUE(probe.ok);
-    ContentServer small({probe.stats.wire_bytes * 5 / 2, true});
+    ASSERT_TRUE(probe.ok());
+    ServerOptions opt;
+    opt.cache_capacity_bytes = probe.stats.wire_bytes * 5 / 2;
+    ContentServer small(opt);
     small.store().add_file("asset", *asset->file());
 
     ASSERT_FALSE(small.serve({"asset", 16, std::nullopt}).stats.cache_hit);
     for (u32 p = 2; p < 8; ++p) {
-        ASSERT_TRUE(small.serve(ServeRequest{"asset", p, std::nullopt}).ok);
+        ASSERT_TRUE(small.serve(ServeRequest{"asset", p, std::nullopt}).ok());
         EXPECT_TRUE(small.serve({"asset", 16, std::nullopt}).stats.cache_hit)
             << "hot entry evicted after one-off parallelism " << p;
     }
     EXPECT_GT(small.cache().stats().evictions, 0u);
-}
-
-TEST_F(ServeFixture, SchedulerBatchMatchesSerialServes) {
-    ThreadPool pool(3);
-    RequestScheduler sched(server, &pool);
-    std::vector<ServeRequest> reqs;
-    for (u32 p : {2u, 8u, 16u, 2u, 8u, 64u})
-        reqs.push_back(ServeRequest{"asset", p, std::nullopt});
-    reqs.push_back(ServeRequest{"asset", 1, {{500, 900}}});
-    reqs.push_back(ServeRequest{"missing", 1, std::nullopt});
-    for (std::size_t i = 0; i < reqs.size(); ++i)
-        EXPECT_EQ(sched.submit(reqs[i]), i);
-    EXPECT_EQ(sched.pending(), reqs.size());
-
-    auto results = sched.flush();
-    ASSERT_EQ(results.size(), reqs.size());
-    EXPECT_EQ(sched.pending(), 0u);
-    for (std::size_t i = 0; i + 1 < results.size(); ++i) {
-        ASSERT_TRUE(results[i].ok) << i << ": " << results[i].error;
-        auto direct = server.serve(reqs[i]);
-        EXPECT_EQ(*results[i].wire, *direct.wire) << "request " << i;
-    }
-    EXPECT_FALSE(results.back().ok);
-
-    const BatchStats batch = summarize(results);
-    EXPECT_EQ(batch.requests, reqs.size());
-    EXPECT_EQ(batch.failures, 1u);
-    EXPECT_GE(batch.max_latency_seconds, 0.0);
-
-    // A second identical batch is fully warm: every valid request hits.
-    for (const auto& r : reqs) sched.submit(r);
-    const BatchStats warm = summarize(sched.flush());
-    EXPECT_EQ(warm.cache_hits, reqs.size() - 1);
 }
 
 }  // namespace

@@ -1,0 +1,287 @@
+// Tests for the async Session API and the server's single-flight coalescing:
+// concurrent cold requests for one response key run exactly one combine and
+// share the wire; warm traffic returns shared buffers without copies; and a
+// deterministic Zipf workload pins the LRU cache's hit behavior exactly
+// (the anchor for the ROADMAP cache-policy study).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <list>
+#include <thread>
+
+#include "serve/session.hpp"
+#include "test_util.hpp"
+#include "util/xoshiro.hpp"
+
+namespace recoil::serve {
+namespace {
+
+std::vector<u8> small_asset_bytes(u64 n, u64 seed) {
+    return test::geometric_symbols<u8>(n, 0.6, 256, seed);
+}
+
+TEST(Session, ColdRequestsCoalesceIntoOneCombine) {
+    std::atomic<int> combines{0};
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    ServerOptions opt;
+    opt.combine_hook = [&](const std::string&) {
+        ++combines;
+        gate.wait();  // hold the leader until every follower is parked
+    };
+    ContentServer server(opt);
+    server.store().encode_bytes("asset", small_asset_bytes(80000, 31), 32);
+
+    constexpr unsigned kN = 8;
+    Session session(server, {kN});
+    std::vector<std::shared_future<ServeResult>> futs;
+    futs.reserve(kN);
+    for (unsigned i = 0; i < kN; ++i)
+        futs.push_back(session.submit(ServeRequest{"asset", 8, std::nullopt}));
+
+    // Deterministic, no sleeps: all kN requests run on their own worker, so
+    // kN-1 of them must park on the leader's flight; only then release it.
+    while (server.coalescing_waiters() != kN - 1) std::this_thread::yield();
+    release.set_value();
+    session.wait_idle();
+
+    EXPECT_EQ(combines.load(), 1);  // exactly one combine ran
+    unsigned leaders = 0, followers = 0;
+    WireBytes shared_wire;
+    for (auto& f : futs) {
+        const ServeResult res = f.get();
+        ASSERT_TRUE(res.ok()) << res.detail;
+        EXPECT_FALSE(res.stats.cache_hit);
+        if (res.stats.coalesced) {
+            ++followers;
+        } else {
+            ++leaders;
+        }
+        if (shared_wire == nullptr) shared_wire = res.wire;
+        EXPECT_EQ(res.wire, shared_wire);  // the same buffer, not a copy
+    }
+    EXPECT_EQ(leaders, 1u);
+    EXPECT_EQ(followers, kN - 1);
+
+    const auto t = server.totals();
+    EXPECT_EQ(t.requests, kN);
+    EXPECT_EQ(t.coalesced_requests, kN - 1);
+    EXPECT_EQ(t.bytes_saved, (kN - 1) * shared_wire->size());
+
+    // Warm traffic: the cache returns the same shared buffer, no copy.
+    auto warm = session.submit(ServeRequest{"asset", 8, std::nullopt}).get();
+    ASSERT_TRUE(warm.ok());
+    EXPECT_TRUE(warm.stats.cache_hit);
+    EXPECT_EQ(warm.wire, shared_wire);
+    EXPECT_EQ(combines.load(), 1);
+}
+
+TEST(Session, LeaderFailurePropagatesToEveryCoalescedRequest) {
+    // Requests park on a flight whose leader fails mid-combine: everyone
+    // must get the typed failure, and a retry must start a fresh flight.
+    std::atomic<int> combines{0};
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    ServerOptions opt;
+    opt.combine_hook = [&](const std::string&) {
+        const int n = ++combines;
+        if (n == 1) {
+            gate.wait();
+            raise("injected combine failure");
+        }
+    };
+    ContentServer server(opt);
+    server.store().encode_bytes("asset", small_asset_bytes(60000, 5), 16);
+
+    constexpr unsigned kN = 4;
+    Session session(server, {kN});
+    std::vector<std::shared_future<ServeResult>> futs;
+    for (unsigned i = 0; i < kN; ++i)
+        futs.push_back(session.submit(ServeRequest{"asset", 4, std::nullopt}));
+    while (server.coalescing_waiters() != kN - 1) std::this_thread::yield();
+    release.set_value();
+    session.wait_idle();
+
+    for (auto& f : futs) {
+        const ServeResult res = f.get();
+        EXPECT_EQ(res.code, ErrorCode::internal);
+        EXPECT_NE(res.detail.find("injected"), std::string::npos);
+    }
+    EXPECT_EQ(server.totals().failures, kN);
+
+    // The failed flight is gone; a retry combines successfully.
+    auto retry = session.submit(ServeRequest{"asset", 4, std::nullopt}).get();
+    ASSERT_TRUE(retry.ok()) << retry.detail;
+    EXPECT_EQ(combines.load(), 2);
+}
+
+TEST(Session, CompletionCallbacksFireBeforeFuturesResolve) {
+    ContentServer server;
+    server.store().encode_bytes("asset", small_asset_bytes(50000, 9), 16);
+    Session session(server, {2});
+
+    std::atomic<int> called{0};
+    auto fut = session.submit(ServeRequest{"asset", 4, std::nullopt},
+                              [&](const ServeResult& res) {
+                                  EXPECT_TRUE(res.ok());
+                                  ++called;
+                              });
+    EXPECT_TRUE(fut.get().ok());
+    EXPECT_EQ(called.load(), 1);  // callback completed before the future
+
+    // A throwing callback must not tear down the worker.
+    auto fut2 = session.submit(ServeRequest{"asset", 8, std::nullopt},
+                               [&](const ServeResult&) {
+                                   ++called;
+                                   throw std::runtime_error("callback bug");
+                               });
+    EXPECT_TRUE(fut2.get().ok());
+    EXPECT_EQ(called.load(), 2);
+    EXPECT_TRUE(session.submit(ServeRequest{"asset", 2, std::nullopt}).get().ok());
+}
+
+TEST(Session, MixedSubmissionsMatchSerialServesAndSummarize) {
+    ContentServer server;
+    auto data = small_asset_bytes(100000, 13);
+    server.store().encode_bytes("asset", data, 64);
+    Session session(server, {3});
+
+    std::vector<ServeRequest> reqs;
+    for (u32 p : {2u, 8u, 16u, 2u, 8u, 64u})
+        reqs.push_back(ServeRequest{"asset", p, std::nullopt});
+    reqs.push_back(ServeRequest{"asset", 1, {{500, 900}}});
+    reqs.push_back(ServeRequest{"missing", 1, std::nullopt});
+
+    std::vector<std::shared_future<ServeResult>> futs;
+    for (const auto& r : reqs) futs.push_back(session.submit(r));
+    std::vector<ServeResult> results;
+    for (auto& f : futs) results.push_back(f.get());
+    session.wait_idle();  // future readiness precedes the worker's bookkeeping
+    EXPECT_EQ(session.in_flight(), 0u);
+
+    for (std::size_t i = 0; i + 1 < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok()) << i << ": " << results[i].detail;
+        auto direct = server.serve(reqs[i]);
+        EXPECT_EQ(*results[i].wire, *direct.wire) << "request " << i;
+    }
+    EXPECT_EQ(results.back().code, ErrorCode::unknown_asset);
+
+    const BatchStats batch = summarize(results);
+    EXPECT_EQ(batch.requests, reqs.size());
+    EXPECT_EQ(batch.failures, 1u);
+    EXPECT_GE(batch.max_latency_seconds, 0.0);
+
+    // A second identical round is fully warm: every valid request hits.
+    std::vector<ServeResult> warm;
+    for (const auto& r : reqs) warm.push_back(session.submit(r).get());
+    EXPECT_EQ(summarize(warm).cache_hits, reqs.size() - 1);
+}
+
+/// Mirror of MetadataCache's LRU discipline (hit refreshes recency; miss
+/// inserts at the front after the combine; oversized payloads skip the
+/// cache; eviction pops the tail), fed with the observed wire sizes. The
+/// serve path must agree with this model exactly.
+u64 simulate_lru_hits(const std::vector<u32>& plan, const std::vector<u64>& sizes,
+                      u64 capacity) {
+    std::list<std::pair<u32, u64>> lru;  // front = most recently used
+    u64 bytes = 0, hits = 0;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        auto it = std::find_if(lru.begin(), lru.end(),
+                               [&](const auto& e) { return e.first == plan[i]; });
+        if (it != lru.end()) {
+            ++hits;
+            lru.splice(lru.begin(), lru, it);
+            continue;
+        }
+        if (sizes[i] > capacity) continue;
+        lru.emplace_front(plan[i], sizes[i]);
+        bytes += sizes[i];
+        while (bytes > capacity) {
+            bytes -= lru.back().second;
+            lru.pop_back();
+        }
+    }
+    return hits;
+}
+
+TEST(Session, ZipfTrafficHitRateIsExactAndDeterministic) {
+    // Zipf(s=1.2) traffic over 32 client classes against a cache that holds
+    // ~8 responses: the skewed head stays resident. Driven through the
+    // Session API with seeded xoshiro, so the hit count is exact — any
+    // cache-policy change must consciously update this anchor.
+    constexpr u32 kKeys = 32;
+    constexpr int kRequests = 1200;
+    const auto data = small_asset_bytes(60000, 41);
+
+    std::vector<double> cdf(kKeys);
+    double mass = 0;
+    for (u32 r = 0; r < kKeys; ++r) {
+        mass += 1.0 / std::pow(static_cast<double>(r + 1), 1.2);
+        cdf[r] = mass;
+    }
+    Xoshiro256 rng(2024);
+    std::vector<u32> plan(kRequests);
+    for (auto& key : plan) {
+        const double u = rng.uniform() * mass;
+        key = static_cast<u32>(std::lower_bound(cdf.begin(), cdf.end(), u) -
+                               cdf.begin()) + 1;  // parallelism 1..kKeys
+    }
+
+    // Size the cache off the real wire size so the test tracks format
+    // changes instead of hard-coding bytes.
+    u64 wire_size = 0;
+    {
+        ContentServer probe;
+        probe.store().encode_bytes("asset", data, 64);
+        wire_size = probe.serve(ServeRequest{"asset", 1, std::nullopt})
+                        .stats.wire_bytes;
+    }
+    const u64 capacity = wire_size * 8 + wire_size / 2;
+
+    auto run = [&](std::vector<u64>* sizes_out) {
+        ServerOptions opt;
+        opt.cache_capacity_bytes = capacity;
+        ContentServer server(opt);
+        server.store().encode_bytes("asset", data, 64);
+        Session session(server, {2});
+        for (const u32 key : plan) {
+            // Serial await keeps the request order (and thus LRU state)
+            // fully deterministic while still driving the async API.
+            const ServeResult res =
+                session.submit(ServeRequest{"asset", key, std::nullopt}).get();
+            EXPECT_TRUE(res.ok()) << res.detail;
+            if (sizes_out != nullptr) sizes_out->push_back(res.stats.wire_bytes);
+        }
+        return server.totals();
+    };
+
+    std::vector<u64> sizes;
+    const auto first = run(&sizes);
+    EXPECT_EQ(first.requests, static_cast<u64>(kRequests));
+    EXPECT_EQ(first.failures, 0u);
+    EXPECT_EQ(first.coalesced_requests, 0u);  // serial: nothing to coalesce
+
+    // The serve path's hit count must match the reference LRU model exactly.
+    const u64 expected_hits = simulate_lru_hits(plan, sizes, capacity);
+    EXPECT_EQ(first.cache_hits, expected_hits);
+
+    // Zipf concentration keeps the hot head resident: comfortably over half
+    // the traffic hits even though only ~8 of 32 classes fit.
+    const double hit_rate =
+        static_cast<double>(first.cache_hits) / static_cast<double>(kRequests);
+    EXPECT_GE(hit_rate, 0.5) << "hit rate regressed: " << hit_rate;
+    EXPECT_LT(hit_rate, 1.0);
+
+    // Bit-for-bit deterministic: a fresh identical run reproduces totals.
+    const auto second = run(nullptr);
+    EXPECT_EQ(second.cache_hits, first.cache_hits);
+    EXPECT_EQ(second.wire_bytes, first.wire_bytes);
+    EXPECT_EQ(second.bytes_saved, first.bytes_saved);
+}
+
+}  // namespace
+}  // namespace recoil::serve
