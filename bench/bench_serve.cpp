@@ -1,15 +1,19 @@
 // Serve-subsystem benchmark: warm- vs cold-cache serve latency for a
 // 2176-split asset (the paper's "Large" parallelism), byte-range wire cost,
-// single-flight coalescing under a concurrent cold stampede, and aggregate
+// single-flight coalescing under a concurrent cold stampede, aggregate
 // request throughput for a mixed fleet of client classes driven through the
-// async Session API. `--quick` shrinks the workload for CI smoke runs.
+// async Session API, and cold-boot-from-disk time for a persistent store
+// (mmap + zero-copy parse vs re-encoding the master). `--quick` shrinks the
+// workload for CI smoke runs.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <future>
 
 #include "bench_util.hpp"
 #include "serve/session.hpp"
+#include "serve/store.hpp"
 #include "util/xoshiro.hpp"
 
 using namespace recoil;
@@ -64,8 +68,9 @@ int main(int argc, char** argv) {
     ContentServer server;
     Stopwatch enc_sw;
     auto asset = server.store().encode_bytes("asset", data, bench::kLargeSplits);
+    const double encode_s = enc_sw.seconds();
     std::printf("encoded once in %.2f s: master %llu B, %u split points\n\n",
-                enc_sw.seconds(),
+                encode_s,
                 static_cast<unsigned long long>(asset->master_bytes()),
                 asset->file()->metadata.num_splits() - 1);
 
@@ -185,11 +190,47 @@ int main(int argc, char** argv) {
                 100.0 * static_cast<double>(hits) /
                     (static_cast<double>(n) * static_cast<double>(mix.size())));
     std::printf("  sharing: %llu coalesced requests, %.1f MB served from "
-                "shared buffers instead of recombined\n",
+                "shared buffers instead of recombined\n\n",
                 static_cast<unsigned long long>(fleet_after.coalesced_requests -
                                                 fleet_before.coalesced_requests),
                 static_cast<double>(fleet_after.bytes_saved -
                                     fleet_before.bytes_saved) / 1e6);
+
+    // --- cold boot from a persistent store: restart cost is mmap, not
+    // re-encode. Persist the master once, then stand up a fresh server from
+    // the directory and serve the first response.
+    {
+        namespace fs = std::filesystem;
+        const fs::path dir = fs::temp_directory_path() / "recoil_bench_store";
+        fs::remove_all(dir);
+        Stopwatch persist_sw;
+        {
+            AssetStore persist;
+            persist.attach_backing(std::make_shared<DiskStore>(dir));
+            persist.add_file("asset", *asset->file());  // durable write-through
+        }
+        const double persist_s = persist_sw.seconds();
+
+        const ServeRequest req{"asset", 16, std::nullopt};
+        auto reference = server.serve(req);
+
+        Stopwatch boot_sw;
+        ContentServer cold;
+        cold.store().attach_backing(std::make_shared<DiskStore>(dir));
+        const double open_s = boot_sw.seconds();
+        auto first = cold.serve(req);  // demand-load (mmap + parse) + combine
+        const double first_s = boot_sw.seconds();
+        const bool exact = first.ok() && reference.ok() &&
+                           *first.wire == *reference.wire;
+        std::printf(
+            "cold boot from disk: store open %.2f ms, first response %.2f ms "
+            "(demand-load + combine) vs %.0f ms re-encode; persist %.0f ms; "
+            "restart response %s\n",
+            open_s * 1e3, first_s * 1e3, encode_s * 1e3,
+            persist_s * 1e3, exact ? "bit-exact" : "MISMATCH");
+        fs::remove_all(dir);
+        if (!exact) return 1;
+    }
 
     return worst_ratio >= 10.0 ? 0 : 1;
 }

@@ -7,13 +7,19 @@
 // metadata per client class through the LRU wire cache, coalesces a
 // concurrent cold stampede into one combine, and serves byte ranges over
 // both single-file and chunked assets.
+//
+// With `--store DIR` the server runs on a persistent DiskStore: the first
+// run encodes and writes through durably; every later run cold-boots by
+// mmapping the stored masters (no re-encode) and serves the same bytes.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <future>
 
 #include "core/recoil_decoder.hpp"
 #include "serve/session.hpp"
+#include "serve/store.hpp"
 #include "simd/dispatch.hpp"
 #include "util/stopwatch.hpp"
 #include "workload/datasets.hpp"
@@ -33,17 +39,49 @@ ServeResult roundtrip(ContentServer& server, const ServeRequest& req) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const char* store_dir = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--store") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--store requires a directory\n");
+                return 2;
+            }
+            store_dir = argv[++i];
+        }
+    }
+
     const u64 size = 10'000'000;
-    std::printf("server: encoding %llu-byte asset once (max parallelism 2176)...\n",
-                static_cast<unsigned long long>(size));
     auto data = workload::gen_text(size, 2024);
 
     ContentServer server;
-    auto asset = server.store().encode_bytes("asset", data, 2176);
-    std::printf("server: master %llu B (%u split points)\n\n",
-                static_cast<unsigned long long>(asset->master_bytes()),
-                asset->max_parallelism() - 1);
+    if (store_dir != nullptr) {
+        Stopwatch open_sw;
+        auto disk = std::make_shared<DiskStore>(store_dir);
+        server.store().attach_backing(disk);
+        std::printf("store: opened %s (%zu stored assets) in %.2f ms\n",
+                    store_dir, disk->size(), open_sw.seconds() * 1e3);
+    }
+
+    // Cold boot: an asset already persisted from a previous run is mmapped
+    // and served as-is — the whole point of encode-once is never doing this
+    // encode again.
+    auto asset = server.store().resolve("asset");
+    if (asset != nullptr) {
+        std::printf("server: booted 'asset' from store (master %llu B, "
+                    "%u split points) — no re-encode\n\n",
+                    static_cast<unsigned long long>(asset->master_bytes()),
+                    asset->max_parallelism() - 1);
+    } else {
+        std::printf("server: encoding %llu-byte asset once (max parallelism "
+                    "2176)...\n",
+                    static_cast<unsigned long long>(size));
+        asset = server.store().encode_bytes("asset", data, 2176);
+        std::printf("server: master %llu B (%u split points)%s\n\n",
+                    static_cast<unsigned long long>(asset->master_bytes()),
+                    asset->max_parallelism() - 1,
+                    store_dir != nullptr ? ", persisted durably" : "");
+    }
 
     struct Client {
         const char* name;
@@ -143,10 +181,12 @@ int main() {
     // covering splits, so a slice spanning frame boundaries still works.
     const u64 frame_bytes = 50'000;
     auto clip = workload::gen_text(40 * frame_bytes, 77);
-    stream::ChunkedEncoder enc({11, 32});
-    for (u64 off = 0; off < clip.size(); off += frame_bytes)
-        enc.add_chunk(std::span<const u8>(clip).subspan(off, frame_bytes));
-    server.store().add_chunked("clip", enc.finish());
+    if (server.store().resolve("clip") == nullptr) {
+        stream::ChunkedEncoder enc({11, 32});
+        for (u64 off = 0; off < clip.size(); off += frame_bytes)
+            enc.add_chunk(std::span<const u8>(clip).subspan(off, frame_bytes));
+        server.store().add_chunked("clip", enc.finish());
+    }
 
     const u64 clip_lo = 7 * frame_bytes - 1000, clip_hi = 9 * frame_bytes + 1000;
     auto clip_res = roundtrip(server, ServeRequest{"clip", 1, {{clip_lo, clip_hi}}});
@@ -186,5 +226,9 @@ int main() {
                 static_cast<unsigned long long>(t.failures),
                 static_cast<unsigned long long>(c.entries),
                 static_cast<unsigned long long>(c.bytes));
+    if (store_dir != nullptr)
+        std::printf("store: %zu assets persisted in %s — rerun with the same "
+                    "--store to serve them without re-encoding\n",
+                    server.store().backing()->size(), store_dir);
     return 0;
 }

@@ -36,7 +36,8 @@ IndexedModelSet RecoilFile::build_indexed_model() const {
     models.reserve(p.freqs.size());
     for (const auto& f : p.freqs)
         models.emplace_back(std::span<const u32>(f), prob_bits, 0);
-    return IndexedModelSet(std::move(models), p.ids);
+    return IndexedModelSet(std::move(models),
+                           std::vector<u8>(p.ids.begin(), p.ids.end()));
 }
 
 std::vector<u8> save_recoil_file(const RecoilFile& f) {
@@ -47,7 +48,7 @@ std::vector<u8> save_recoil_file(const RecoilFile& f,
                                  const RecoilMetadata& metadata) {
     std::vector<u8> out;
     out.insert(out.end(), kMagic, kMagic + 4);
-    out.push_back(1);  // version
+    out.push_back(2);  // version (2: unit payload aligned via pad marker)
     out.push_back(f.sym_width);
     out.push_back(f.is_indexed() ? 1 : 0);
     out.push_back(static_cast<u8>(f.prob_bits));
@@ -68,6 +69,7 @@ std::vector<u8> save_recoil_file(const RecoilFile& f,
     out.insert(out.end(), meta.begin(), meta.end());
 
     put_u64(out, f.units.size());
+    put_unit_pad(out);
     const auto* ub = reinterpret_cast<const u8*>(f.units.data());
     out.insert(out.end(), ub, ub + f.units.size() * 2);
 
@@ -75,11 +77,19 @@ std::vector<u8> save_recoil_file(const RecoilFile& f,
     return out;
 }
 
-RecoilFile load_recoil_file(std::span<const u8> bytes) {
-    Cursor c{checked_payload(bytes, "container"), "container"};
+namespace {
+
+/// Shared parse: owning (keeper null: units/ids copied out of `bytes`) or
+/// view mode (keeper owns `bytes`: units/ids borrow the mapped storage).
+RecoilFile load_recoil_file_impl(std::span<const u8> bytes,
+                                 const std::shared_ptr<const void>& keeper,
+                                 bool checksum_verified) {
+    Cursor c{checked_payload(bytes, "container", !checksum_verified),
+             "container"};
     if (std::memcmp(c.get_bytes(4).data(), kMagic, 4) != 0)
         raise("container: bad magic");
-    if (c.get_u8() != 1) raise("container: unsupported version");
+    const u8 version = c.get_u8();
+    if (version != 1 && version != 2) raise("container: unsupported version");
 
     RecoilFile f;
     f.sym_width = c.get_u8();
@@ -96,7 +106,10 @@ RecoilFile load_recoil_file(std::span<const u8> bytes) {
         for (auto& freq : p.freqs) freq = get_freq_table(c, f.prob_bits);
         const u64 ids_len = c.get_u64();
         auto ids = c.get_bytes(ids_len);
-        p.ids.assign(ids.begin(), ids.end());
+        if (keeper != nullptr)
+            p.ids = ByteBuffer::view(ids, keeper);
+        else
+            p.ids = std::vector<u8>(ids.begin(), ids.end());
         f.model = std::move(p);
     } else {
         f.model = RecoilFile::StaticPayload{get_freq_table(c, f.prob_bits)};
@@ -106,12 +119,23 @@ RecoilFile load_recoil_file(std::span<const u8> bytes) {
     f.metadata = deserialize_metadata(c.get_bytes(meta_len));
 
     const u64 unit_count = c.get_u64();
-    auto units = c.get_unit_bytes(unit_count);
-    f.units.resize(unit_count);
-    std::memcpy(f.units.data(), units.data(), unit_count * 2);
+    if (version >= 2) skip_unit_pad(c);
+    f.units = get_unit_buffer(c, unit_count, keeper);
     if (f.metadata.num_units != unit_count)
         raise("container: metadata/bitstream length mismatch");
     return f;
+}
+
+}  // namespace
+
+RecoilFile load_recoil_file(std::span<const u8> bytes) {
+    return load_recoil_file_impl(bytes, nullptr, false);
+}
+
+RecoilFile load_recoil_file_view(std::span<const u8> bytes,
+                                 std::shared_ptr<const void> keeper,
+                                 bool checksum_verified) {
+    return load_recoil_file_impl(bytes, keeper, checksum_verified);
 }
 
 u64 serialized_file_size(const RecoilFile& f) {
@@ -125,7 +149,9 @@ u64 serialized_file_size(const RecoilFile& f) {
         n += 4 + 4 * std::get<RecoilFile::StaticPayload>(f.model).freq.size();
     }
     n += 8 + serialize_metadata(f.metadata).size();
-    n += 8 + f.units.size() * 2;
+    n += 8;  // unit count
+    n += wire::unit_pad_size(n);
+    n += f.units.size() * 2;
     return n + 8;  // checksum
 }
 

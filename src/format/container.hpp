@@ -5,6 +5,7 @@
 // path (combine splits, re-serialize metadata, keep the bitstream) operates
 // directly on it.
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -14,6 +15,7 @@
 #include "conventional/conventional.hpp"
 #include "core/metadata.hpp"
 #include "core/recoil_encoder.hpp"
+#include "format/wire_io.hpp"
 #include "rans/indexed_model.hpp"
 
 namespace recoil::format {
@@ -24,17 +26,22 @@ u64 fnv1a(std::span<const u8> bytes);
 struct RecoilFile {
     u8 sym_width = 1;  ///< 1 or 2 bytes per symbol
     u32 prob_bits = 0;
-    /// Model payload: a single static PDF or an indexed family + ids.
+    /// Model payload: a single static PDF or an indexed family + ids. The id
+    /// stream shares storage on copy and may be a zero-copy view into a
+    /// mapped container (see load_recoil_file_view).
     struct StaticPayload {
         std::vector<u32> freq;
     };
     struct IndexedPayload {
         std::vector<std::vector<u32>> freqs;
-        std::vector<u8> ids;
+        ByteBuffer ids;
     };
     std::variant<StaticPayload, IndexedPayload> model;
     RecoilMetadata metadata;
-    std::vector<u16> units;
+    /// Bitstream units: shared on copy, possibly a borrowed view of a
+    /// mapped container file (the dominant payload, so the zero-copy parse
+    /// path exists for its sake).
+    UnitBuffer units;
 
     /// Rebuild the decode-side model objects.
     StaticModel build_static_model() const;
@@ -45,7 +52,8 @@ struct RecoilFile {
 };
 
 /// Serialize/parse. Parsing validates structure, metadata invariants and the
-/// checksum; corrupt input raises recoil::Error.
+/// checksum; corrupt input raises recoil::Error. save writes container
+/// version 2 (unit payload padded to an even offset); load accepts v1 too.
 std::vector<u8> save_recoil_file(const RecoilFile& f);
 /// Serialize `f`'s model and bitstream with `metadata` substituted — the
 /// §3.3 serving path's shape (combine metadata, keep everything else)
@@ -53,6 +61,17 @@ std::vector<u8> save_recoil_file(const RecoilFile& f);
 std::vector<u8> save_recoil_file(const RecoilFile& f,
                                  const RecoilMetadata& metadata);
 RecoilFile load_recoil_file(std::span<const u8> bytes);
+
+/// Parse `bytes` without copying the bitstream or id stream: the returned
+/// file's `units`/`ids` are views into `bytes`, and `keeper` (which must own
+/// the storage behind `bytes`, e.g. a serve::MappedFile) is retained by
+/// those views. Misaligned unit payloads (v1 containers at an odd offset)
+/// fall back to an owned copy. `checksum_verified` true skips re-hashing
+/// when the caller already validated these exact bytes (a store manifest
+/// checksum); structural validation always runs.
+RecoilFile load_recoil_file_view(std::span<const u8> bytes,
+                                 std::shared_ptr<const void> keeper,
+                                 bool checksum_verified = false);
 
 /// Exact byte count save_recoil_file would produce, without materializing
 /// the O(bitstream) buffer (only the metadata is encoded to measure it).

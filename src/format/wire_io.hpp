@@ -6,6 +6,10 @@
 // and freq tables are validated to sum to exactly 2^prob_bits before they
 // can reach a model's table builder.
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,6 +21,61 @@ namespace recoil::format {
 
 /// FNV-1a 64-bit, used as the container integrity checksum (container.cpp).
 u64 fnv1a(std::span<const u8> bytes);
+
+/// Payload storage that is either owned or a zero-copy view into bytes kept
+/// alive by an external keeper (an mmapped container file). Copies share the
+/// underlying storage, so re-serializing or combining a parsed container
+/// never duplicates the bitstream. The keeper outlives every view, which is
+/// what makes handing spans of a mapping around safe.
+template <typename T>
+class SharedBuffer {
+public:
+    SharedBuffer() = default;
+    SharedBuffer(std::vector<T> own) {  // NOLINT: implicit by design
+        auto v = std::make_shared<const std::vector<T>>(std::move(own));
+        view_ = std::span<const T>(v->data(), v->size());
+        keeper_ = std::move(v);
+    }
+    SharedBuffer& operator=(std::vector<T> own) {
+        *this = SharedBuffer(std::move(own));
+        return *this;
+    }
+
+    /// View over caller-kept bytes; `keeper` must own the storage `s` points
+    /// into and is retained for the buffer's lifetime.
+    static SharedBuffer view(std::span<const T> s,
+                             std::shared_ptr<const void> keeper) {
+        SharedBuffer b;
+        b.view_ = s;
+        b.keeper_ = std::move(keeper);
+        b.borrowed_ = true;
+        return b;
+    }
+
+    const T* data() const noexcept { return view_.data(); }
+    std::size_t size() const noexcept { return view_.size(); }
+    bool empty() const noexcept { return view_.empty(); }
+    const T* begin() const noexcept { return view_.data(); }
+    const T* end() const noexcept { return view_.data() + view_.size(); }
+    const T& operator[](std::size_t i) const noexcept { return view_[i]; }
+    operator std::span<const T>() const noexcept { return view_; }  // NOLINT
+
+    /// True when this buffer is a zero-copy view into external storage
+    /// (e.g. an mmapped file) rather than an owned vector.
+    bool borrowed() const noexcept { return borrowed_; }
+
+    friend bool operator==(const SharedBuffer& a, const SharedBuffer& b) {
+        return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    }
+
+private:
+    std::span<const T> view_;
+    std::shared_ptr<const void> keeper_;
+    bool borrowed_ = false;
+};
+
+using UnitBuffer = SharedBuffer<u16>;  ///< bitstream units
+using ByteBuffer = SharedBuffer<u8>;   ///< per-symbol model ids
 
 namespace wire {
 
@@ -82,17 +141,61 @@ struct Cursor {
 
 inline void append_checksum(std::vector<u8>& out) { put_u64(out, fnv1a(out)); }
 
-/// Verify the trailing checksum and return the payload it covers.
+/// Verify the trailing checksum and return the payload it covers. `verify`
+/// false skips the hash (for callers that already validated the same bytes
+/// at a higher level, e.g. a store manifest checksum over a mapped file) but
+/// still strips the trailer.
 inline std::span<const u8> checked_payload(std::span<const u8> bytes,
-                                           const char* ctx) {
+                                           const char* ctx, bool verify = true) {
     if (bytes.size() < 16) raise(std::string(ctx) + ": too short");
     u64 stored = 0;
     for (int i = 0; i < 8; ++i)
         stored |= u64{bytes[bytes.size() - 8 + i]} << (8 * i);
     auto payload = bytes.first(bytes.size() - 8);
-    if (fnv1a(payload) != stored)
+    if (verify && fnv1a(payload) != stored)
         raise(std::string(ctx) + ": checksum mismatch");
     return payload;
+}
+
+/// Pad marker so the u16 unit payload that follows starts at an even offset
+/// within the serialized buffer: a one-byte pad count (0 or 1) followed by
+/// that many zero bytes. With the container file mapped at a page-aligned
+/// base, an even file offset makes the units directly addressable as u16
+/// without copying (see SharedBuffer::view).
+inline void put_unit_pad(std::vector<u8>& out) {
+    const u8 pad = static_cast<u8>((out.size() + 1) % 2);
+    out.push_back(pad);
+    if (pad != 0) out.push_back(0);
+}
+
+/// Bytes put_unit_pad would append at buffer offset `pos`.
+inline u64 unit_pad_size(u64 pos) { return 1 + (pos + 1) % 2; }
+
+/// Consume a pad marker written by put_unit_pad.
+inline void skip_unit_pad(Cursor& c) {
+    const u8 pad = c.get_u8();
+    if (pad > 1) raise(std::string(c.ctx) + ": bad unit padding");
+    for (u8 i = 0; i < pad; ++i)
+        if (c.get_u8() != 0) raise(std::string(c.ctx) + ": bad unit padding");
+}
+
+/// Consume `count` u16 units as a UnitBuffer: a zero-copy view into the
+/// cursor's bytes when a keeper owns them and the payload is u16-aligned
+/// (v2 containers mapped at offset 0 guarantee this), an owned copy
+/// otherwise. Shared by every container parser.
+inline UnitBuffer get_unit_buffer(Cursor& c, u64 count,
+                                  const std::shared_ptr<const void>& keeper) {
+    auto units = c.get_unit_bytes(count);
+    if (keeper != nullptr &&
+        reinterpret_cast<std::uintptr_t>(units.data()) % alignof(u16) == 0) {
+        return UnitBuffer::view(
+            std::span<const u16>(reinterpret_cast<const u16*>(units.data()),
+                                 count),
+            keeper);
+    }
+    std::vector<u16> copy(count);
+    std::memcpy(copy.data(), units.data(), count * 2);
+    return copy;
 }
 
 inline void put_freq_table(std::vector<u8>& out, std::span<const u32> freq) {

@@ -7,10 +7,39 @@
 namespace recoil::serve {
 
 std::shared_ptr<const Asset> AssetStore::insert(std::shared_ptr<Asset> a) {
-    std::unique_lock lk(mu_);
-    a->uid_ = next_uid_++;
+    {
+        // Memory-only store: publish directly, no write-through ordering.
+        std::unique_lock lk(mu_);
+        if (disk_ == nullptr) {
+            a->uid_ = next_uid_++;
+            std::shared_ptr<const Asset> ptr = std::move(a);
+            assets_[ptr->name()] = ptr;
+            return ptr;
+        }
+    }
+    // disk_mu_ orders write-throughs: two concurrent adds of one name reach
+    // disk and memory in the same order, so a restart never resurrects the
+    // losing generation.
+    std::scoped_lock dl(disk_mu_);
+    std::shared_ptr<DiskStore> disk;
+    {
+        std::unique_lock lk(mu_);
+        a->uid_ = next_uid_++;
+        disk = disk_;
+    }
+    if (disk != nullptr) {
+        // Serialize the master and write through durably BEFORE publishing,
+        // so a crash cannot leave a served asset that a restart forgets.
+        const std::vector<u8> container =
+            a->file() != nullptr ? format::save_recoil_file(*a->file())
+                                 : a->chunked()->serialize();
+        disk->put(a->name(), a->kind(), container, a->uid_);
+    }
     std::shared_ptr<const Asset> ptr = std::move(a);
-    assets_[ptr->name()] = ptr;
+    {
+        std::unique_lock lk(mu_);
+        assets_[ptr->name()] = ptr;
+    }
     return ptr;
 }
 
@@ -34,15 +63,90 @@ std::shared_ptr<const Asset> AssetStore::encode_bytes(std::string name,
     return add_file(std::move(name), format::make_recoil_file(enc, model, 1));
 }
 
+void AssetStore::attach_backing(std::shared_ptr<DiskStore> disk) {
+    std::scoped_lock dl(disk_mu_);
+    std::unique_lock lk(mu_);
+    disk_ = std::move(disk);
+    if (disk_ != nullptr)
+        next_uid_ = std::max(next_uid_, disk_->next_generation());
+}
+
+std::shared_ptr<DiskStore> AssetStore::backing() const {
+    std::shared_lock lk(mu_);
+    return disk_;
+}
+
 std::shared_ptr<const Asset> AssetStore::find(const std::string& name) const {
     std::shared_lock lk(mu_);
     auto it = assets_.find(name);
     return it == assets_.end() ? nullptr : it->second;
 }
 
-bool AssetStore::erase(const std::string& name) {
+std::shared_ptr<const Asset> AssetStore::resolve(const std::string& name) {
+    if (auto a = find(name)) return a;
+    // Nothing to demand-load without a backing store — and unknown-name
+    // traffic must not contend on the load mutex.
+    if (backing() == nullptr) return nullptr;
+    std::scoped_lock dl(disk_mu_);
+    if (auto a = find(name)) return a;  // raced with another loader
+    std::shared_ptr<DiskStore> disk;
+    {
+        std::shared_lock lk(mu_);
+        disk = disk_;
+    }
+    if (disk == nullptr) return nullptr;
+    auto loaded = disk->load(name);
+    if (!loaded) return nullptr;
+    std::shared_ptr<Asset> a = asset_from_mapped(*loaded);
+    std::unique_lock lk(mu_);
+    // The persisted generation IS the uid: cache keys derived before an
+    // unload stay valid, and fresh inserts continue strictly above it.
+    a->uid_ = loaded->info.generation;
+    if (next_uid_ <= a->uid_) next_uid_ = a->uid_ + 1;
+    std::shared_ptr<const Asset> ptr = std::move(a);
+    assets_[name] = ptr;
+    return ptr;
+}
+
+std::size_t AssetStore::preload() {
+    auto disk = backing();
+    if (disk == nullptr) return 0;
+    std::size_t resident = 0;
+    for (const StoredAssetInfo& info : disk->list())
+        if (resolve(info.name) != nullptr) ++resident;
+    return resident;
+}
+
+bool AssetStore::is_current(const Asset& a) const {
+    std::shared_ptr<DiskStore> disk;
+    {
+        std::shared_lock lk(mu_);
+        auto it = assets_.find(a.name());
+        if (it != assets_.end()) return it->second->uid() == a.uid();
+        disk = disk_;
+    }
+    if (disk == nullptr) return false;
+    const auto info = disk->info(a.name());  // index lookup, no IO
+    return info.has_value() && info->generation == a.uid();
+}
+
+bool AssetStore::unload(const std::string& name) {
     std::unique_lock lk(mu_);
     return assets_.erase(name) != 0;
+}
+
+bool AssetStore::erase(const std::string& name) {
+    if (backing() == nullptr) return unload(name);  // memory-only store
+    std::scoped_lock dl(disk_mu_);
+    std::shared_ptr<DiskStore> disk;
+    bool had = false;
+    {
+        std::unique_lock lk(mu_);
+        had = assets_.erase(name) != 0;
+        disk = disk_;
+    }
+    if (disk != nullptr) had = disk->remove(name) || had;
+    return had;
 }
 
 std::vector<std::string> AssetStore::names() const {

@@ -2,6 +2,13 @@
 // Thread-safe name -> Asset map. Assets are immutable once added and held by
 // shared_ptr, so a concurrent reader's pointer stays valid across erase().
 // Re-adding a name replaces the asset under a fresh uid.
+//
+// With a backing DiskStore attached the map becomes a view of the disk
+// corpus: add_* write through durably before publishing, resolve()
+// demand-loads misses as zero-copy views of the mmapped container, and the
+// uid (generation) is carried across restarts — so MetadataCache keys stay
+// valid over unload/reload cycles and the asset corpus is bounded by disk,
+// not RAM.
 
 #include <memory>
 #include <shared_mutex>
@@ -11,6 +18,7 @@
 #include <vector>
 
 #include "serve/asset.hpp"
+#include "serve/store.hpp"
 
 namespace recoil::serve {
 
@@ -26,8 +34,35 @@ public:
                                               std::span<const u8> data,
                                               u32 max_splits, u32 prob_bits = 11);
 
+    /// Attach a disk backing store: subsequent add_* write through durably,
+    /// resolve() demand-loads misses, and uids continue above every stored
+    /// generation. Attach before adding assets (earlier adds stay
+    /// memory-only).
+    void attach_backing(std::shared_ptr<DiskStore> disk);
+    std::shared_ptr<DiskStore> backing() const;
+
+    /// In-memory lookup only; never touches the backing store.
     std::shared_ptr<const Asset> find(const std::string& name) const;
+    /// find(), then on a miss demand-load from the backing store (mmap +
+    /// zero-copy parse) under the persisted generation. nullptr when the
+    /// asset exists nowhere; StoreError when the stored copy is corrupt.
+    std::shared_ptr<const Asset> resolve(const std::string& name);
+    /// Load every backed asset into memory (cold-boot warmup); returns the
+    /// number of assets now resident.
+    std::size_t preload();
+
+    /// True while `a` is still the live asset under its name — in memory,
+    /// or (when unloaded) on disk under the same generation. The
+    /// single-flight stale-put gate: a wire combined from a replaced or
+    /// evicted asset must not re-enter the response cache.
+    bool is_current(const Asset& a) const;
+
+    /// Drop the in-memory asset but keep the backing copy: resolve()
+    /// reloads it under the same uid, so cached responses stay valid.
+    bool unload(const std::string& name);
+    /// Remove the asset everywhere (memory and backing store).
     bool erase(const std::string& name);
+
     std::vector<std::string> names() const;
     std::size_t size() const;
 
@@ -35,6 +70,10 @@ private:
     std::shared_ptr<const Asset> insert(std::shared_ptr<Asset> a);
 
     mutable std::shared_mutex mu_;
+    /// Serializes demand-loads and write-through ordering (taken before
+    /// mu_; never the other way around).
+    std::mutex disk_mu_;
+    std::shared_ptr<DiskStore> disk_;
     std::unordered_map<std::string, std::shared_ptr<const Asset>> assets_;
     u64 next_uid_ = 1;
 };

@@ -21,8 +21,11 @@ WireBytes MetadataCache::get(const std::string& asset_key, u32 parallelism,
 void MetadataCache::put(const std::string& asset_key, u32 parallelism,
                         WireBytes wire, u32 splits) {
     RECOIL_CHECK(wire != nullptr, "cache put: null payload");
-    if (wire->size() > capacity_) return;  // would evict everything for nothing
     std::scoped_lock lk(mu_);
+    if (wire->size() > capacity_) {  // would evict everything for nothing
+        ++stats_.rejected;
+        return;
+    }
     const Key key{asset_key, parallelism};
     auto it = index_.find(key);
     if (it != index_.end()) {

@@ -19,11 +19,17 @@
 
 namespace recoil::serve {
 
+/// Counters are cumulative over the cache's lifetime (they survive clear());
+/// `bytes`/`entries` describe the current contents only.
 struct CacheStats {
     u64 hits = 0;
     u64 misses = 0;
     u64 insertions = 0;
     u64 evictions = 0;
+    /// Puts dropped because the payload alone exceeds the whole cache
+    /// capacity. A persistently rising value means the capacity is
+    /// mis-sized for the traffic, which a silent drop used to hide.
+    u64 rejected = 0;
     u64 bytes = 0;    ///< current cached payload bytes
     u64 entries = 0;  ///< current entry count
 };
@@ -38,8 +44,9 @@ public:
                   u32* splits_out = nullptr);
 
     /// Insert (or refresh) an entry, evicting LRU entries past capacity.
-    /// Payloads larger than the whole cache are not cached at all. `splits`
-    /// is the work-item count the response carries, echoed back by get().
+    /// Payloads larger than the whole cache are not cached at all — counted
+    /// in CacheStats::rejected, never silently dropped. `splits` is the
+    /// work-item count the response carries, echoed back by get().
     void put(const std::string& asset_key, u32 parallelism, WireBytes wire,
              u32 splits = 0);
 
@@ -47,6 +54,10 @@ public:
     /// of the form "asset_key\n..." such as range responses).
     void erase_asset(const std::string& asset_key);
 
+    /// Drop every entry. Resets the current-size fields (`bytes`,
+    /// `entries`) only; cumulative counters (hits/misses/insertions/
+    /// evictions/rejected) survive, so observability across a clear() is
+    /// not lost. Dropped entries do not count as evictions.
     void clear();
     CacheStats stats() const;
     u64 capacity_bytes() const noexcept { return capacity_; }

@@ -60,7 +60,7 @@ ServeResult ContentServer::serve(const ServeRequest& req) noexcept {
 }
 
 ServeResult ContentServer::serve_impl(const ServeRequest& req) {
-    auto asset = store_.find(req.asset);
+    auto asset = store_.resolve(req.asset);
     if (asset == nullptr)
         return fail(ErrorCode::unknown_asset,
                     "serve: unknown asset '" + req.asset + "'");
@@ -82,7 +82,7 @@ ServeResult ContentServer::serve_impl(const ServeRequest& req) {
                             std::to_string(asset->num_symbols()) + " symbols");
         res.payload = PayloadKind::range;
         served = serve_shared(range_key(*asset, lo, hi), 0, opt_.cache_ranges,
-                              res.stats,
+                              res.stats, *asset,
                               [&] { return asset->range(lo, hi); });
     } else {
         const u8 need = asset->payload_kind() == PayloadKind::chunked
@@ -96,6 +96,7 @@ ServeResult ContentServer::serve_impl(const ServeRequest& req) {
             std::clamp(req.parallelism, u32{1}, asset->max_parallelism());
         res.payload = asset->payload_kind();
         served = serve_shared(asset_key(*asset), parallelism, true, res.stats,
+                              *asset,
                               [&] { return asset->combine(parallelism); });
     }
     res.wire = std::move(served.wire);
@@ -107,6 +108,7 @@ ServeResult ContentServer::serve_impl(const ServeRequest& req) {
 
 ServedWire ContentServer::serve_shared(const std::string& key, u32 parallelism,
                                        bool use_cache, ServeStats& stats,
+                                       const Asset& asset,
                                        const std::function<ServedWire()>& build) {
     if (use_cache) {
         u32 splits = 0;
@@ -136,7 +138,10 @@ ServedWire ContentServer::serve_shared(const std::string& key, u32 parallelism,
         std::unique_lock lk(flight->mu);
         flight->cv.wait(lk, [&] { return flight->done; });
         waiters_.fetch_sub(1, std::memory_order_relaxed);
-        if (flight->error) std::rethrow_exception(flight->error);
+        // A fresh exception per follower; the flight's fields are immutable
+        // once done, so concurrent reads need no further synchronization.
+        if (flight->failed)
+            throw ProtocolError(flight->error_code, flight->error_detail);
         stats.coalesced = true;
         return flight->wire;
     }
@@ -149,7 +154,7 @@ ServedWire ContentServer::serve_shared(const std::string& key, u32 parallelism,
         u32 splits = 0;
         if (WireBytes cached = cache_.get(key, parallelism, &splits)) {
             ServedWire wire{std::move(cached), splits};
-            retire_flight(flight_key, flight, &wire, nullptr);
+            retire_flight(flight_key, flight, &wire, ErrorCode::ok, {});
             stats.cache_hit = true;
             return wire;
         }
@@ -164,28 +169,50 @@ ServedWire ContentServer::serve_shared(const std::string& key, u32 parallelism,
         // Publish to the cache before retiring the flight, so a request
         // arriving between the two hits the cache instead of recombining.
         // Inside the try: a put failure must retire the flight too, or
-        // followers park forever.
-        if (use_cache) cache_.put(key, parallelism, wire.wire, wire.splits);
+        // followers park forever. Gated on the asset still being current:
+        // evict_asset() during the combine already purged this key's
+        // entries, and an ungated put would resurrect a wire for a deleted
+        // (or replaced) asset — stale bytes pinned until LRU pressure. The
+        // flight itself still returns the wire: those requests began before
+        // the eviction. (An eviction landing between the gate and the put
+        // can still slip a dying entry in; its uid-scoped key can never be
+        // served for the successor, so the cost is transient bytes, not
+        // staleness.)
+        if (use_cache && store_.is_current(asset))
+            cache_.put(key, parallelism, wire.wire, wire.splits);
+    } catch (const ProtocolError& e) {
+        retire_flight(flight_key, flight, nullptr, e.code(), e.what());
+        throw;
+    } catch (const std::exception& e) {
+        retire_flight(flight_key, flight, nullptr, ErrorCode::internal,
+                      e.what());
+        throw;
     } catch (...) {
-        retire_flight(flight_key, flight, nullptr, std::current_exception());
+        retire_flight(flight_key, flight, nullptr, ErrorCode::internal,
+                      "combine failed");
         throw;
     }
-    retire_flight(flight_key, flight, &wire, nullptr);
+    retire_flight(flight_key, flight, &wire, ErrorCode::ok, {});
     return wire;
 }
 
 void ContentServer::retire_flight(const std::string& flight_key,
                                   const std::shared_ptr<Flight>& flight,
-                                  const ServedWire* wire,
-                                  std::exception_ptr error) {
+                                  const ServedWire* wire, ErrorCode error_code,
+                                  std::string error_detail) {
     {
         std::scoped_lock lk(flights_mu_);
         flights_.erase(flight_key);
     }
     {
         std::scoped_lock fl(flight->mu);
-        if (wire != nullptr) flight->wire = *wire;
-        flight->error = std::move(error);
+        if (wire != nullptr) {
+            flight->wire = *wire;
+        } else {
+            flight->failed = true;
+            flight->error_code = error_code;
+            flight->error_detail = std::move(error_detail);
+        }
         flight->done = true;
     }
     flight->cv.notify_all();

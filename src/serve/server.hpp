@@ -40,15 +40,26 @@ public:
     MetadataCache& cache() noexcept { return cache_; }
 
     /// Serve one request. Never throws: failures come back as a typed
-    /// ErrorCode, so scheduler workers cannot tear down their pool.
+    /// ErrorCode, so scheduler workers cannot tear down their pool. Assets
+    /// not resident in memory are demand-loaded from the attached backing
+    /// store (AssetStore::resolve) as zero-copy views of the mapped master.
     ServeResult serve(const ServeRequest& req) noexcept;
 
     /// Transport entry: parse a request frame, serve it, return the encoded
     /// response frame. Malformed frames become typed error responses.
     std::vector<u8> serve_frame(std::span<const u8> request_frame) noexcept;
 
-    /// Remove an asset and every cached response derived from it.
+    /// Remove an asset (memory AND backing store) and every cached response
+    /// derived from it. A combine already in flight for the evicted asset
+    /// still completes for its waiting requests, but its wire is gated out
+    /// of the cache (AssetStore::is_current), so eviction is never undone by
+    /// a straggling flight.
     bool evict_asset(const std::string& name);
+
+    /// Drop an asset from memory but keep it in the backing store: the next
+    /// request demand-loads it under the same generation, so its cached
+    /// responses stay valid. Memory-pressure relief, not eviction.
+    bool unload_asset(const std::string& name) { return store_.unload(name); }
 
     /// Requests currently parked on another request's in-flight combine.
     u64 coalescing_waiters() const noexcept {
@@ -72,25 +83,37 @@ public:
 
 private:
     /// In-flight combine shared by coalesced requests for one response key.
+    /// Failures are published as a typed (code, detail) pair, NOT a shared
+    /// exception_ptr: rethrowing one exception object from many followers
+    /// lets one thread's catch-scope destruction race another's what() read
+    /// (caught by TSan). Each follower throws its own ProtocolError built
+    /// from the immutable-after-done fields.
     struct Flight {
         std::mutex mu;
         std::condition_variable cv;
         bool done = false;
         ServedWire wire;
-        std::exception_ptr error;
+        bool failed = false;
+        ErrorCode error_code = ErrorCode::internal;
+        std::string error_detail;
     };
 
     ServeResult serve_impl(const ServeRequest& req);
-    /// Cache lookup + single-flight combine for one response key.
+    /// Cache lookup + single-flight combine for one response key. `asset`
+    /// is the asset the key was derived from: after the combine, the wire
+    /// enters the cache only if that asset is still current (the
+    /// evict-during-flight stale-put gate).
     ServedWire serve_shared(const std::string& key, u32 parallelism,
-                            bool use_cache, ServeStats& stats,
+                            bool use_cache, ServeStats& stats, const Asset& asset,
                             const std::function<ServedWire()>& build);
-    /// Remove the flight from the map, publish its outcome (wire or error)
-    /// and wake every parked follower. Every leader exit path must end
-    /// here, or followers block forever on a stranded flight.
+    /// Remove the flight from the map, publish its outcome (wire when
+    /// non-null, else the typed failure) and wake every parked follower.
+    /// Every leader exit path must end here, or followers block forever on
+    /// a stranded flight.
     void retire_flight(const std::string& flight_key,
                        const std::shared_ptr<Flight>& flight,
-                       const ServedWire* wire, std::exception_ptr error);
+                       const ServedWire* wire, ErrorCode error_code,
+                       std::string error_detail);
 
     ServerOptions opt_;
     AssetStore store_;

@@ -1,0 +1,146 @@
+#pragma once
+// Crash-safe on-disk asset store — the persistence layer the encode-once
+// premise demands: master containers survive restarts, so a cold
+// ContentServer never re-encodes the fleet, and the asset corpus is bounded
+// by disk, not RAM. A store directory holds one generation-suffixed
+// container file per live asset plus a small per-asset manifest (magic,
+// format version, asset name, kind, generation, FNV checksum of the
+// container). Writes are durable: container and manifest are each written
+// to a temp file, fsynced, atomically renamed into place, and the directory
+// is fsynced; replacement commits via the manifest rename — a crash at any
+// point leaves either the old asset or the new one, never a torn file.
+// Opening a store
+// only stats manifests (milliseconds); containers are mmapped read-only at
+// demand-load time and parsed into zero-copy FileAsset/ChunkedAsset views
+// (format::SharedBuffer), so serving reads straight out of the page cache.
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/asset.hpp"
+#include "util/error.hpp"
+#include "util/ints.hpp"
+
+namespace recoil::serve {
+
+/// Typed store failure taxonomy. `status` is authoritative for dispatch;
+/// what() elaborates for humans and logs.
+enum class StoreStatus : u8 {
+    io_error = 0,       ///< open/read/write/fsync/rename failed
+    bad_manifest = 1,   ///< manifest file does not parse or fails its checksum
+    bad_container = 2,  ///< container missing, truncated, or corrupt
+    bad_name = 3,       ///< asset name cannot become a store filename
+};
+const char* store_status_name(StoreStatus status) noexcept;
+
+class StoreError : public Error {
+public:
+    StoreError(StoreStatus status, const std::string& what)
+        : Error(what), status_(status) {}
+    StoreStatus status() const noexcept { return status_; }
+
+private:
+    StoreStatus status_;
+};
+
+/// Read-only mmap of one container file. Shared ownership keeps the mapping
+/// alive for every zero-copy asset view cut from it, even after the store
+/// entry is replaced or removed (POSIX keeps renamed-over mappings valid).
+class MappedFile {
+public:
+    static std::shared_ptr<const MappedFile> map(
+        const std::filesystem::path& path);
+    ~MappedFile();
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+
+    std::span<const u8> bytes() const noexcept {
+        return {static_cast<const u8*>(addr_), size_};
+    }
+
+private:
+    MappedFile(void* addr, std::size_t size) : addr_(addr), size_(size) {}
+    void* addr_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/// Manifest contents for one stored asset.
+struct StoredAssetInfo {
+    std::string name;
+    AssetKind kind = AssetKind::static_file;
+    u64 generation = 0;       ///< AssetStore uid, carried across restarts
+    u64 container_bytes = 0;  ///< exact container file size
+    u64 checksum = 0;         ///< FNV-1a over the whole container file
+};
+
+struct DiskStoreOptions {
+    /// Verify each container's FNV checksum against its manifest when
+    /// loading (one sequential pass over the mapped bytes). Off, corruption
+    /// is still caught by the container's own structural validation and
+    /// trailing checksum at parse time.
+    bool verify_on_load = true;
+};
+
+/// The on-disk directory: an index of manifests plus durable put/load/
+/// remove. Thread-safe; load() returns a mapping that outlives any
+/// subsequent replacement of the entry.
+class DiskStore {
+public:
+    /// Open the directory (creating it if absent) and index every manifest.
+    /// Raises StoreError on unreadable manifests or missing/short containers.
+    explicit DiskStore(std::filesystem::path dir, DiskStoreOptions opt = {});
+
+    const std::filesystem::path& dir() const noexcept { return dir_; }
+    std::vector<StoredAssetInfo> list() const;
+    std::optional<StoredAssetInfo> info(const std::string& name) const;
+    std::size_t size() const;
+    /// Smallest generation strictly above every stored asset's, so a
+    /// reopened AssetStore continues the uid sequence instead of reusing one.
+    u64 next_generation() const;
+
+    /// Durably write `container` under `name` with the atomic-rename
+    /// protocol: the generation-suffixed container file lands first (never
+    /// touching the live one), then the manifest rename commits the
+    /// replacement — a crash at any point leaves either the old asset or
+    /// the new one, plus at worst an orphan container ignored at open.
+    void put(const std::string& name, AssetKind kind,
+             std::span<const u8> container, u64 generation);
+
+    struct Loaded {
+        StoredAssetInfo info;
+        std::shared_ptr<const MappedFile> map;  ///< keeper for zero-copy views
+        /// The mapped bytes were FNV-verified against the manifest
+        /// (verify_on_load), so parsers may skip re-hashing them.
+        bool checksum_verified = false;
+    };
+    /// mmap an asset's container. nullopt when the name is not stored;
+    /// StoreError when it is stored but unreadable or corrupt.
+    std::optional<Loaded> load(const std::string& name) const;
+
+    /// Remove an asset's container and manifest. Existing mappings stay
+    /// valid. False when the name is not stored.
+    bool remove(const std::string& name);
+
+private:
+    std::filesystem::path container_path(const std::string& name,
+                                         u64 generation) const;
+    std::filesystem::path manifest_path(const std::string& name) const;
+
+    std::filesystem::path dir_;
+    DiskStoreOptions opt_;
+    mutable std::mutex mu_;
+    std::map<std::string, StoredAssetInfo> index_;
+};
+
+/// Construct the in-memory asset for a mapped container: kind-dispatched
+/// parse with zero-copy unit/id views retaining the mapping. The asset's
+/// uid is NOT set here (the AssetStore assigns it from info.generation).
+std::shared_ptr<Asset> asset_from_mapped(const DiskStore::Loaded& loaded);
+
+}  // namespace recoil::serve

@@ -19,7 +19,8 @@ using namespace format::wire;
 
 namespace {
 
-constexpr char kMagic[4] = {'R', 'C', 'S', '1'};
+constexpr char kMagicV1[4] = {'R', 'C', 'S', '1'};
+constexpr char kMagicV2[4] = {'R', 'C', 'S', '2'};  ///< padded unit payloads
 
 }  // namespace
 
@@ -45,7 +46,7 @@ std::vector<u64> ChunkedStream::chunk_offsets() const {
 
 std::vector<u8> ChunkedStream::serialize() const {
     std::vector<u8> out;
-    out.insert(out.end(), kMagic, kMagic + 4);
+    out.insert(out.end(), kMagicV2, kMagicV2 + 4);
     put_u32(out, prob_bits);
     put_u32(out, static_cast<u32>(chunks.size()));
     for (const Chunk& c : chunks) {
@@ -54,6 +55,7 @@ std::vector<u8> ChunkedStream::serialize() const {
         put_u64(out, meta.size());
         out.insert(out.end(), meta.begin(), meta.end());
         put_u64(out, c.units.size());
+        put_unit_pad(out);
         const auto* ub = reinterpret_cast<const u8*>(c.units.data());
         out.insert(out.end(), ub, ub + c.units.size() * 2);
     }
@@ -66,14 +68,22 @@ u64 ChunkedStream::serialized_size() const {
     for (const Chunk& c : chunks) {
         n += 4 + 4 * c.freq.size();
         n += 8 + serialize_metadata(c.metadata).size();
-        n += 8 + c.units.size() * 2;
+        n += 8;  // unit count
+        n += unit_pad_size(n);
+        n += c.units.size() * 2;
     }
     return n + 8;  // checksum
 }
 
-ChunkedStream ChunkedStream::parse(std::span<const u8> bytes) {
-    Cursor c{checked_payload(bytes, "chunked"), "chunked"};
-    if (std::memcmp(c.get_bytes(4).data(), kMagic, 4) != 0)
+namespace {
+
+ChunkedStream parse_impl(std::span<const u8> bytes,
+                         const std::shared_ptr<const void>& keeper,
+                         bool checksum_verified) {
+    Cursor c{checked_payload(bytes, "chunked", !checksum_verified), "chunked"};
+    const auto magic = c.get_bytes(4);
+    const bool padded = std::memcmp(magic.data(), kMagicV2, 4) == 0;
+    if (!padded && std::memcmp(magic.data(), kMagicV1, 4) != 0)
         raise("chunked: bad magic");
     ChunkedStream s;
     s.prob_bits = c.get_u32();
@@ -86,13 +96,24 @@ ChunkedStream ChunkedStream::parse(std::span<const u8> bytes) {
         const u64 mlen = c.get_u64();
         ch.metadata = deserialize_metadata(c.get_bytes(mlen));
         const u64 ulen = c.get_u64();
-        auto units = c.get_unit_bytes(ulen);
-        ch.units.resize(ulen);
-        std::memcpy(ch.units.data(), units.data(), ulen * 2);
+        if (padded) skip_unit_pad(c);
+        ch.units = get_unit_buffer(c, ulen, keeper);
         if (ch.metadata.num_units != ulen)
             raise("chunked: metadata/bitstream length mismatch");
     }
     return s;
+}
+
+}  // namespace
+
+ChunkedStream ChunkedStream::parse(std::span<const u8> bytes) {
+    return parse_impl(bytes, nullptr, false);
+}
+
+ChunkedStream ChunkedStream::parse_view(std::span<const u8> bytes,
+                                        std::shared_ptr<const void> keeper,
+                                        bool checksum_verified) {
+    return parse_impl(bytes, keeper, checksum_verified);
 }
 
 ChunkedStream ChunkedStream::combined(u32 target_parallelism) const {

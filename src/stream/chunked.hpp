@@ -8,10 +8,12 @@
 // x splits — as one flat work list, and the serving path still scales
 // metadata per client without touching any chunk payload.
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/metadata.hpp"
+#include "format/wire_io.hpp"
 #include "rans/static_model.hpp"
 #include "simd/dispatch.hpp"
 #include "util/thread_pool.hpp"
@@ -25,11 +27,12 @@ struct ChunkedOptions {
     u32 max_splits_per_chunk = 64;
 };
 
-/// One independently decodable chunk.
+/// One independently decodable chunk. Units share storage on copy and may be
+/// a zero-copy view into a mapped container (see parse_view).
 struct Chunk {
     std::vector<u32> freq;  ///< quantized pdf (rebuilds the chunk's model)
     RecoilMetadata metadata;
-    std::vector<u16> units;
+    format::UnitBuffer units;
 };
 
 struct ChunkedStream {
@@ -55,8 +58,19 @@ struct ChunkedStream {
     std::vector<u64> chunk_offsets() const;
 
     /// Serialize with integrity checksum; parse validates everything.
+    /// serialize writes the RCS2 layout (per-chunk unit payloads padded to
+    /// even offsets); parse accepts RCS1 too.
     std::vector<u8> serialize() const;
     static ChunkedStream parse(std::span<const u8> bytes);
+
+    /// Parse without copying any chunk's bitstream: unit buffers are views
+    /// into `bytes`, kept alive by `keeper` (which must own the storage
+    /// behind `bytes`). Misaligned payloads fall back to owned copies.
+    /// `checksum_verified` true skips re-hashing bytes the caller already
+    /// validated; structural validation always runs.
+    static ChunkedStream parse_view(std::span<const u8> bytes,
+                                    std::shared_ptr<const void> keeper,
+                                    bool checksum_verified = false);
 
     /// Exact byte count serialize() would produce, without materializing the
     /// O(bitstream) buffer (only the per-chunk metadata is encoded).

@@ -48,28 +48,43 @@ public:
             for (u64 i = 0; i < count; ++i) body(i);
             return;
         }
+        // Each job is its own shared object: a straggler worker that is
+        // still inside drain() when the job completes touches only its
+        // snapshot, never the fields of the NEXT job (with inline job state
+        // that straggler raced parallel_for's rewrite — caught by TSan).
+        auto job = std::make_shared<Job>(&body, count);
         {
             std::scoped_lock lk(mu_);
-            job_body_ = &body;
-            job_count_ = count;
-            next_.store(0, std::memory_order_relaxed);
-            pending_ = count;
+            job_ = job;
             ++generation_;
         }
         cv_.notify_all();
-        drain();  // caller helps
+        drain(*job);  // caller helps
         std::unique_lock lk(mu_);
-        done_cv_.wait(lk, [this] { return pending_ == 0; });
-        job_body_ = nullptr;
+        done_cv_.wait(lk, [&] {
+            return job->pending.load(std::memory_order_acquire) == 0;
+        });
+        job_ = nullptr;
+        // `body` may now be destroyed: no thread will claim another index
+        // (next >= count), and stragglers keep the Job itself alive.
     }
 
 private:
-    void drain() {
+    struct Job {
+        Job(const std::function<void(u64)>* b, u64 n)
+            : body(b), count(n), pending(n) {}
+        const std::function<void(u64)>* body;
+        u64 count;
+        std::atomic<u64> next{0};
+        std::atomic<u64> pending;
+    };
+
+    void drain(Job& job) {
         for (;;) {
-            const u64 i = next_.fetch_add(1, std::memory_order_relaxed);
-            if (i >= job_count_) return;
-            (*job_body_)(i);
-            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            const u64 i = job.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= job.count) return;
+            (*job.body)(i);
+            if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
                 std::scoped_lock lk(mu_);
                 done_cv_.notify_all();
             }
@@ -79,13 +94,15 @@ private:
     void worker_loop() {
         u64 seen = 0;
         for (;;) {
+            std::shared_ptr<Job> job;
             {
                 std::unique_lock lk(mu_);
                 cv_.wait(lk, [&] { return stopping_ || generation_ != seen; });
                 if (stopping_) return;
                 seen = generation_;
+                job = job_;
             }
-            drain();
+            if (job != nullptr) drain(*job);
         }
     }
 
@@ -93,10 +110,7 @@ private:
     std::mutex mu_;
     std::condition_variable cv_;
     std::condition_variable done_cv_;
-    const std::function<void(u64)>* job_body_ = nullptr;
-    u64 job_count_ = 0;
-    std::atomic<u64> next_{0};
-    std::atomic<u64> pending_{0};
+    std::shared_ptr<Job> job_;  ///< guarded by mu_
     u64 generation_ = 0;
     bool stopping_ = false;
 };

@@ -336,6 +336,106 @@ TEST_F(IndexedServeFixture, RangeOverIndexedAssetMatchesEverywhere) {
     }
 }
 
+/// One asset of each kind over the same tiny symbol stream, so boundary
+/// behavior can be asserted uniformly.
+struct RangeBoundaryFixture : ::testing::Test {
+    static constexpr u64 kN = 4000;
+    std::vector<u8> data;
+    ContentServer server;
+
+    RangeBoundaryFixture() : data(test::geometric_symbols<u8>(kN, 0.5, 256, 3)) {
+        server.store().encode_bytes("static", data, 8);
+
+        stream::ChunkedEncoder enc({11, 4});
+        enc.add_chunk(std::span<const u8>(data).first(kN / 2));
+        enc.add_chunk(std::span<const u8>(data).subspan(kN / 2));
+        server.store().add_chunked("chunked", enc.finish());
+
+        server.store().add_file("indexed", indexed_file(data));
+    }
+
+    static format::RecoilFile indexed_file(std::span<const u8> syms) {
+        std::vector<u8> ids(syms.size());
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            ids[i] = static_cast<u8>(i % 2);
+        std::vector<u64> c0(256, 1), c1(256, 1);
+        for (std::size_t i = 0; i < syms.size(); ++i)
+            (ids[i] == 0 ? c0 : c1)[syms[i]]++;
+        std::vector<StaticModel> models{StaticModel(c0, 11), StaticModel(c1, 11)};
+        format::RecoilFile f;
+        f.sym_width = 1;
+        f.prob_bits = 11;
+        format::RecoilFile::IndexedPayload p;
+        for (const StaticModel& m : models) {
+            std::vector<u32> freq(m.alphabet());
+            for (u32 s = 0; s < m.alphabet(); ++s) freq[s] = m.freq(s);
+            p.freqs.push_back(std::move(freq));
+        }
+        p.ids = ids;
+        IndexedModelSet set(std::move(models), ids);
+        auto enc = recoil_encode<Rans32, 32>(syms, set, 4);
+        f.metadata = std::move(enc.metadata);
+        f.units = std::move(enc.bitstream.units);
+        f.model = std::move(p);
+        return f;
+    }
+};
+
+TEST_F(RangeBoundaryFixture, EdgeRangesAreConsistentAcrossAssetKinds) {
+    for (const char* name : {"static", "chunked", "indexed"}) {
+        // Valid edges: first symbol, last symbol alone, range ending exactly
+        // at the last symbol, everything.
+        for (auto [lo, hi] : std::vector<std::pair<u64, u64>>{
+                 {0, 1}, {kN - 1, kN}, {kN - 100, kN}, {0, kN}}) {
+            auto res = server.serve(ServeRequest{name, 1, {{lo, hi}}});
+            ASSERT_TRUE(res.ok())
+                << name << " [" << lo << ", " << hi << "): " << res.detail;
+            auto part = decode_range_wire(*res.wire);
+            ASSERT_EQ(part.size(), hi - lo) << name;
+            EXPECT_TRUE(std::equal(part.begin(), part.end(), data.begin() + lo))
+                << name << " [" << lo << ", " << hi << ")";
+        }
+        // Degenerate and out-of-bounds ranges: one typed result for every
+        // kind — invalid_range, never a crash or an unchecked slice.
+        for (auto [lo, hi] : std::vector<std::pair<u64, u64>>{
+                 {0, 0}, {kN / 2, kN / 2}, {kN, kN}, {5, 3}, {kN - 1, kN + 1},
+                 {kN, kN + 1}}) {
+            auto res = server.serve(ServeRequest{name, 1, {{lo, hi}}});
+            EXPECT_EQ(res.code, ErrorCode::invalid_range)
+                << name << " [" << lo << ", " << hi << ")";
+            EXPECT_EQ(res.wire, nullptr);
+        }
+    }
+}
+
+TEST(RangeBoundary, OneSymbolAssetsServeTheirOnlyRange) {
+    // A 1-symbol asset is the smallest slice a range can address: [0, 1)
+    // must serve on every kind, and [0, 0) / [1, 1) must be typed errors.
+    const std::vector<u8> one = {42};
+    ContentServer server;
+    server.store().encode_bytes("static", one, 4);
+    stream::ChunkedEncoder enc({11, 4});
+    enc.add_chunk(one);
+    server.store().add_chunked("chunked", enc.finish());
+    server.store().add_file("indexed", RangeBoundaryFixture::indexed_file(one));
+
+    for (const char* name : {"static", "chunked", "indexed"}) {
+        auto full = server.serve(ServeRequest{name, 4, std::nullopt});
+        ASSERT_TRUE(full.ok()) << name << ": " << full.detail;
+
+        auto res = server.serve(ServeRequest{name, 1, {{0, 1}}});
+        ASSERT_TRUE(res.ok()) << name << ": " << res.detail;
+        EXPECT_EQ(decode_range_wire(*res.wire), one) << name;
+
+        for (auto [lo, hi] : std::vector<std::pair<u64, u64>>{
+                 {0, 0}, {1, 1}, {0, 2}, {1, 2}}) {
+            auto bad = server.serve(ServeRequest{name, 1, {{lo, hi}}});
+            EXPECT_EQ(bad.code, ErrorCode::invalid_range)
+                << name << " [" << lo << ", " << hi << ")";
+        }
+    }
+}
+
 TEST_F(ServeFixture, RangeResponsesAreCachedUnderTheAssetKey) {
     const ServeRequest req{"asset", 1, {{1000, 2000}}};
     auto cold = server.serve(req);

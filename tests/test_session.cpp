@@ -181,6 +181,93 @@ TEST(Session, MixedSubmissionsMatchSerialServesAndSummarize) {
     EXPECT_EQ(summarize(warm).cache_hits, reqs.size() - 1);
 }
 
+TEST(Session, EvictionMidFlightDoesNotResurrectTheCacheEntry) {
+    // Regression: a single-flight combine that finishes after evict_asset()
+    // used to put its wire back into the cache — a stale entry for a deleted
+    // asset, pinned until LRU pressure. The put must be gated on the asset
+    // still being current.
+    ContentServer* hook_target = nullptr;
+    std::atomic<int> combines{0};
+    ServerOptions opt;
+    opt.combine_hook = [&](const std::string&) {
+        // Evict while the combine is in flight (deterministic: the hook runs
+        // after the flight is registered and before the wire is built).
+        if (++combines == 1) hook_target->evict_asset("asset");
+    };
+    ContentServer server(opt);
+    hook_target = &server;
+    const auto v1 = small_asset_bytes(60000, 21);
+    server.store().encode_bytes("asset", v1, 16);
+
+    const ServeRequest req{"asset", 8, std::nullopt};
+    auto res = server.serve(req);
+    ASSERT_TRUE(res.ok()) << res.detail;  // the in-flight request completes
+    EXPECT_EQ(server.cache().stats().entries, 0u)
+        << "stale wire re-entered the cache after eviction";
+
+    // The asset is gone everywhere; a fresh add under the same name must
+    // combine anew (miss), not inherit anything from the evicted flight.
+    EXPECT_EQ(server.serve(req).code, ErrorCode::unknown_asset);
+    server.store().encode_bytes("asset", small_asset_bytes(60000, 22), 16);
+    auto fresh = server.serve(req);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_FALSE(fresh.stats.cache_hit);
+    EXPECT_EQ(combines.load(), 2);
+
+    // Replacement mid-flight is gated identically: the old generation's
+    // wire must not enter the cache under the replaced asset's key.
+    opt.combine_hook = [&](const std::string&) {
+        if (++combines == 3)
+            hook_target->store().encode_bytes("asset", v1, 16);  // replace
+    };
+    ContentServer replaced(opt);
+    hook_target = &replaced;
+    combines = 2;
+    replaced.store().encode_bytes("asset", small_asset_bytes(50000, 23), 16);
+    ASSERT_TRUE(replaced.serve(req).ok());
+    EXPECT_EQ(replaced.cache().stats().entries, 0u)
+        << "replaced-generation wire entered the cache";
+}
+
+TEST(Session, OversizedPayloadsCountAsRejected) {
+    // A payload larger than the whole cache is not cached — and no longer
+    // silently: the rejected counter surfaces a mis-sized capacity.
+    ServerOptions opt;
+    opt.cache_capacity_bytes = 64;  // smaller than any real wire
+    ContentServer server(opt);
+    server.store().encode_bytes("asset", small_asset_bytes(50000, 27), 16);
+
+    const ServeRequest req{"asset", 4, std::nullopt};
+    ASSERT_TRUE(server.serve(req).ok());
+    ASSERT_TRUE(server.serve(req).ok());
+    const CacheStats s = server.cache().stats();
+    EXPECT_EQ(s.rejected, 2u);
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.insertions, 0u);
+    EXPECT_EQ(server.totals().cache_hits, 0u);
+}
+
+TEST(Session, ClearResetsContentsButKeepsCumulativeCounters) {
+    MetadataCache cache(1 << 20);
+    auto wire = std::make_shared<const std::vector<u8>>(100, u8{1});
+    cache.put("a", 1, wire);
+    ASSERT_NE(cache.get("a", 1), nullptr);
+    EXPECT_EQ(cache.get("b", 1), nullptr);
+    cache.put("big", 1,
+              std::make_shared<const std::vector<u8>>((1 << 20) + 1, u8{2}));
+
+    cache.clear();
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.bytes, 0u);    // current-size fields reset...
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.hits, 1u);     // ...cumulative counters survive
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.insertions, 1u);
+    EXPECT_EQ(s.rejected, 1u);
+    EXPECT_EQ(s.evictions, 0u);  // clear() is not an eviction
+    EXPECT_EQ(cache.get("a", 1), nullptr);
+}
+
 /// Mirror of MetadataCache's LRU discipline (hit refreshes recency; miss
 /// inserts at the front after the combine; oversized payloads skip the
 /// cache; eviction pops the tail), fed with the observed wire sizes. The
