@@ -10,7 +10,11 @@
 //
 // With `--store DIR` the server runs on a persistent DiskStore: the first
 // run encodes and writes through durably; every later run cold-boots by
-// mmapping the stored masters (no re-encode) and serves the same bytes.
+// mmapping the stored masters (no re-encode) and serves the same bytes —
+// including through the v2 streamed framing (write → restart → stream).
+// `--verify-store` re-walks every manifest and container checksum at boot,
+// reporting corrupt assets as typed errors instead of failing on the first
+// demand-load.
 
 #include <algorithm>
 #include <cstdio>
@@ -41,6 +45,7 @@ ServeResult roundtrip(ContentServer& server, const ServeRequest& req) {
 
 int main(int argc, char** argv) {
     const char* store_dir = nullptr;
+    bool verify_store = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--store") == 0) {
             if (i + 1 >= argc) {
@@ -48,6 +53,8 @@ int main(int argc, char** argv) {
                 return 2;
             }
             store_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--verify-store") == 0) {
+            verify_store = true;
         }
     }
 
@@ -61,6 +68,26 @@ int main(int argc, char** argv) {
         server.store().attach_backing(disk);
         std::printf("store: opened %s (%zu stored assets) in %.2f ms\n",
                     store_dir, disk->size(), open_sw.seconds() * 1e3);
+        if (verify_store) {
+            // Boot-time scrub: re-walk manifests and container checksums so a
+            // corrupt asset surfaces now, as a typed error, instead of on its
+            // first demand-load.
+            Stopwatch verify_sw;
+            const auto report = disk->verify();
+            std::printf("store: verified %zu asset(s) in %.2f ms — %s\n",
+                        report.checked, verify_sw.seconds() * 1e3,
+                        report.ok() ? "all containers healthy"
+                                    : "CORRUPTION FOUND");
+            for (const auto& issue : report.issues)
+                std::fprintf(stderr, "store: asset '%s' [%s]: %s\n",
+                             issue.name.c_str(),
+                             store_status_name(issue.status),
+                             issue.detail.c_str());
+            if (!report.ok()) return 1;
+        }
+    } else if (verify_store) {
+        std::fprintf(stderr, "--verify-store requires --store DIR\n");
+        return 2;
     }
 
     // Cold boot: an asset already persisted from a previous run is mmapped
@@ -154,6 +181,43 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(t.cache_hits -
                                                     before.cache_hits),
                     static_cast<double>(t.bytes_saved - before.bytes_saved) / 1e6);
+    }
+
+    // Streamed serving (v2 framing): the same producer emits the wire
+    // segment at a time — header frame, checksummed body frames, FIN with a
+    // whole-wire FNV — so the server never materializes the response and
+    // peak producer memory is bounded by the flow-control window, not the
+    // asset. With --store this streams straight out of the mmapped master
+    // persisted by a previous run (write -> restart -> stream).
+    {
+        StreamOptions sopt;
+        sopt.max_frame_bytes = 256 * 1024;
+        sopt.use_cache = false;  // the very-large-response regime
+        auto stream = server.serve_stream(
+            ServeRequest{"asset", 16, {}, kAcceptAll | kAcceptStreamed}, sopt);
+        StreamReassembler client(sopt.max_frame_bytes);
+        Stopwatch stream_sw;
+        while (auto frame = stream.next_frame()) client.feed(*frame);
+        const double stream_s = stream_sw.seconds();
+        auto streamed = client.result();
+        if (!streamed.ok()) {
+            std::fprintf(stderr, "streamed serve failed [%s]: %s\n",
+                         error_name(streamed.code), streamed.detail.c_str());
+            return 1;
+        }
+        auto reference = roundtrip(server, ServeRequest{"asset", 16, {}});
+        const bool exact = reference.ok() && *streamed.wire == *reference.wire;
+        std::printf(
+            "streamed serve: %llu frames, wire %llu B in %.2f ms; producer "
+            "peak %llu B owned (%.3f%% of wire) [%s]\n\n",
+            static_cast<unsigned long long>(stream.frames_emitted()),
+            static_cast<unsigned long long>(streamed.stats.wire_bytes),
+            stream_s * 1e3,
+            static_cast<unsigned long long>(stream.peak_owned_bytes()),
+            100.0 * static_cast<double>(stream.peak_owned_bytes()) /
+                static_cast<double>(streamed.stats.wire_bytes),
+            exact ? "bit-exact with v1" : "MISMATCH");
+        if (!exact) return 1;
     }
 
     // Byte-range request: a client needs symbols [6 MB, 6 MB + 16 KB) only.

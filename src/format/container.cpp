@@ -16,14 +16,15 @@ constexpr char kMagic[4] = {'R', 'C', 'F', '1'};
 
 }  // namespace
 
-u64 fnv1a(std::span<const u8> bytes) {
-    u64 h = 0xcbf29ce484222325ull;
+u64 fnv1a(std::span<const u8> bytes, u64 state) {
     for (u8 b : bytes) {
-        h ^= b;
-        h *= 0x100000001b3ull;
+        state ^= b;
+        state *= 0x100000001b3ull;
     }
-    return h;
+    return state;
 }
+
+u64 fnv1a(std::span<const u8> bytes) { return fnv1a(bytes, kFnvInit); }
 
 StaticModel RecoilFile::build_static_model() const {
     const auto& p = std::get<StaticPayload>(model);
@@ -46,35 +47,46 @@ std::vector<u8> save_recoil_file(const RecoilFile& f) {
 
 std::vector<u8> save_recoil_file(const RecoilFile& f,
                                  const RecoilMetadata& metadata) {
-    std::vector<u8> out;
-    out.insert(out.end(), kMagic, kMagic + 4);
-    out.push_back(2);  // version (2: unit payload aligned via pad marker)
-    out.push_back(f.sym_width);
-    out.push_back(f.is_indexed() ? 1 : 0);
-    out.push_back(static_cast<u8>(f.prob_bits));
+    VectorSink sink;
+    save_recoil_file_into(f, metadata, sink);
+    return std::move(sink.out);
+}
+
+void save_recoil_file_into(const RecoilFile& f, const RecoilMetadata& metadata,
+                           WireSink& sink) {
+    HashingSink hs(sink);
+    std::vector<u8> head;
+    head.insert(head.end(), kMagic, kMagic + 4);
+    head.push_back(2);  // version (2: unit payload aligned via pad marker)
+    head.push_back(f.sym_width);
+    head.push_back(f.is_indexed() ? 1 : 0);
+    head.push_back(static_cast<u8>(f.prob_bits));
 
     if (f.is_indexed()) {
         const auto& p = std::get<RecoilFile::IndexedPayload>(f.model);
-        put_u32(out, static_cast<u32>(p.freqs.size()));
-        for (const auto& freq : p.freqs) put_freq_table(out, freq);
-        put_u64(out, p.ids.size());
-        out.insert(out.end(), p.ids.begin(), p.ids.end());
+        put_u32(head, static_cast<u32>(p.freqs.size()));
+        for (const auto& freq : p.freqs) put_freq_table(head, freq);
+        put_u64(head, p.ids.size());
+        hs.write(std::move(head));
+        hs.write(p.ids);  // shared view of the id stream, never a copy
     } else {
         const auto& p = std::get<RecoilFile::StaticPayload>(f.model);
-        put_freq_table(out, p.freq);
+        put_freq_table(head, p.freq);
+        hs.write(std::move(head));
     }
 
+    std::vector<u8> mid;
     const std::vector<u8> meta = serialize_metadata(metadata);
-    put_u64(out, meta.size());
-    out.insert(out.end(), meta.begin(), meta.end());
+    put_u64(mid, meta.size());
+    mid.insert(mid.end(), meta.begin(), meta.end());
+    put_u64(mid, f.units.size());
+    put_unit_pad(mid, hs.bytes());
+    hs.write(std::move(mid));
+    hs.write(unit_wire_bytes(f.units, 0, f.units.size()));
 
-    put_u64(out, f.units.size());
-    put_unit_pad(out);
-    const auto* ub = reinterpret_cast<const u8*>(f.units.data());
-    out.insert(out.end(), ub, ub + f.units.size() * 2);
-
-    append_checksum(out);
-    return out;
+    std::vector<u8> trailer;
+    put_u64(trailer, hs.digest());
+    sink.write(std::move(trailer));  // the checksum covers everything above
 }
 
 namespace {

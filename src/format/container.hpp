@@ -57,9 +57,17 @@ struct RecoilFile {
 std::vector<u8> save_recoil_file(const RecoilFile& f);
 /// Serialize `f`'s model and bitstream with `metadata` substituted — the
 /// §3.3 serving path's shape (combine metadata, keep everything else)
-/// without deep-copying the file first.
+/// without deep-copying the file first. A thin adapter over
+/// save_recoil_file_into (one producer implementation, two framings).
 std::vector<u8> save_recoil_file(const RecoilFile& f,
                                  const RecoilMetadata& metadata);
+/// Streaming producer: emit the container into `sink` piece by piece, in
+/// wire order and bit-exact with save_recoil_file. Structural sections are
+/// small owned allocations; the id stream and bitstream are borrowed views
+/// of `f`'s shared storage (never copied), so peak producer memory is
+/// O(metadata), not O(wire).
+void save_recoil_file_into(const RecoilFile& f, const RecoilMetadata& metadata,
+                           WireSink& sink);
 RecoilFile load_recoil_file(std::span<const u8> bytes);
 
 /// Parse `bytes` without copying the bitstream or id stream: the returned

@@ -22,6 +22,15 @@ namespace recoil::format {
 /// FNV-1a 64-bit, used as the container integrity checksum (container.cpp).
 u64 fnv1a(std::span<const u8> bytes);
 
+/// FNV-1a offset basis: the initial state of an incremental hash.
+inline constexpr u64 kFnvInit = 0xcbf29ce484222325ull;
+
+/// Incremental FNV-1a: fold `bytes` into `state` (seed with kFnvInit).
+/// Hashing a buffer piece by piece yields the same digest as one pass, which
+/// is what lets a streaming wire producer emit its trailing checksum without
+/// ever holding the whole wire.
+u64 fnv1a(std::span<const u8> bytes, u64 state);
+
 /// Payload storage that is either owned or a zero-copy view into bytes kept
 /// alive by an external keeper (an mmapped container file). Copies share the
 /// underlying storage, so re-serializing or combining a parsed container
@@ -64,6 +73,19 @@ public:
     /// (e.g. an mmapped file) rather than an owned vector.
     bool borrowed() const noexcept { return borrowed_; }
 
+    /// The storage owner this buffer retains (shared vector or mapped file).
+    std::shared_ptr<const void> keeper() const noexcept { return keeper_; }
+
+    /// Sub-range view sharing this buffer's storage and keeper — never a
+    /// copy, so slicing a payload for piecewise emission is free.
+    SharedBuffer slice(std::size_t pos, std::size_t n) const {
+        SharedBuffer b;
+        b.view_ = view_.subspan(pos, n);
+        b.keeper_ = keeper_;
+        b.borrowed_ = borrowed_;
+        return b;
+    }
+
     friend bool operator==(const SharedBuffer& a, const SharedBuffer& b) {
         return std::equal(a.begin(), a.end(), b.begin(), b.end());
     }
@@ -76,6 +98,59 @@ private:
 
 using UnitBuffer = SharedBuffer<u16>;  ///< bitstream units
 using ByteBuffer = SharedBuffer<u8>;   ///< per-symbol model ids
+
+/// Push consumer of a wire under construction, fed pieces in wire order.
+/// Pieces are ByteBuffers, so producers hand out borrowed views of payload
+/// storage (mmapped bitstreams, shared id streams) without copying; only the
+/// small structural sections are owned allocations. Every serializer in the
+/// library produces through this interface — materializing a whole wire is
+/// just the VectorSink instance of it.
+class WireSink {
+public:
+    virtual ~WireSink() = default;
+    virtual void write(ByteBuffer piece) = 0;
+};
+
+/// Materializing sink: concatenates every piece (the legacy wire shape).
+class VectorSink final : public WireSink {
+public:
+    void write(ByteBuffer piece) override {
+        out.insert(out.end(), piece.begin(), piece.end());
+    }
+    std::vector<u8> out;
+};
+
+/// Pass-through sink folding every byte into a running FNV-1a, so a
+/// producer can emit its trailing checksum without a second pass over (or a
+/// materialized copy of) the wire. `bytes()` doubles as the absolute wire
+/// offset, which alignment pads depend on.
+class HashingSink final : public WireSink {
+public:
+    explicit HashingSink(WireSink& down) : down_(down) {}
+    void write(ByteBuffer piece) override {
+        digest_ = fnv1a(piece, digest_);
+        bytes_ += piece.size();
+        down_.write(std::move(piece));
+    }
+    u64 digest() const noexcept { return digest_; }
+    u64 bytes() const noexcept { return bytes_; }
+
+private:
+    WireSink& down_;
+    u64 digest_ = kFnvInit;
+    u64 bytes_ = 0;
+};
+
+/// The wire form of `count` units starting at `first`: a borrowed byte view
+/// of the unit storage (little-endian u16s are their own wire encoding —
+/// the same reinterpretation every materializing serializer already does).
+inline ByteBuffer unit_wire_bytes(const UnitBuffer& units, u64 first,
+                                  u64 count) {
+    return ByteBuffer::view(
+        std::span<const u8>(
+            reinterpret_cast<const u8*>(units.data() + first), count * 2),
+        units.keeper());
+}
 
 namespace wire {
 
@@ -162,8 +237,8 @@ inline std::span<const u8> checked_payload(std::span<const u8> bytes,
 /// that many zero bytes. With the container file mapped at a page-aligned
 /// base, an even file offset makes the units directly addressable as u16
 /// without copying (see SharedBuffer::view).
-inline void put_unit_pad(std::vector<u8>& out) {
-    const u8 pad = static_cast<u8>((out.size() + 1) % 2);
+inline void put_unit_pad(std::vector<u8>& out, u64 base = 0) {
+    const u8 pad = static_cast<u8>((base + out.size() + 1) % 2);
     out.push_back(pad);
     if (pad != 0) out.push_back(0);
 }

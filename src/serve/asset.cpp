@@ -22,23 +22,35 @@ WireBytes share(std::vector<u8> bytes) {
 
 }  // namespace
 
+ServedWire Asset::combine(u32 parallelism) const {
+    format::VectorSink sink;
+    const u32 splits = combine_into(parallelism, sink);
+    return {share(std::move(sink.out)), splits};
+}
+
+ServedWire Asset::range(u64 lo, u64 hi) const {
+    format::VectorSink sink;
+    const u32 splits = range_into(lo, hi, sink);
+    return {share(std::move(sink.out)), splits};
+}
+
 FileAsset::FileAsset(std::string name, format::RecoilFile f)
     : Asset(std::move(name), format::serialized_file_size(f),
             f.metadata.num_splits()),
       file_(std::move(f)) {}
 
-ServedWire FileAsset::combine(u32 parallelism) const {
+u32 FileAsset::combine_into(u32 parallelism, format::WireSink& sink) const {
     // combine_splits may grant fewer splits than requested; report the count
     // the wire actually carries. Serializing with substituted metadata keeps
     // the bitstream (and an indexed asset's id stream) uncopied.
     RecoilMetadata combined = combine_splits(file_.metadata, parallelism);
     const u32 splits = combined.num_splits();
-    return {share(format::save_recoil_file(file_, combined)), splits};
+    format::save_recoil_file_into(file_, combined, sink);
+    return splits;
 }
 
-ServedWire FileAsset::range(u64 lo, u64 hi) const {
-    BuiltRangeWire built = build_range_wire(file_, lo, hi);
-    return {share(std::move(built.bytes)), built.splits};
+u32 FileAsset::range_into(u64 lo, u64 hi, format::WireSink& sink) const {
+    return range_wire_into(file_, lo, hi, sink);
 }
 
 ChunkedAsset::ChunkedAsset(std::string name, stream::ChunkedStream s)
@@ -48,16 +60,18 @@ ChunkedAsset::ChunkedAsset(std::string name, stream::ChunkedStream s)
     RECOIL_CHECK(!stream_.chunks.empty(), "ChunkedAsset: empty stream");
 }
 
-ServedWire ChunkedAsset::combine(u32 parallelism) const {
-    // A chunked stream grants at least one split per chunk.
+u32 ChunkedAsset::combine_into(u32 parallelism, format::WireSink& sink) const {
+    // A chunked stream grants at least one split per chunk. `combined` is
+    // metadata-deep only: its unit buffers share the asset's storage, and
+    // the views emitted into the sink retain that storage past this frame.
     stream::ChunkedStream combined = stream_.combined(parallelism);
     const u32 splits = static_cast<u32>(combined.total_splits());
-    return {share(combined.serialize()), splits};
+    combined.serialize_into(sink);
+    return splits;
 }
 
-ServedWire ChunkedAsset::range(u64 lo, u64 hi) const {
-    BuiltRangeWire built = build_range_wire(stream_, lo, hi);
-    return {share(std::move(built.bytes)), built.splits};
+u32 ChunkedAsset::range_into(u64 lo, u64 hi, format::WireSink& sink) const {
+    return range_wire_into(stream_, lo, hi, sink);
 }
 
 }  // namespace recoil::serve

@@ -51,12 +51,21 @@ public:
     /// Wire form a full-asset response uses (file or chunked).
     virtual PayloadKind payload_kind() const noexcept = 0;
 
-    /// Build the full-asset wire adapted to `parallelism` work items
-    /// (caller clamps to max_parallelism()). Metadata-only adaptation: the
-    /// bitstream bytes are never re-encoded.
-    virtual ServedWire combine(u32 parallelism) const = 0;
-    /// Build the range wire for symbols [lo, hi) (caller validates bounds).
-    virtual ServedWire range(u64 lo, u64 hi) const = 0;
+    /// Stream the full-asset wire, adapted to `parallelism` work items
+    /// (caller clamps to max_parallelism()), into `sink` piece by piece:
+    /// small owned structural sections plus borrowed views of the asset's
+    /// shared payload storage. Metadata-only adaptation — the bitstream
+    /// bytes are never re-encoded, and never copied either. Returns the
+    /// split count the wire carries.
+    virtual u32 combine_into(u32 parallelism, format::WireSink& sink) const = 0;
+    /// Stream the range wire for symbols [lo, hi) (caller validates bounds)
+    /// into `sink`, one RCR2 segment at a time. Returns covering splits.
+    virtual u32 range_into(u64 lo, u64 hi, format::WireSink& sink) const = 0;
+
+    /// Materializing adapters over the streaming producers above — the only
+    /// buffer assembly in the asset layer (one producer, two framings).
+    ServedWire combine(u32 parallelism) const;
+    ServedWire range(u64 lo, u64 hi) const;
 
     /// Concrete payload accessors; nullptr when the asset is another kind.
     virtual const format::RecoilFile* file() const noexcept { return nullptr; }
@@ -86,8 +95,8 @@ public:
     }
     u64 num_symbols() const noexcept override { return file_.metadata.num_symbols; }
     PayloadKind payload_kind() const noexcept override { return PayloadKind::file; }
-    ServedWire combine(u32 parallelism) const override;
-    ServedWire range(u64 lo, u64 hi) const override;
+    u32 combine_into(u32 parallelism, format::WireSink& sink) const override;
+    u32 range_into(u64 lo, u64 hi, format::WireSink& sink) const override;
     const format::RecoilFile* file() const noexcept override { return &file_; }
 
 private:
@@ -103,8 +112,8 @@ public:
     AssetKind kind() const noexcept override { return AssetKind::chunked; }
     u64 num_symbols() const noexcept override { return stream_.total_symbols(); }
     PayloadKind payload_kind() const noexcept override { return PayloadKind::chunked; }
-    ServedWire combine(u32 parallelism) const override;
-    ServedWire range(u64 lo, u64 hi) const override;
+    u32 combine_into(u32 parallelism, format::WireSink& sink) const override;
+    u32 range_into(u64 lo, u64 hi, format::WireSink& sink) const override;
     const stream::ChunkedStream* chunked() const noexcept override { return &stream_; }
 
 private:

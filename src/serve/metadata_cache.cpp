@@ -1,5 +1,7 @@
 #include "serve/metadata_cache.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace recoil::serve {
@@ -41,6 +43,9 @@ void MetadataCache::put(const std::string& asset_key, u32 parallelism,
         ++stats_.insertions;
     }
     stats_.entries = index_.size();
+    // Peak is sampled before eviction trims back under capacity: it reports
+    // the most bytes the cache ever actually held.
+    stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes);
     while (stats_.bytes > capacity_ && !lru_.empty()) evict_lru_locked();
 }
 

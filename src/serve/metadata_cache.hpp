@@ -30,6 +30,11 @@ struct CacheStats {
     /// capacity. A persistently rising value means the capacity is
     /// mis-sized for the traffic, which a silent drop used to hide.
     u64 rejected = 0;
+    /// High-water mark of `bytes` over the cache's lifetime. Like the
+    /// cumulative counters it survives clear() (which resets the current
+    /// size, not the history), so the memory story stays observable across
+    /// operational clears.
+    u64 peak_bytes = 0;
     u64 bytes = 0;    ///< current cached payload bytes
     u64 entries = 0;  ///< current entry count
 };

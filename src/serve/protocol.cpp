@@ -17,6 +17,11 @@ constexpr u8 kRequestFlagHasRange = 1;
 constexpr u8 kResponseFlagCacheHit = 1;
 constexpr u8 kResponseFlagCoalesced = 2;
 
+/// Structural bytes of a v2 body frame besides its payload (magic, version,
+/// type, reserved, seq, length, checksum) — the slack allowed on top of the
+/// negotiated payload ceiling when judging a whole frame's size.
+constexpr u64 kStreamBodyOverhead = 4 + 1 + 1 + 1 + 4 + 8 + 8;
+
 [[noreturn]] void fail(ErrorCode code, const std::string& what) {
     throw ProtocolError(code, what);
 }
@@ -78,6 +83,7 @@ const char* error_name(ErrorCode code) noexcept {
         case ErrorCode::checksum_mismatch: return "checksum_mismatch";
         case ErrorCode::unsupported_version: return "unsupported_version";
         case ErrorCode::internal: return "internal";
+        case ErrorCode::frame_too_large: return "frame_too_large";
     }
     return "unknown";
 }
@@ -98,7 +104,8 @@ std::vector<u8> encode_request(const ServeRequest& req) {
     RECOIL_CHECK(!req.asset.empty() && req.asset.size() <= kMaxAssetNameLen,
                  "encode_request: bad asset name length");
     RECOIL_CHECK(req.parallelism != 0, "encode_request: zero parallelism");
-    RECOIL_CHECK(req.accept != 0 && (req.accept & ~kAcceptAll) == 0,
+    RECOIL_CHECK(req.accept != 0 &&
+                     (req.accept & ~(kAcceptAll | kAcceptStreamed)) == 0,
                  "encode_request: bad accept mask");
     std::vector<u8> out;
     out.insert(out.end(), kRequestMagic, kRequestMagic + 4);
@@ -128,7 +135,8 @@ ServeRequest decode_request(std::span<const u8> frame) {
             fail(ErrorCode::malformed_frame, std::string(ctx) + ": unknown flags");
         ServeRequest req;
         req.accept = c.get_u8();
-        if (req.accept == 0 || (req.accept & ~kAcceptAll) != 0)
+        if (req.accept == 0 ||
+            (req.accept & ~(kAcceptAll | kAcceptStreamed)) != 0)
             fail(ErrorCode::bad_request, std::string(ctx) + ": bad accept mask");
         if (c.get_u8() != 0)
             fail(ErrorCode::malformed_frame, std::string(ctx) + ": reserved byte set");
@@ -149,7 +157,7 @@ ServeRequest decode_request(std::span<const u8> frame) {
     });
 }
 
-std::vector<u8> encode_response(const ServeResult& res) {
+std::vector<u8> encode_response(const ServeResult& res, u64 max_frame_bytes) {
     std::vector<u8> out;
     out.insert(out.end(), kResponseMagic, kResponseMagic + 4);
     out.push_back(kProtocolVersion);
@@ -169,11 +177,21 @@ std::vector<u8> encode_response(const ServeResult& res) {
         put_u64(out, 0);
     }
     append_checksum(out);
+    if (max_frame_bytes != kNoFrameLimit && out.size() > max_frame_bytes)
+        fail(ErrorCode::frame_too_large,
+             "serve response: " + std::to_string(out.size()) +
+                 " B frame exceeds the negotiated " +
+                 std::to_string(max_frame_bytes) + " B maximum");
     return out;
 }
 
-ServeResult decode_response(std::span<const u8> frame) {
+ServeResult decode_response(std::span<const u8> frame, u64 max_frame_bytes) {
     const char* ctx = "serve response";
+    if (max_frame_bytes != kNoFrameLimit && frame.size() > max_frame_bytes)
+        fail(ErrorCode::frame_too_large,
+             "serve response: " + std::to_string(frame.size()) +
+                 " B frame exceeds the negotiated " +
+                 std::to_string(max_frame_bytes) + " B maximum");
     auto payload = verify_frame(frame, ctx);
     return parse_frame(payload, ctx, [&](Cursor& c) {
         check_magic(c, kResponseMagic, ctx);
@@ -215,6 +233,259 @@ ServeResult decode_response(std::span<const u8> frame) {
         }
         return res;
     });
+}
+
+// ---- v2 streamed response framing ----
+
+namespace {
+
+constexpr u8 kStreamFlagCacheHit = 1;
+constexpr u8 kStreamFlagCoalesced = 2;
+
+void put_stream_preamble(std::vector<u8>& out, StreamFrameType type) {
+    out.insert(out.end(), kResponseMagic, kResponseMagic + 4);
+    out.push_back(kStreamVersion);
+    out.push_back(static_cast<u8>(type));
+}
+
+}  // namespace
+
+std::vector<u8> encode_stream_header(const StreamHeader& h) {
+    std::vector<u8> out;
+    put_stream_preamble(out, StreamFrameType::header);
+    out.push_back(static_cast<u8>((h.cache_hit ? kStreamFlagCacheHit : 0) |
+                                  (h.coalesced ? kStreamFlagCoalesced : 0)));
+    put_u16(out, static_cast<u16>(h.code));
+    out.push_back(static_cast<u8>(h.payload));
+    out.push_back(0);  // reserved
+    put_u32(out, h.splits);
+    put_u64(out, h.wire_bytes);
+    put_u64(out, h.max_frame_bytes);
+    std::string detail = h.detail;
+    if (detail.size() > kMaxDetailLen) detail.resize(kMaxDetailLen);
+    put_u32(out, static_cast<u32>(detail.size()));
+    out.insert(out.end(), detail.begin(), detail.end());
+    append_checksum(out);
+    return out;
+}
+
+std::vector<u8> encode_stream_body(u32 seq, std::span<const u8> payload,
+                                   u64 max_frame_bytes) {
+    if (max_frame_bytes != kNoFrameLimit && payload.size() > max_frame_bytes)
+        fail(ErrorCode::frame_too_large,
+             "stream body: " + std::to_string(payload.size()) +
+                 " B payload exceeds the negotiated " +
+                 std::to_string(max_frame_bytes) + " B maximum");
+    std::vector<u8> out;
+    out.reserve(payload.size() + kStreamBodyOverhead);
+    put_stream_preamble(out, StreamFrameType::body);
+    out.push_back(0);  // reserved
+    put_u32(out, seq);
+    put_u64(out, payload.size());
+    out.insert(out.end(), payload.begin(), payload.end());
+    append_checksum(out);
+    return out;
+}
+
+std::vector<u8> encode_stream_fin(const StreamFin& fin) {
+    std::vector<u8> out;
+    put_stream_preamble(out, StreamFrameType::fin);
+    out.push_back(0);  // reserved
+    put_u16(out, static_cast<u16>(fin.code));
+    put_u32(out, fin.body_frames);
+    put_u32(out, fin.splits);
+    put_u64(out, fin.wire_checksum);
+    std::string detail = fin.detail;
+    if (detail.size() > kMaxDetailLen) detail.resize(kMaxDetailLen);
+    put_u32(out, static_cast<u32>(detail.size()));
+    out.insert(out.end(), detail.begin(), detail.end());
+    append_checksum(out);
+    return out;
+}
+
+StreamFrame decode_stream_frame(std::span<const u8> frame,
+                                u64 max_frame_bytes) {
+    const char* ctx = "stream frame";
+    // The negotiated ceiling protects the receiver's body buffer; it is
+    // enforced on the body length field below, before any payload is
+    // materialized. Header and FIN frames are exempt: they are structurally
+    // bounded by kMaxDetailLen regardless of the negotiated body size, and
+    // a typed error header must never be masked by frame_too_large just
+    // because its detail outgrew a small body ceiling. (A transport read
+    // loop should cap its length prefix at
+    // max_frame_bytes + kMaxDetailLen + overhead.)
+    auto payload = verify_frame(frame, ctx);
+    return parse_frame(payload, ctx, [&](Cursor& c) {
+        check_magic(c, kResponseMagic, ctx);
+        const u8 v = c.get_u8();
+        if (v != kStreamVersion)
+            fail(ErrorCode::unsupported_version,
+                 std::string(ctx) + ": unsupported version " + std::to_string(v));
+        StreamFrame f;
+        const u8 type = c.get_u8();
+        if (type > static_cast<u8>(StreamFrameType::fin))
+            fail(ErrorCode::malformed_frame,
+                 std::string(ctx) + ": unknown frame type");
+        f.type = static_cast<StreamFrameType>(type);
+        switch (f.type) {
+            case StreamFrameType::header: {
+                const u8 flags = c.get_u8();
+                if ((flags & ~(kStreamFlagCacheHit | kStreamFlagCoalesced)) != 0)
+                    fail(ErrorCode::malformed_frame,
+                         std::string(ctx) + ": unknown flags");
+                f.header.cache_hit = (flags & kStreamFlagCacheHit) != 0;
+                f.header.coalesced = (flags & kStreamFlagCoalesced) != 0;
+                // Unknown codes are preserved (same contract as v1).
+                f.header.code = static_cast<ErrorCode>(c.get_u16());
+                const u8 kind = c.get_u8();
+                if (kind > static_cast<u8>(PayloadKind::range))
+                    fail(ErrorCode::malformed_frame,
+                         std::string(ctx) + ": unknown payload kind");
+                f.header.payload = static_cast<PayloadKind>(kind);
+                if (c.get_u8() != 0)
+                    fail(ErrorCode::malformed_frame,
+                         std::string(ctx) + ": reserved byte set");
+                f.header.splits = c.get_u32();
+                f.header.wire_bytes = c.get_u64();
+                f.header.max_frame_bytes = c.get_u64();
+                const u32 detail_len = c.get_u32();
+                if (detail_len > kMaxDetailLen)
+                    fail(ErrorCode::malformed_frame,
+                         std::string(ctx) + ": detail too long");
+                auto detail = c.get_bytes(detail_len);
+                f.header.detail.assign(detail.begin(), detail.end());
+                const bool err = f.header.code != ErrorCode::ok;
+                if (err != (f.header.payload == PayloadKind::none))
+                    fail(ErrorCode::malformed_frame,
+                         std::string(ctx) + ": payload/status mismatch");
+                break;
+            }
+            case StreamFrameType::body: {
+                if (c.get_u8() != 0)
+                    fail(ErrorCode::malformed_frame,
+                         std::string(ctx) + ": reserved byte set");
+                f.seq = c.get_u32();
+                const u64 len = c.get_u64();
+                if (max_frame_bytes != kNoFrameLimit && len > max_frame_bytes)
+                    fail(ErrorCode::frame_too_large,
+                         std::string(ctx) + ": " + std::to_string(len) +
+                             " B body exceeds the negotiated " +
+                             std::to_string(max_frame_bytes) + " B maximum");
+                if (len == 0)
+                    fail(ErrorCode::malformed_frame,
+                         std::string(ctx) + ": empty body frame");
+                f.payload = c.get_bytes(len);
+                break;
+            }
+            case StreamFrameType::fin: {
+                if (c.get_u8() != 0)
+                    fail(ErrorCode::malformed_frame,
+                         std::string(ctx) + ": reserved byte set");
+                f.fin.code = static_cast<ErrorCode>(c.get_u16());
+                f.fin.body_frames = c.get_u32();
+                f.fin.splits = c.get_u32();
+                f.fin.wire_checksum = c.get_u64();
+                const u32 detail_len = c.get_u32();
+                if (detail_len > kMaxDetailLen)
+                    fail(ErrorCode::malformed_frame,
+                         std::string(ctx) + ": detail too long");
+                auto detail = c.get_bytes(detail_len);
+                f.fin.detail.assign(detail.begin(), detail.end());
+                break;
+            }
+        }
+        return f;
+    });
+}
+
+bool StreamReassembler::feed(std::span<const u8> frame) {
+    if (done_)
+        throw ProtocolError(ErrorCode::malformed_frame,
+                            "stream reassembly: frame after completion");
+    const StreamFrame f = decode_stream_frame(frame, max_frame_);
+    switch (f.type) {
+        case StreamFrameType::header: {
+            if (have_header_)
+                throw ProtocolError(ErrorCode::malformed_frame,
+                                    "stream reassembly: duplicate header");
+            have_header_ = true;
+            head_ = f.header;
+            splits_ = head_.splits;
+            if (head_.code != ErrorCode::ok) done_ = true;  // error: no body
+            break;
+        }
+        case StreamFrameType::body: {
+            if (!have_header_)
+                throw ProtocolError(ErrorCode::malformed_frame,
+                                    "stream reassembly: body before header");
+            if (f.seq != next_seq_)
+                throw ProtocolError(
+                    ErrorCode::malformed_frame,
+                    "stream reassembly: body frame " + std::to_string(f.seq) +
+                        " arrived, expected " + std::to_string(next_seq_));
+            if (head_.wire_bytes != 0 &&
+                wire_->size() + f.payload.size() > head_.wire_bytes)
+                throw ProtocolError(ErrorCode::malformed_frame,
+                                    "stream reassembly: body bytes exceed the "
+                                    "announced wire size");
+            ++next_seq_;
+            digest_ = format::fnv1a(f.payload, digest_);
+            wire_->insert(wire_->end(), f.payload.begin(), f.payload.end());
+            break;
+        }
+        case StreamFrameType::fin: {
+            if (!have_header_)
+                throw ProtocolError(ErrorCode::malformed_frame,
+                                    "stream reassembly: FIN before header");
+            if (f.fin.code != ErrorCode::ok)
+                throw ProtocolError(f.fin.code,
+                                    "stream aborted mid-way: " + f.fin.detail);
+            if (f.fin.body_frames != next_seq_)
+                throw ProtocolError(
+                    ErrorCode::malformed_frame,
+                    "stream reassembly: FIN reports " +
+                        std::to_string(f.fin.body_frames) + " body frames, got " +
+                        std::to_string(next_seq_));
+            if (head_.wire_bytes != 0 && wire_->size() != head_.wire_bytes)
+                throw ProtocolError(ErrorCode::malformed_frame,
+                                    "stream reassembly: body bytes do not "
+                                    "reach the announced wire size");
+            if (wire_->empty())
+                throw ProtocolError(ErrorCode::malformed_frame,
+                                    "stream reassembly: ok stream with no body");
+            if (f.fin.wire_checksum != digest_)
+                throw ProtocolError(ErrorCode::checksum_mismatch,
+                                    "stream reassembly: whole-wire checksum "
+                                    "mismatch");
+            splits_ = f.fin.splits;
+            done_ = true;
+            break;
+        }
+    }
+    return done_;
+}
+
+const StreamHeader& StreamReassembler::header() const {
+    RECOIL_CHECK(have_header_, "stream reassembly: no header fed yet");
+    return head_;
+}
+
+ServeResult StreamReassembler::result() const {
+    RECOIL_CHECK(done_, "stream reassembly: stream not complete");
+    ServeResult res;
+    res.code = head_.code;
+    res.detail = head_.detail;
+    res.payload = head_.payload;
+    res.stats.cache_hit = head_.cache_hit;
+    res.stats.coalesced = head_.coalesced;
+    res.stats.splits_served = splits_;
+    if (res.ok()) {
+        // Alias the accumulation buffer (it never mutates after done_):
+        // handing out the wire costs no copy.
+        res.wire = WireBytes(wire_);
+        res.stats.wire_bytes = wire_->size();
+    }
+    return res;
 }
 
 }  // namespace recoil::serve

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "format/wire_io.hpp"
 #include "util/error.hpp"
 #include "util/ints.hpp"
 
@@ -39,6 +40,7 @@ enum class ErrorCode : u16 {
     checksum_mismatch = 6,    ///< frame integrity check failed
     unsupported_version = 7,  ///< peer speaks a protocol version we do not
     internal = 8,             ///< server-side failure while building the wire
+    frame_too_large = 9,      ///< frame exceeds the negotiated max-frame size
 };
 const char* error_name(ErrorCode code) noexcept;
 
@@ -55,10 +57,15 @@ private:
 
 /// Client capability bits (ServeRequest::accept): which wire forms the
 /// client can decode. A server never responds with a form the client did not
-/// accept — it returns not_acceptable instead.
+/// accept — it returns not_acceptable instead. kAcceptAll covers the payload
+/// forms; kAcceptStreamed is a framing capability layered on top (the client
+/// can reassemble v2 streamed response frames), required by serve_stream and
+/// deliberately NOT part of kAcceptAll so default requests stay wire-
+/// compatible with v1 servers, which reject unknown accept bits.
 inline constexpr u8 kAcceptFile = 1;     ///< RecoilFile containers (RCF1)
 inline constexpr u8 kAcceptChunked = 2;  ///< ChunkedStream containers (RCS1)
 inline constexpr u8 kAcceptRange = 4;    ///< multi-segment range wires (RCR2)
+inline constexpr u8 kAcceptStreamed = 8; ///< v2 streamed response framing
 inline constexpr u8 kAcceptAll = kAcceptFile | kAcceptChunked | kAcceptRange;
 
 /// Which container format ServeResult::wire holds.
@@ -101,8 +108,15 @@ struct ServeResult {
 };
 
 inline constexpr u8 kProtocolVersion = 1;
+/// Version byte of the streamed response framing (same "RCRS" magic; a v1
+/// peer rejects it as unsupported_version, which is the negotiation signal).
+inline constexpr u8 kStreamVersion = 2;
 inline constexpr u32 kMaxAssetNameLen = 4096;
 inline constexpr u32 kMaxDetailLen = u32{1} << 16;
+/// Default negotiated ceiling on a single streamed body frame's payload.
+inline constexpr u64 kDefaultMaxFrameBytes = u64{1} << 20;
+/// Sentinel: no frame-size ceiling negotiated (v1 compatibility default).
+inline constexpr u64 kNoFrameLimit = 0;
 
 /// Serialize a request into a framed, checksummed message ("RCRQ" v1).
 std::vector<u8> encode_request(const ServeRequest& req);
@@ -111,8 +125,104 @@ ServeRequest decode_request(std::span<const u8> frame);
 
 /// Serialize a result into a framed, checksummed message ("RCRS" v1). The
 /// payload bytes ride inside the frame; server-local timing stats do not.
-std::vector<u8> encode_response(const ServeResult& res);
-/// Parse a response frame. Throws ProtocolError on any defect.
-ServeResult decode_response(std::span<const u8> frame);
+/// With a negotiated `max_frame_bytes`, a frame that would exceed it throws
+/// typed frame_too_large instead of being emitted (encode-side enforcement).
+std::vector<u8> encode_response(const ServeResult& res,
+                                u64 max_frame_bytes = kNoFrameLimit);
+/// Parse a response frame. Throws ProtocolError on any defect. With a
+/// negotiated `max_frame_bytes`, an oversized frame is rejected as typed
+/// frame_too_large before any of it is parsed (decode-side enforcement).
+ServeResult decode_response(std::span<const u8> frame,
+                            u64 max_frame_bytes = kNoFrameLimit);
+
+// ---- v2 streamed response framing ----
+//
+// A streamed response is a SEQUENCE of small, individually FNV-checksummed
+// frames instead of one frame holding the whole wire: a header frame
+// (status + stats), N body frames (consecutive slices of exactly the bytes
+// the v1 response's payload would hold), and a FIN frame carrying the body
+// frame count and a whole-wire FNV over the concatenated body payloads —
+// so a receiver that never materializes the wire still gets end-to-end
+// integrity, and one that does reassemble gets bit-exactness with v1.
+
+struct StreamHeader {
+    ErrorCode code = ErrorCode::internal;
+    std::string detail;
+    PayloadKind payload = PayloadKind::none;
+    bool cache_hit = false;
+    bool coalesced = false;
+    /// Splits carried, when known at header time (cache hits, replays);
+    /// 0 for a cold stream — the FIN carries the authoritative count.
+    u32 splits = 0;
+    /// Total body payload bytes to follow, when known up front; 0 when the
+    /// producer streams cold and the total emerges at FIN time.
+    u64 wire_bytes = 0;
+    /// The producer's body-frame payload ceiling (0 = none), echoed so the
+    /// consumer can size its read buffer before the first body frame.
+    u64 max_frame_bytes = kNoFrameLimit;
+};
+
+struct StreamFin {
+    ErrorCode code = ErrorCode::ok;  ///< non-ok: the stream aborted mid-way
+    std::string detail;
+    u32 body_frames = 0;
+    u32 splits = 0;  ///< authoritative split count for the streamed wire
+    u64 wire_checksum = 0;  ///< FNV-1a over all body payload bytes, in order
+};
+
+enum class StreamFrameType : u8 { header = 0, body = 1, fin = 2 };
+
+/// One parsed streamed-response frame. `payload` is a view into the input
+/// frame (valid only while those bytes live); everything else is owned.
+struct StreamFrame {
+    StreamFrameType type = StreamFrameType::header;
+    StreamHeader header;          ///< type == header
+    u32 seq = 0;                  ///< type == body: 0-based body frame index
+    std::span<const u8> payload;  ///< type == body
+    StreamFin fin;                ///< type == fin
+};
+
+std::vector<u8> encode_stream_header(const StreamHeader& h);
+/// Throws typed frame_too_large when payload exceeds `max_frame_bytes`.
+std::vector<u8> encode_stream_body(u32 seq, std::span<const u8> payload,
+                                   u64 max_frame_bytes = kNoFrameLimit);
+std::vector<u8> encode_stream_fin(const StreamFin& fin);
+/// Parse any v2 stream frame. Throws ProtocolError on any defect; an
+/// oversized body (or whole frame) against the negotiated ceiling is typed
+/// frame_too_large.
+StreamFrame decode_stream_frame(std::span<const u8> frame,
+                                u64 max_frame_bytes = kNoFrameLimit);
+
+/// Client-side reassembler: feed frames in arrival order; validates the
+/// header/body/FIN state machine, body-frame contiguity, the announced
+/// totals and the whole-wire checksum, then exposes the materialized
+/// ServeResult — test-enforced to be bit-exact with the v1 response.
+class StreamReassembler {
+public:
+    explicit StreamReassembler(u64 max_frame_bytes = kNoFrameLimit)
+        : max_frame_(max_frame_bytes) {}
+
+    /// Feed the next frame; true once the stream is complete (after the FIN,
+    /// or immediately after an error header). Throws ProtocolError on any
+    /// defect, including a FIN that reports a mid-stream abort.
+    bool feed(std::span<const u8> frame);
+    bool done() const noexcept { return done_; }
+    const StreamHeader& header() const;
+    /// The reassembled response; requires done(). `wire` shares the
+    /// accumulation buffer (immutable once done) — no copy is made, so the
+    /// client's peak memory stays one wire, not two.
+    ServeResult result() const;
+
+private:
+    u64 max_frame_;
+    bool have_header_ = false;
+    bool done_ = false;
+    StreamHeader head_;
+    u32 splits_ = 0;
+    std::shared_ptr<std::vector<u8>> wire_ =
+        std::make_shared<std::vector<u8>>();
+    u64 digest_ = format::kFnvInit;  ///< incremental FNV over *wire_
+    u32 next_seq_ = 0;
+};
 
 }  // namespace recoil::serve

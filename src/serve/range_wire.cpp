@@ -22,20 +22,23 @@ constexpr u8 kFlagIncludesFinal = 2;
 constexpr u8 kFlagIndexed = 4;
 
 /// One stream a segment is cut from: metadata + units + model payload.
-/// `freqs`/`ids` are set for indexed-model streams, `freq` otherwise.
+/// `freqs`/`ids` are set for indexed-model streams, `freq` otherwise. Units
+/// and ids are shared buffers, so segment emission hands out borrowed views
+/// of the asset's storage instead of copying slices.
 struct SegmentSource {
     u64 base = 0;  ///< stream's first symbol in the asset's flat symbol space
     const RecoilMetadata* meta = nullptr;
-    std::span<const u16> units;
+    const format::UnitBuffer* units = nullptr;
     u32 prob_bits = 0;
     std::span<const u32> freq;
     const std::vector<std::vector<u32>>* freqs = nullptr;
-    std::span<const u8> ids;
+    const format::ByteBuffer* ids = nullptr;
 };
 
-/// Append one segment covering LOCAL symbols [lo, hi) of `src`; returns the
+/// Emit one segment covering LOCAL symbols [lo, hi) of `src`; returns the
 /// covering split count.
-u32 append_segment(std::vector<u8>& out, const SegmentSource& src, u64 lo, u64 hi) {
+u32 emit_segment(format::HashingSink& hs, const SegmentSource& src, u64 lo,
+                 u64 hi) {
     const RecoilMetadata& meta = *src.meta;
     const RangePlan plan = plan_range(meta, lo, hi);  // validates the range
     const u32 S = meta.num_splits();
@@ -65,72 +68,80 @@ u32 append_segment(std::vector<u8>& out, const SegmentSource& src, u64 lo, u64 h
         sub.splits.push_back(std::move(sp));
     }
 
-    put_u64(out, src.base);
-    out.push_back(static_cast<u8>((has_prev ? kFlagHasPrev : 0) |
-                                  (includes_final ? kFlagIncludesFinal : 0) |
-                                  (indexed ? kFlagIndexed : 0)));
-    out.push_back(static_cast<u8>(src.prob_bits));
-    put_u16(out, 0);  // reserved
-    put_u64(out, lo);
-    put_u64(out, hi);
-    put_u32(out, plan.first_split);
+    std::vector<u8> head;
+    put_u64(head, src.base);
+    head.push_back(static_cast<u8>((has_prev ? kFlagHasPrev : 0) |
+                                   (includes_final ? kFlagIncludesFinal : 0) |
+                                   (indexed ? kFlagIndexed : 0)));
+    head.push_back(static_cast<u8>(src.prob_bits));
+    put_u16(head, 0);  // reserved
+    put_u64(head, lo);
+    put_u64(head, hi);
+    put_u32(head, plan.first_split);
 
     if (indexed) {
-        put_u32(out, static_cast<u32>(src.freqs->size()));
-        for (const auto& f : *src.freqs) put_freq_table(out, f);
+        put_u32(head, static_cast<u32>(src.freqs->size()));
+        for (const auto& f : *src.freqs) put_freq_table(head, f);
         // The model-id slice must reach every position the covering splits
         // touch: synchronization decodes past cover_hi up to the last
         // split's anchor.
         const u64 ids_lo = plan.cover_lo;
         const u64 ids_hi = plan_touch_hi(meta, plan);
-        put_u64(out, ids_lo);
-        put_u64(out, ids_hi - ids_lo);
-        out.insert(out.end(), src.ids.begin() + static_cast<std::ptrdiff_t>(ids_lo),
-                   src.ids.begin() + static_cast<std::ptrdiff_t>(ids_hi));
+        put_u64(head, ids_lo);
+        put_u64(head, ids_hi - ids_lo);
+        hs.write(std::move(head));
+        hs.write(src.ids->slice(ids_lo, ids_hi - ids_lo));
+        head = {};
     } else {
-        put_freq_table(out, src.freq);
+        put_freq_table(head, src.freq);
     }
 
     const std::vector<u8> meta_bytes = serialize_metadata(sub);
-    put_u64(out, meta_bytes.size());
-    out.insert(out.end(), meta_bytes.begin(), meta_bytes.end());
-
-    put_u64(out, unit_hi - unit_lo);
-    const auto* ub = reinterpret_cast<const u8*>(src.units.data() + unit_lo);
-    out.insert(out.end(), ub, ub + (unit_hi - unit_lo) * 2);
+    put_u64(head, meta_bytes.size());
+    head.insert(head.end(), meta_bytes.begin(), meta_bytes.end());
+    put_u64(head, unit_hi - unit_lo);
+    hs.write(std::move(head));
+    hs.write(format::unit_wire_bytes(*src.units, unit_lo, unit_hi - unit_lo));
 
     return plan.last_split - plan.first_split + 1;
 }
 
-BuiltRangeWire build_wire(std::span<const SegmentSource> sources, u64 lo, u64 hi,
-                          u8 sym_width) {
-    BuiltRangeWire built;
-    std::vector<u8>& out = built.bytes;
-    out.insert(out.end(), kMagic, kMagic + 4);
-    out.push_back(kVersion);
-    out.push_back(sym_width);
-    put_u16(out, 0);  // reserved
-    put_u64(out, lo);
-    put_u64(out, hi);
-
-    // Segments: every source stream intersecting [lo, hi).
-    const std::size_t count_pos = out.size();
-    put_u32(out, 0);
+u32 build_wire_into(std::span<const SegmentSource> sources, u64 lo, u64 hi,
+                    u8 sym_width, format::WireSink& sink) {
+    // Segments: every source stream intersecting [lo, hi). Counted up front
+    // so the header is complete before the first segment is emitted (a
+    // streaming sink cannot backpatch).
     u32 count = 0;
+    for (const SegmentSource& src : sources) {
+        const u64 n = src.meta->num_symbols;
+        if (src.base < hi && src.base + n > lo) ++count;
+    }
+    RECOIL_CHECK(count > 0, "range wire: no intersecting streams");
+
+    format::HashingSink hs(sink);
+    std::vector<u8> head;
+    head.insert(head.end(), kMagic, kMagic + 4);
+    head.push_back(kVersion);
+    head.push_back(sym_width);
+    put_u16(head, 0);  // reserved
+    put_u64(head, lo);
+    put_u64(head, hi);
+    put_u32(head, count);
+    hs.write(std::move(head));
+
+    u32 splits = 0;
     for (const SegmentSource& src : sources) {
         const u64 n = src.meta->num_symbols;
         if (src.base >= hi || src.base + n <= lo) continue;
         const u64 local_lo = lo > src.base ? lo - src.base : 0;
         const u64 local_hi = std::min(hi - src.base, n);
-        built.splits += append_segment(out, src, local_lo, local_hi);
-        ++count;
+        splits += emit_segment(hs, src, local_lo, local_hi);
     }
-    RECOIL_CHECK(count > 0, "range wire: no intersecting streams");
-    for (int i = 0; i < 4; ++i)
-        out[count_pos + i] = static_cast<u8>(count >> (8 * i));
 
-    append_checksum(out);
-    return built;
+    std::vector<u8> trailer;
+    put_u64(trailer, hs.digest());
+    sink.write(std::move(trailer));
+    return splits;
 }
 
 /// Everything decode needs for one segment, parsed and validated.
@@ -304,25 +315,27 @@ std::vector<TSym> decode_range_impl(std::span<const u8> bytes,
 
 }  // namespace
 
-BuiltRangeWire build_range_wire(const format::RecoilFile& f, u64 lo, u64 hi) {
+u32 range_wire_into(const format::RecoilFile& f, u64 lo, u64 hi,
+                    format::WireSink& sink) {
     SegmentSource src;
     src.base = 0;
     src.meta = &f.metadata;
-    src.units = f.units;
+    src.units = &f.units;
     src.prob_bits = f.prob_bits;
     if (f.is_indexed()) {
         const auto& payload = std::get<format::RecoilFile::IndexedPayload>(f.model);
         RECOIL_CHECK(payload.ids.size() >= f.metadata.num_symbols,
                      "range wire: id stream shorter than the symbol stream");
         src.freqs = &payload.freqs;
-        src.ids = payload.ids;
+        src.ids = &payload.ids;
     } else {
         src.freq = std::get<format::RecoilFile::StaticPayload>(f.model).freq;
     }
-    return build_wire({&src, 1}, lo, hi, f.sym_width);
+    return build_wire_into({&src, 1}, lo, hi, f.sym_width, sink);
 }
 
-BuiltRangeWire build_range_wire(const stream::ChunkedStream& s, u64 lo, u64 hi) {
+u32 range_wire_into(const stream::ChunkedStream& s, u64 lo, u64 hi,
+                    format::WireSink& sink) {
     const std::vector<u64> offsets = s.chunk_offsets();
     std::vector<SegmentSource> sources;
     sources.reserve(s.chunks.size());
@@ -330,12 +343,28 @@ BuiltRangeWire build_range_wire(const stream::ChunkedStream& s, u64 lo, u64 hi) 
         SegmentSource src;
         src.base = offsets[i];
         src.meta = &s.chunks[i].metadata;
-        src.units = s.chunks[i].units;
+        src.units = &s.chunks[i].units;
         src.prob_bits = s.prob_bits;
         src.freq = s.chunks[i].freq;
         sources.push_back(src);
     }
-    return build_wire(sources, lo, hi, 1);
+    return build_wire_into(sources, lo, hi, 1, sink);
+}
+
+BuiltRangeWire build_range_wire(const format::RecoilFile& f, u64 lo, u64 hi) {
+    BuiltRangeWire built;
+    format::VectorSink sink;
+    built.splits = range_wire_into(f, lo, hi, sink);
+    built.bytes = std::move(sink.out);
+    return built;
+}
+
+BuiltRangeWire build_range_wire(const stream::ChunkedStream& s, u64 lo, u64 hi) {
+    BuiltRangeWire built;
+    format::VectorSink sink;
+    built.splits = range_wire_into(s, lo, hi, sink);
+    built.bytes = std::move(sink.out);
+    return built;
 }
 
 RangeWireInfo inspect_range_wire(std::span<const u8> bytes) {

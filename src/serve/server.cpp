@@ -29,7 +29,444 @@ ServeResult fail(ErrorCode code, std::string detail) {
     return res;
 }
 
+WireBytes share(std::vector<u8> bytes) {
+    return std::make_shared<const std::vector<u8>>(std::move(bytes));
+}
+
+/// Unwinds a solo stream's producer when the consumer abandons the stream:
+/// nothing downstream wants the remaining pieces, so production stops at
+/// the next sink write instead of running to completion.
+struct StreamCancel {};
+
 }  // namespace
+
+namespace detail {
+
+/// Shared state behind one ServeStream: the validated request, the piece
+/// queue between the producer thread and the pulling consumer (with the
+/// flow-control window), and the consumer's framing cursor. Exactly one
+/// consumer (the ServeStream) and at most one producer thread touch it.
+struct StreamState {
+    // ---- immutable after serve_stream() returns ----
+    ContentServer* server = nullptr;
+    StreamOptions opt;
+    ServeResult head;  ///< status + stats known at stream start; wire null
+    ContentServer::Prepared prep;  ///< pins the asset for the stream's life
+    WireBytes cached;              ///< cache-hit (or rechecked) source
+    std::shared_ptr<Flight> flight;  ///< leader target / follower source
+    std::string flight_key;
+    bool leader = false;
+    bool put_to_cache = false;
+    u32 known_splits = 0;  ///< splits known at header time (cache hits)
+
+    // ---- producer/consumer queue (leader and solo streams) ----
+    std::mutex mu;
+    std::condition_variable cv_space;  ///< producer: window space freed
+    std::condition_variable cv_data;   ///< consumer: pieces or completion
+    std::deque<format::ByteBuffer> queue;
+    u64 staged_bytes = 0;  ///< produced-not-consumed (the in-flight window)
+    u64 staged_owned = 0;  ///< owned (non-view) subset of staged_bytes
+    u64 peak_staged = 0;
+    u64 peak_owned = 0;
+    u64 produced_bytes = 0;
+    bool producer_done = false;
+    bool cancelled = false;  ///< solo stream abandoned: stop producing
+    bool draining = false;   ///< leader abandoned: finish assembly, skip queue
+    u32 produced_splits = 0;
+    ErrorCode producer_code = ErrorCode::ok;
+    std::string producer_detail;
+    std::thread producer;
+    /// Set (under mu) by an abandoning destructor after detaching the
+    /// producer thread: hands the still-running producer ownership of this
+    /// state, so the drain completes in the background instead of blocking
+    /// the abandoning thread. The producer drops it as its last act.
+    std::shared_ptr<StreamState> self_keep;
+
+    // ---- consumer state (single consumer: the ServeStream) ----
+    enum class Phase : u8 { header, body, fin, finished };
+    Phase phase = Phase::header;
+    format::ByteBuffer pending;  ///< partially framed piece
+    std::size_t pending_off = 0;
+    u64 replay_offset = 0;  ///< cached/follower sources: wire bytes consumed
+    u64 emitted_payload = 0;
+    u64 digest = format::kFnvInit;  ///< FNV over emitted body payloads
+    u32 seq = 0;
+    u64 frames = 0;
+    ErrorCode fin_code = ErrorCode::ok;
+    std::string fin_detail;
+    u32 fin_splits = 0;
+
+    ~StreamState() {
+        if (producer.joinable()) producer.join();
+    }
+
+    void producer_main();
+    void fail_producer(ErrorCode code, std::string detail);
+    std::optional<format::ByteBuffer> pull_piece(bool block, bool& end);
+};
+
+namespace {
+
+/// The producer side of a stream's queue: splits every piece to the frame
+/// granularity (slices share storage — no copies) and stages it behind the
+/// flow-control window. A streaming leader also publishes each piece to the
+/// flight's incremental assembly first, so coalesced followers replay bytes
+/// the moment they are produced.
+class ProducerSink final : public format::WireSink {
+public:
+    explicit ProducerSink(StreamState& st) : st_(st) {}
+
+    void write(format::ByteBuffer piece) override {
+        const u64 max_frame = st_.opt.max_frame_bytes;
+        for (std::size_t off = 0; off < piece.size();) {
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<u64>(max_frame, piece.size() - off));
+            push(piece.slice(off, n));
+            off += n;
+        }
+    }
+
+private:
+    void push(format::ByteBuffer sub) {
+        if (sub.empty()) return;
+        if (st_.leader && st_.flight != nullptr) {
+            // Publish to the flight before staging: followers must never
+            // observe the queue ahead of the assembly they replay from.
+            Flight& f = *st_.flight;
+            {
+                std::scoped_lock lk(f.mu);
+                f.assembling->insert(f.assembling->end(), sub.begin(),
+                                     sub.end());
+                f.committed = f.assembling->size();
+            }
+            f.cv.notify_all();
+        }
+        std::unique_lock lk(st_.mu);
+        if (st_.cancelled) throw StreamCancel{};
+        st_.produced_bytes += sub.size();
+        if (st_.draining) return;  // consumer gone; assembly above suffices
+        // The in-flight window: block until the consumer frees space. A
+        // piece larger than the window (impossible after frame-splitting,
+        // kept for safety) passes when the queue is empty.
+        st_.cv_space.wait(lk, [&] {
+            return st_.cancelled || st_.draining || st_.staged_bytes == 0 ||
+                   st_.staged_bytes + sub.size() <= st_.opt.window_bytes;
+        });
+        if (st_.cancelled) throw StreamCancel{};
+        if (st_.draining) return;
+        st_.staged_bytes += sub.size();
+        if (!sub.borrowed()) st_.staged_owned += sub.size();
+        st_.peak_staged = std::max(st_.peak_staged, st_.staged_bytes);
+        st_.peak_owned = std::max(st_.peak_owned, st_.staged_owned);
+        st_.queue.push_back(std::move(sub));
+        lk.unlock();
+        st_.cv_data.notify_one();
+    }
+
+    StreamState& st_;
+};
+
+}  // namespace
+
+void StreamState::producer_main() {
+    ContentServer& srv = *server;
+    try {
+        ProducerSink sink(*this);
+        const u32 splits = srv.produce(prep, sink);
+        if (leader && flight != nullptr) {
+            ServedWire wire;
+            {
+                std::scoped_lock lk(flight->mu);
+                // The assembly never mutates again: alias it as the shared
+                // wire without copying.
+                wire.wire = WireBytes(flight->assembling);
+                wire.splits = splits;
+            }
+            // The stale-put gate (see serve_shared): an asset evicted or
+            // replaced mid-stream must not re-enter the cache.
+            if (put_to_cache && srv.store_.is_current(*prep.asset))
+                srv.cache_.put(prep.key, prep.parallelism, wire.wire, splits);
+            srv.retire_flight(flight_key, flight, &wire, ErrorCode::ok, {});
+        }
+        u64 total = 0;
+        {
+            std::scoped_lock lk(mu);
+            produced_splits = splits;
+            producer_done = true;
+            total = produced_bytes;
+        }
+        srv.wire_bytes_.fetch_add(total, std::memory_order_relaxed);
+        cv_data.notify_all();
+    } catch (const StreamCancel&) {
+        std::scoped_lock lk(mu);
+        producer_done = true;  // solo stream abandoned; nobody consumes
+    } catch (const ProtocolError& e) {
+        fail_producer(e.code(), e.what());
+    } catch (const std::exception& e) {
+        fail_producer(ErrorCode::internal, e.what());
+    } catch (...) {
+        fail_producer(ErrorCode::internal, "stream production failed");
+    }
+    // Tail, in strict order: (1) take the self-reference an abandoning
+    // destructor may have installed; (2) sign off with the server — the
+    // LAST server touch, after which ~ContentServer may return; (3) let
+    // `self` release. If it is the final reference, the state dies right
+    // here on this thread — safe, because that destructor detached the
+    // thread first, so ~StreamState has nothing to join.
+    std::shared_ptr<StreamState> self;
+    {
+        std::scoped_lock lk(mu);
+        self = std::move(self_keep);
+    }
+    {
+        // Notify UNDER the lock: ~ContentServer destroys the cv as soon as
+        // the count hits zero and it reacquires the mutex, so an unlocked
+        // notify could touch a dead condition variable.
+        std::scoped_lock lk(srv.streams_mu_);
+        --srv.active_stream_producers_;
+        srv.streams_cv_.notify_all();
+    }
+}
+
+void StreamState::fail_producer(ErrorCode code, std::string detail) {
+    if (leader && flight != nullptr)
+        server->retire_flight(flight_key, flight, nullptr, code, detail);
+    server->failures_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::scoped_lock lk(mu);
+        producer_code = code;
+        producer_detail = std::move(detail);
+        producer_done = true;
+    }
+    cv_data.notify_all();
+}
+
+/// Pull the next wire piece for the consumer. With `block` false, returns
+/// nullopt when nothing is immediately available (so a partially built
+/// frame can flush instead of stalling while holding data); sets `end` once
+/// the stream's bytes are exhausted. Producer/leader failures surface as
+/// `fin_code` (the FIN frame reports the abort), never as an exception.
+std::optional<format::ByteBuffer> StreamState::pull_piece(bool block,
+                                                          bool& end) {
+    const u64 max_frame = opt.max_frame_bytes;
+
+    if (cached != nullptr) {  // cache-hit source: slice the shared wire
+        if (replay_offset >= cached->size()) {
+            end = true;
+            return std::nullopt;
+        }
+        const u64 n = std::min<u64>(max_frame, cached->size() - replay_offset);
+        auto piece = format::ByteBuffer::view(
+            std::span<const u8>(cached->data() + replay_offset,
+                                static_cast<std::size_t>(n)),
+            cached);
+        replay_offset += n;
+        return piece;
+    }
+
+    if (flight != nullptr && !leader) {  // follower: replay the leader
+        Flight& f = *flight;
+        std::unique_lock lk(f.mu);
+        const auto ready = [&] {
+            return f.done || (f.streaming && f.committed > replay_offset);
+        };
+        if (block)
+            f.cv.wait(lk, ready);
+        else if (!ready())
+            return std::nullopt;
+        if (f.failed) {
+            fin_code = f.error_code;
+            fin_detail = f.error_detail;
+            end = true;
+            return std::nullopt;
+        }
+        if (f.done) {
+            const std::vector<u8>& w = *f.wire.wire;
+            if (replay_offset >= w.size()) {
+                fin_splits = f.wire.splits;
+                end = true;
+                return std::nullopt;
+            }
+            const u64 n = std::min<u64>(max_frame, w.size() - replay_offset);
+            auto piece = format::ByteBuffer::view(
+                std::span<const u8>(w.data() + replay_offset,
+                                    static_cast<std::size_t>(n)),
+                f.wire.wire);
+            replay_offset += n;
+            return piece;
+        }
+        // Mid-assembly: copy out under the lock (the assembly vector may
+        // reallocate after we release it).
+        const u64 n = std::min<u64>(max_frame, f.committed - replay_offset);
+        std::vector<u8> bytes(
+            f.assembling->begin() + static_cast<std::ptrdiff_t>(replay_offset),
+            f.assembling->begin() +
+                static_cast<std::ptrdiff_t>(replay_offset + n));
+        replay_offset += n;
+        return format::ByteBuffer(std::move(bytes));
+    }
+
+    // Producer-backed source (leader or solo).
+    std::unique_lock lk(mu);
+    if (block)
+        cv_data.wait(lk, [&] { return !queue.empty() || producer_done; });
+    if (queue.empty()) {
+        if (!producer_done) return std::nullopt;
+        if (producer_code != ErrorCode::ok) {
+            fin_code = producer_code;
+            fin_detail = producer_detail;
+        } else {
+            fin_splits = produced_splits;
+        }
+        end = true;
+        return std::nullopt;
+    }
+    format::ByteBuffer piece = std::move(queue.front());
+    queue.pop_front();
+    staged_bytes -= piece.size();
+    if (!piece.borrowed()) staged_owned -= piece.size();
+    lk.unlock();
+    cv_space.notify_one();
+    return piece;
+}
+
+}  // namespace detail
+
+// ---- ServeStream ----
+
+ServeStream::ServeStream(std::shared_ptr<detail::StreamState> st)
+    : st_(std::move(st)) {}
+
+ServeStream::ServeStream(ServeStream&&) noexcept = default;
+ServeStream& ServeStream::operator=(ServeStream&&) noexcept = default;
+
+ServeStream::~ServeStream() {
+    if (st_ == nullptr || st_->phase == detail::StreamState::Phase::finished)
+        return;
+    // Abandoned mid-stream. A leader must still complete: followers replay
+    // from (and the cache entry is) the assembly, so production switches to
+    // drain mode and runs to the end on its own thread. A solo stream's
+    // product is wanted by nobody — cancel it. Either way this destructor
+    // must not wait out the remaining production: if the producer is still
+    // running, detach it and hand it ownership of the state (self_keep),
+    // so the drain genuinely finishes in the background.
+    bool hand_off = false;
+    {
+        std::scoped_lock lk(st_->mu);
+        if (st_->leader)
+            st_->draining = true;
+        else
+            st_->cancelled = true;
+        hand_off = st_->producer.joinable() && !st_->producer_done;
+        if (hand_off) st_->self_keep = st_;
+    }
+    st_->cv_space.notify_all();
+    if (hand_off) st_->producer.detach();
+    // Otherwise ~StreamState joins the (already finished) producer cheaply
+    // once the last reference drops.
+}
+
+const ServeResult& ServeStream::head() const noexcept { return st_->head; }
+
+bool ServeStream::done() const noexcept {
+    return st_->phase == detail::StreamState::Phase::finished;
+}
+
+u64 ServeStream::frames_emitted() const noexcept { return st_->frames; }
+
+u64 ServeStream::peak_owned_bytes() const noexcept {
+    std::scoped_lock lk(st_->mu);
+    return st_->peak_owned;
+}
+
+u64 ServeStream::peak_staged_bytes() const noexcept {
+    std::scoped_lock lk(st_->mu);
+    return st_->peak_staged;
+}
+
+std::optional<std::vector<u8>> ServeStream::next_frame() {
+    using Phase = detail::StreamState::Phase;
+    detail::StreamState& st = *st_;
+
+    if (st.phase == Phase::header) {
+        StreamHeader h;
+        h.code = st.head.code;
+        h.detail = st.head.detail;
+        h.payload = st.head.payload;
+        h.cache_hit = st.head.stats.cache_hit;
+        h.coalesced = st.head.stats.coalesced;
+        h.splits = st.known_splits;
+        h.wire_bytes = st.head.stats.wire_bytes;
+        h.max_frame_bytes = st.opt.max_frame_bytes;
+        st.phase = st.head.ok() ? Phase::body : Phase::finished;
+        ++st.frames;
+        return encode_stream_header(h);
+    }
+
+    if (st.phase == Phase::body) {
+        const u64 max_frame = st.opt.max_frame_bytes;
+        std::vector<u8> payload;
+        bool end = false;
+        while (payload.size() < max_frame) {
+            if (st.pending_off >= st.pending.size()) {
+                auto piece = st.pull_piece(/*block=*/payload.empty(), end);
+                if (!piece.has_value()) break;
+                st.pending = std::move(*piece);
+                st.pending_off = 0;
+            }
+            const std::size_t n =
+                std::min<std::size_t>(static_cast<std::size_t>(max_frame) -
+                                          payload.size(),
+                                      st.pending.size() - st.pending_off);
+            payload.insert(payload.end(), st.pending.begin() + st.pending_off,
+                           st.pending.begin() + st.pending_off + n);
+            st.pending_off += n;
+        }
+        if (!payload.empty()) {
+            st.digest = format::fnv1a(payload, st.digest);
+            st.emitted_payload += payload.size();
+            {
+                std::scoped_lock lk(st.mu);
+                const u64 held =
+                    st.staged_owned + payload.size() +
+                    (st.pending.borrowed() ? 0 : st.pending.size());
+                st.peak_owned = std::max(st.peak_owned, held);
+            }
+            ++st.frames;
+            return encode_stream_body(st.seq++, payload, max_frame);
+        }
+        st.phase = Phase::fin;  // exhausted: fall through to the FIN
+    }
+
+    if (st.phase == Phase::fin) {
+        StreamFin fin;
+        fin.code = st.fin_code;
+        fin.detail = st.fin_detail;
+        fin.body_frames = st.seq;
+        fin.splits = st.known_splits != 0 ? st.known_splits : st.fin_splits;
+        fin.wire_checksum = st.digest;
+        st.phase = Phase::finished;
+        ++st.frames;
+        // Follower/cached totals settle here, where the size is known; a
+        // leader/solo producer accounted its bytes at production time.
+        if (st.head.stats.coalesced) {
+            st.server->wire_bytes_.fetch_add(st.emitted_payload,
+                                             std::memory_order_relaxed);
+            st.server->bytes_saved_.fetch_add(st.emitted_payload,
+                                              std::memory_order_relaxed);
+        }
+        return encode_stream_fin(fin);
+    }
+
+    return std::nullopt;
+}
+
+// ---- ContentServer ----
+
+ContentServer::~ContentServer() {
+    std::unique_lock lk(streams_mu_);
+    streams_cv_.wait(lk, [&] { return active_stream_producers_ == 0; });
+}
 
 ServeResult ContentServer::serve(const ServeRequest& req) noexcept {
     requests_.fetch_add(1, std::memory_order_relaxed);
@@ -59,46 +496,62 @@ ServeResult ContentServer::serve(const ServeRequest& req) noexcept {
     return res;
 }
 
-ServeResult ContentServer::serve_impl(const ServeRequest& req) {
+ContentServer::Prepared ContentServer::prepare(const ServeRequest& req) {
     auto asset = store_.resolve(req.asset);
     if (asset == nullptr)
-        return fail(ErrorCode::unknown_asset,
-                    "serve: unknown asset '" + req.asset + "'");
+        throw ProtocolError(ErrorCode::unknown_asset,
+                            "serve: unknown asset '" + req.asset + "'");
 
-    ServeResult res;
-    ServedWire served;
+    Prepared p;
+    p.asset = std::move(asset);
     if (req.range) {
         range_requests_.fetch_add(1, std::memory_order_relaxed);
         if ((req.accept & kAcceptRange) == 0)
-            return fail(ErrorCode::not_acceptable,
-                        "serve: client does not accept range wires");
+            throw ProtocolError(ErrorCode::not_acceptable,
+                                "serve: client does not accept range wires");
         // Boundary validation with a typed error, not an invariant throw
         // from plan_range deep inside the wire builder.
         const auto [lo, hi] = *req.range;
-        if (lo >= hi || hi > asset->num_symbols())
-            return fail(ErrorCode::invalid_range,
-                        "serve: range [" + std::to_string(lo) + ", " +
-                            std::to_string(hi) + ") outside asset of " +
-                            std::to_string(asset->num_symbols()) + " symbols");
-        res.payload = PayloadKind::range;
-        served = serve_shared(range_key(*asset, lo, hi), 0, opt_.cache_ranges,
-                              res.stats, *asset,
-                              [&] { return asset->range(lo, hi); });
+        if (lo >= hi || hi > p.asset->num_symbols())
+            throw ProtocolError(
+                ErrorCode::invalid_range,
+                "serve: range [" + std::to_string(lo) + ", " +
+                    std::to_string(hi) + ") outside asset of " +
+                    std::to_string(p.asset->num_symbols()) + " symbols");
+        p.range = req.range;
+        p.key = range_key(*p.asset, lo, hi);
+        p.parallelism = 0;
+        p.use_cache = opt_.cache_ranges;
+        p.payload = PayloadKind::range;
     } else {
-        const u8 need = asset->payload_kind() == PayloadKind::chunked
+        const u8 need = p.asset->payload_kind() == PayloadKind::chunked
                             ? kAcceptChunked
                             : kAcceptFile;
         if ((req.accept & need) == 0)
-            return fail(ErrorCode::not_acceptable,
-                        std::string("serve: client does not accept ") +
-                            payload_name(asset->payload_kind()) + " responses");
-        const u32 parallelism =
-            std::clamp(req.parallelism, u32{1}, asset->max_parallelism());
-        res.payload = asset->payload_kind();
-        served = serve_shared(asset_key(*asset), parallelism, true, res.stats,
-                              *asset,
-                              [&] { return asset->combine(parallelism); });
+            throw ProtocolError(
+                ErrorCode::not_acceptable,
+                std::string("serve: client does not accept ") +
+                    payload_name(p.asset->payload_kind()) + " responses");
+        p.parallelism =
+            std::clamp(req.parallelism, u32{1}, p.asset->max_parallelism());
+        p.key = asset_key(*p.asset);
+        p.use_cache = true;
+        p.payload = p.asset->payload_kind();
     }
+    return p;
+}
+
+u32 ContentServer::produce(const Prepared& p, format::WireSink& sink) {
+    if (p.range)
+        return p.asset->range_into(p.range->first, p.range->second, sink);
+    return p.asset->combine_into(p.parallelism, sink);
+}
+
+ServeResult ContentServer::serve_impl(const ServeRequest& req) {
+    const Prepared p = prepare(req);
+    ServeResult res;
+    res.payload = p.payload;
+    ServedWire served = serve_shared(p, res.stats);
     res.wire = std::move(served.wire);
     res.stats.splits_served = served.splits;
     res.stats.wire_bytes = res.wire->size();
@@ -106,13 +559,28 @@ ServeResult ContentServer::serve_impl(const ServeRequest& req) {
     return res;
 }
 
-ServedWire ContentServer::serve_shared(const std::string& key, u32 parallelism,
-                                       bool use_cache, ServeStats& stats,
-                                       const Asset& asset,
-                                       const std::function<ServedWire()>& build) {
-    if (use_cache) {
+bool ContentServer::acquire_flight(const std::string& flight_key,
+                                   std::shared_ptr<Flight>& flight,
+                                   bool streaming) {
+    std::scoped_lock lk(flights_mu_);
+    auto& slot = flights_[flight_key];
+    if (slot == nullptr) {
+        slot = std::make_shared<Flight>();
+        if (streaming) {
+            slot->streaming = true;
+            slot->assembling = std::make_shared<std::vector<u8>>();
+        }
+        flight = slot;
+        return true;
+    }
+    flight = slot;
+    return false;
+}
+
+ServedWire ContentServer::serve_shared(const Prepared& p, ServeStats& stats) {
+    if (p.use_cache) {
         u32 splits = 0;
-        if (WireBytes wire = cache_.get(key, parallelism, &splits)) {
+        if (WireBytes wire = cache_.get(p.key, p.parallelism, &splits)) {
             stats.cache_hit = true;
             return {std::move(wire), splits};
         }
@@ -120,18 +588,12 @@ ServedWire ContentServer::serve_shared(const std::string& key, u32 parallelism,
 
     // Single-flight: the first request for a key becomes the leader and
     // combines; concurrent requests park on the flight and share its wire.
-    const std::string flight_key = key + "\nflight:" + std::to_string(parallelism);
+    // (A streaming leader for the same key coalesces these waiters too:
+    // its producer retires the flight with the assembled wire.)
+    const std::string flight_key =
+        p.key + "\nflight:" + std::to_string(p.parallelism);
     std::shared_ptr<Flight> flight;
-    bool leader = false;
-    {
-        std::scoped_lock lk(flights_mu_);
-        auto& slot = flights_[flight_key];
-        if (slot == nullptr) {
-            slot = std::make_shared<Flight>();
-            leader = true;
-        }
-        flight = slot;
-    }
+    const bool leader = acquire_flight(flight_key, flight, false);
 
     if (!leader) {
         waiters_.fetch_add(1, std::memory_order_relaxed);
@@ -150,9 +612,9 @@ ServedWire ContentServer::serve_shared(const std::string& key, u32 parallelism,
     // between our miss and the flight insert (put happens before the flight
     // retires). Recheck before paying for a combine, and publish the cached
     // wire to any followers already parked on this flight.
-    if (use_cache) {
+    if (p.use_cache) {
         u32 splits = 0;
-        if (WireBytes cached = cache_.get(key, parallelism, &splits)) {
+        if (WireBytes cached = cache_.get(p.key, p.parallelism, &splits)) {
             ServedWire wire{std::move(cached), splits};
             retire_flight(flight_key, flight, &wire, ErrorCode::ok, {});
             stats.cache_hit = true;
@@ -163,8 +625,12 @@ ServedWire ContentServer::serve_shared(const std::string& key, u32 parallelism,
     ServedWire wire;
     Stopwatch combine;
     try {
-        if (opt_.combine_hook) opt_.combine_hook(key);
-        wire = build();
+        if (opt_.combine_hook) opt_.combine_hook(p.key);
+        {
+            format::VectorSink sink;
+            wire.splits = produce(p, sink);
+            wire.wire = share(std::move(sink.out));
+        }
         stats.combine_seconds = combine.seconds();
         // Publish to the cache before retiring the flight, so a request
         // arriving between the two hits the cache instead of recombining.
@@ -178,8 +644,8 @@ ServedWire ContentServer::serve_shared(const std::string& key, u32 parallelism,
         // can still slip a dying entry in; its uid-scoped key can never be
         // served for the successor, so the cost is transient bytes, not
         // staleness.)
-        if (use_cache && store_.is_current(asset))
-            cache_.put(key, parallelism, wire.wire, wire.splits);
+        if (p.use_cache && store_.is_current(*p.asset))
+            cache_.put(p.key, p.parallelism, wire.wire, wire.splits);
     } catch (const ProtocolError& e) {
         retire_flight(flight_key, flight, nullptr, e.code(), e.what());
         throw;
@@ -218,6 +684,106 @@ void ContentServer::retire_flight(const std::string& flight_key,
     flight->cv.notify_all();
 }
 
+ServeStream ContentServer::serve_stream(const ServeRequest& req,
+                                        StreamOptions opt) noexcept {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    streamed_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (opt.max_frame_bytes == 0) opt.max_frame_bytes = kDefaultMaxFrameBytes;
+    opt.window_bytes = std::max(opt.window_bytes, opt.max_frame_bytes);
+
+    auto st = std::make_shared<detail::StreamState>();
+    st->server = this;
+    st->opt = opt;
+    const auto adopt_cache_hit = [&](WireBytes wire, u32 splits) {
+        st->cached = std::move(wire);
+        st->known_splits = splits;
+        st->head.stats.cache_hit = true;
+        st->head.stats.wire_bytes = st->cached->size();
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        wire_bytes_.fetch_add(st->cached->size(), std::memory_order_relaxed);
+        bytes_saved_.fetch_add(st->cached->size(), std::memory_order_relaxed);
+    };
+    try {
+        if ((req.accept & kAcceptStreamed) == 0)
+            throw ProtocolError(
+                ErrorCode::not_acceptable,
+                "serve: client does not accept streamed responses");
+        st->prep = prepare(req);
+        st->head.payload = st->prep.payload;
+        st->head.code = ErrorCode::ok;
+        const bool use_cache = st->prep.use_cache && opt.use_cache;
+        st->put_to_cache = use_cache;
+
+        if (use_cache) {
+            u32 splits = 0;
+            if (WireBytes wire =
+                    cache_.get(st->prep.key, st->prep.parallelism, &splits)) {
+                adopt_cache_hit(std::move(wire), splits);
+                return ServeStream(std::move(st));
+            }
+
+            st->flight_key = st->prep.key + "\nflight:" +
+                             std::to_string(st->prep.parallelism);
+            st->leader = acquire_flight(st->flight_key, st->flight, true);
+            if (!st->leader) {
+                // Follower: replay the leader's already-emitted bytes from
+                // the assembly (or the finished wire) as the leader streams.
+                st->head.stats.coalesced = true;
+                coalesced_.fetch_add(1, std::memory_order_relaxed);
+                return ServeStream(std::move(st));
+            }
+            // Leader: the previous leader may have populated the cache
+            // between our miss and the flight insert. Recheck, publishing
+            // the cached wire to any followers already parked here.
+            if (WireBytes wire =
+                    cache_.get(st->prep.key, st->prep.parallelism, &splits)) {
+                ServedWire served{wire, splits};
+                retire_flight(st->flight_key, st->flight, &served,
+                              ErrorCode::ok, {});
+                st->flight.reset();
+                st->leader = false;
+                adopt_cache_hit(std::move(wire), splits);
+                return ServeStream(std::move(st));
+            }
+        }
+
+        // Leader or solo: produce on a background thread, pull-paced by the
+        // consumer through the window. Registered with the server first, so
+        // ~ContentServer waits for it even if the stream is abandoned and
+        // the producer detached.
+        if (opt_.combine_hook) opt_.combine_hook(st->prep.key);
+        {
+            std::scoped_lock lk(streams_mu_);
+            ++active_stream_producers_;
+        }
+        try {
+            st->producer = std::thread(&detail::StreamState::producer_main,
+                                       st.get());
+        } catch (...) {
+            {
+                std::scoped_lock lk(streams_mu_);
+                --active_stream_producers_;
+            }
+            throw;
+        }
+        return ServeStream(std::move(st));
+    } catch (const ProtocolError& e) {
+        if (st->leader && st->flight != nullptr)
+            retire_flight(st->flight_key, st->flight, nullptr, e.code(),
+                          e.what());
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        st->head = fail(e.code(), e.what());
+        return ServeStream(std::move(st));
+    } catch (const std::exception& e) {
+        if (st->leader && st->flight != nullptr)
+            retire_flight(st->flight_key, st->flight, nullptr,
+                          ErrorCode::internal, e.what());
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        st->head = fail(ErrorCode::internal, e.what());
+        return ServeStream(std::move(st));
+    }
+}
+
 std::vector<u8> ContentServer::serve_frame(
     std::span<const u8> request_frame) noexcept {
     try {
@@ -248,6 +814,7 @@ ContentServer::Totals ContentServer::totals() const noexcept {
     t.failures = failures_.load(std::memory_order_relaxed);
     t.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     t.range_requests = range_requests_.load(std::memory_order_relaxed);
+    t.streamed_requests = streamed_requests_.load(std::memory_order_relaxed);
     t.wire_bytes = wire_bytes_.load(std::memory_order_relaxed);
     t.coalesced_requests = coalesced_.load(std::memory_order_relaxed);
     t.bytes_saved = bytes_saved_.load(std::memory_order_relaxed);

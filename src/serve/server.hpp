@@ -7,13 +7,25 @@
 // the resulting wire. serve_frame() is the transport boundary — opaque
 // request frame in, response frame out — so a network frontend needs no
 // knowledge of assets or caching.
+//
+// serve_stream() is the pull-based side of the same pipeline: the response
+// is produced segment at a time through the asset's WireSink producer and
+// framed as v2 streamed messages, so peak frontend memory is bounded by the
+// frame size and the flow-control window, not by the wire. The materializing
+// serve() path is a thin adapter over the same producers (Asset::combine /
+// Asset::range materialize through a VectorSink) — one producer
+// implementation, two framings.
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -27,14 +39,109 @@ struct ServerOptions {
     u64 cache_capacity_bytes = u64{256} << 20;
     bool cache_ranges = true;  ///< range responses join the LRU cache too
     /// Observability/test hook: invoked (if set) with the cache key at the
-    /// start of every miss combine, before the wire is built.
+    /// start of every miss combine (materialized or streamed), before the
+    /// wire is built.
     std::function<void(const std::string&)> combine_hook;
 };
+
+/// Per-stream knobs of serve_stream(), negotiated per connection.
+struct StreamOptions {
+    /// Body-frame payload ceiling; frames over it are never produced
+    /// (encode-side frame_too_large enforcement happens below this).
+    u64 max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Flow-control window: the producer may run at most this many wire
+    /// bytes ahead of the consumer before it blocks — bounded in-flight
+    /// bytes regardless of asset size. Clamped up to max_frame_bytes.
+    u64 window_bytes = u64{4} << 20;
+    /// When false the stream never assembles a cache entry: peak producer
+    /// memory stays O(max_frame), the regime for responses too large to be
+    /// worth caching. Such streams do not coalesce (nothing shareable is
+    /// assembled) and do not consult the cache.
+    bool use_cache = true;
+};
+
+namespace detail {
+struct StreamState;
+struct Flight;
+}  // namespace detail
+
+/// A streamed response: pull protocol frames one at a time (header frame,
+/// body frames, FIN frame, then nullopt). next_frame() may block on the
+/// producer (or, for a coalesced follower, on the leader's progress) — the
+/// consumer's pull pace IS the backpressure. The stream pins its asset (and
+/// therefore every mmapped buffer its segments view), so unload()/evict()
+/// mid-stream never invalidates in-flight segments. Must not outlive the
+/// ContentServer that created it.
+class ServeStream {
+public:
+    ~ServeStream();
+    ServeStream(ServeStream&&) noexcept;
+    ServeStream& operator=(ServeStream&&) noexcept;
+    ServeStream(const ServeStream&) = delete;
+    ServeStream& operator=(const ServeStream&) = delete;
+
+    /// Status + stats known at stream start; `wire` is always null. For a
+    /// cold stream, splits/wire_bytes arrive in the FIN frame instead.
+    const ServeResult& head() const noexcept;
+    /// The next protocol frame, or nullopt once the stream is complete. An
+    /// error response is a single header frame.
+    std::optional<std::vector<u8>> next_frame();
+    bool done() const noexcept;
+    u64 frames_emitted() const noexcept;
+    /// High-water mark of owned bytes the producer pipeline held at once
+    /// (staged structural sections + the frame under construction). Payload
+    /// views pinning existing asset storage cost no new memory and are
+    /// excluded; this is the number the bench compares against wire size.
+    u64 peak_owned_bytes() const noexcept;
+    /// High-water mark of produced-but-unconsumed wire bytes (the flow
+    /// control window's measured utilization; <= window + one frame).
+    u64 peak_staged_bytes() const noexcept;
+
+private:
+    friend class ContentServer;
+    explicit ServeStream(std::shared_ptr<detail::StreamState> st);
+    std::shared_ptr<detail::StreamState> st_;
+};
+
+namespace detail {
+
+/// In-flight combine shared by coalesced requests for one response key.
+/// Failures are published as a typed (code, detail) pair, NOT a shared
+/// exception_ptr: rethrowing one exception object from many followers
+/// lets one thread's catch-scope destruction race another's what() read
+/// (caught by TSan). Each follower throws its own ProtocolError built
+/// from the immutable-after-done fields.
+///
+/// A STREAMING leader additionally publishes the wire incrementally:
+/// bytes [0, committed) of *assembling are stable and readable under mu,
+/// so followers replay already-emitted segments while the leader is still
+/// producing, instead of parking until the end. On completion `assembling`
+/// becomes the shared wire without copying (it never mutates again).
+struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ServedWire wire;
+    bool failed = false;
+    ErrorCode error_code = ErrorCode::internal;
+    std::string error_detail;
+    // Streaming-leader incremental assembly.
+    bool streaming = false;
+    std::shared_ptr<std::vector<u8>> assembling;
+    u64 committed = 0;
+};
+
+}  // namespace detail
 
 class ContentServer {
 public:
     explicit ContentServer(ServerOptions opt = {})
         : opt_(std::move(opt)), cache_(opt_.cache_capacity_bytes) {}
+    /// Blocks until every outstanding stream producer has finished —
+    /// including detached drains from abandoned leader streams — so a
+    /// background producer can never touch a dead server. ServeStream
+    /// objects themselves must still not be *used* past this point.
+    ~ContentServer();
 
     AssetStore& store() noexcept { return store_; }
     MetadataCache& cache() noexcept { return cache_; }
@@ -45,6 +152,15 @@ public:
     /// store (AssetStore::resolve) as zero-copy views of the mapped master.
     ServeResult serve(const ServeRequest& req) noexcept;
 
+    /// Serve one request as a pull-based stream of v2 frames. Requires the
+    /// request to accept the streamed framing (kAcceptStreamed), on top of
+    /// the payload form it would need for serve(). Never throws; failures
+    /// are a single typed header frame. Cold cacheable streams single-flight
+    /// with concurrent serve()/serve_stream() calls for the same key:
+    /// followers replay the leader's already-emitted bytes.
+    ServeStream serve_stream(const ServeRequest& req,
+                             StreamOptions opt = {}) noexcept;
+
     /// Transport entry: parse a request frame, serve it, return the encoded
     /// response frame. Malformed frames become typed error responses.
     std::vector<u8> serve_frame(std::span<const u8> request_frame) noexcept;
@@ -53,7 +169,8 @@ public:
     /// derived from it. A combine already in flight for the evicted asset
     /// still completes for its waiting requests, but its wire is gated out
     /// of the cache (AssetStore::is_current), so eviction is never undone by
-    /// a straggling flight.
+    /// a straggling flight. In-flight streams keep serving: they pin the
+    /// asset's buffers.
     bool evict_asset(const std::string& name);
 
     /// Drop an asset from memory but keep it in the backing store: the next
@@ -71,6 +188,7 @@ public:
         u64 failures = 0;
         u64 cache_hits = 0;
         u64 range_requests = 0;
+        u64 streamed_requests = 0;  ///< served through serve_stream
         u64 wire_bytes = 0;
         /// Requests served by waiting on an in-flight combine (single-flight
         /// coalescing): N concurrent cold misses run N-1 fewer combines.
@@ -82,30 +200,36 @@ public:
     Totals totals() const noexcept;
 
 private:
-    /// In-flight combine shared by coalesced requests for one response key.
-    /// Failures are published as a typed (code, detail) pair, NOT a shared
-    /// exception_ptr: rethrowing one exception object from many followers
-    /// lets one thread's catch-scope destruction race another's what() read
-    /// (caught by TSan). Each follower throws its own ProtocolError built
-    /// from the immutable-after-done fields.
-    struct Flight {
-        std::mutex mu;
-        std::condition_variable cv;
-        bool done = false;
-        ServedWire wire;
-        bool failed = false;
-        ErrorCode error_code = ErrorCode::internal;
-        std::string error_detail;
+    friend struct detail::StreamState;
+    friend class ServeStream;  // FIN-time totals accounting
+    using Flight = detail::Flight;
+
+    /// A validated request, ready to produce: shared by the materializing
+    /// and streaming paths so negotiation/validation cannot diverge.
+    struct Prepared {
+        std::shared_ptr<const Asset> asset;
+        std::string key;       ///< response cache key
+        u32 parallelism = 0;   ///< clamped; 0 for range requests
+        bool use_cache = true;
+        PayloadKind payload = PayloadKind::none;
+        std::optional<std::pair<u64, u64>> range;
     };
+    /// Resolve + validate + negotiate. Throws ProtocolError (typed) on any
+    /// failure; counts the request in range_requests_ when applicable.
+    Prepared prepare(const ServeRequest& req);
+    /// Run the prepared production into `sink`; returns splits carried.
+    u32 produce(const Prepared& p, format::WireSink& sink);
 
     ServeResult serve_impl(const ServeRequest& req);
     /// Cache lookup + single-flight combine for one response key. `asset`
     /// is the asset the key was derived from: after the combine, the wire
     /// enters the cache only if that asset is still current (the
     /// evict-during-flight stale-put gate).
-    ServedWire serve_shared(const std::string& key, u32 parallelism,
-                            bool use_cache, ServeStats& stats, const Asset& asset,
-                            const std::function<ServedWire()>& build);
+    ServedWire serve_shared(const Prepared& p, ServeStats& stats);
+    /// Insert-or-join the flight for `flight_key`. True when this caller
+    /// is the leader (it must eventually retire the flight).
+    bool acquire_flight(const std::string& flight_key,
+                        std::shared_ptr<Flight>& flight, bool streaming);
     /// Remove the flight from the map, publish its outcome (wire when
     /// non-null, else the typed failure) and wake every parked follower.
     /// Every leader exit path must end here, or followers block forever on
@@ -120,11 +244,17 @@ private:
     MetadataCache cache_;
     std::mutex flights_mu_;
     std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+    /// Outstanding serve_stream producer threads (guarded by streams_mu_);
+    /// the destructor waits for zero.
+    std::mutex streams_mu_;
+    std::condition_variable streams_cv_;
+    u64 active_stream_producers_ = 0;
     std::atomic<u64> waiters_{0};
     std::atomic<u64> requests_{0};
     std::atomic<u64> failures_{0};
     std::atomic<u64> cache_hits_{0};
     std::atomic<u64> range_requests_{0};
+    std::atomic<u64> streamed_requests_{0};
     std::atomic<u64> wire_bytes_{0};
     std::atomic<u64> coalesced_{0};
     std::atomic<u64> bytes_saved_{0};

@@ -32,6 +32,24 @@ std::shared_future<ServeResult> Session::submit(ServeRequest req, Callback cb) {
     return fut;
 }
 
+std::shared_future<ServeResult> Session::submit_stream(ServeRequest req,
+                                                       FrameCallback on_frame,
+                                                       StreamOptions opt) {
+    std::promise<ServeResult> promise;
+    std::shared_future<ServeResult> fut = promise.get_future().share();
+    Task task{std::move(req), std::move(promise), {}};
+    task.streamed = true;
+    task.frame_cb = std::move(on_frame);
+    task.stream_opt = opt;
+    {
+        std::scoped_lock lk(mu_);
+        RECOIL_CHECK(!stopping_, "Session::submit_stream after shutdown began");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return fut;
+}
+
 void Session::wait_idle() {
     std::unique_lock lk(mu_);
     idle_cv_.wait(lk, [&] { return queue_.empty() && active_ == 0; });
@@ -53,8 +71,24 @@ void Session::worker_loop() {
             queue_.pop_front();
             ++active_;
         }
-        // serve() is noexcept; failures arrive as typed results.
-        ServeResult res = server_.serve(task.req);
+        // serve()/serve_stream() are noexcept; failures arrive as typed
+        // results (or a typed error header frame).
+        ServeResult res;
+        if (task.streamed) {
+            ServeStream stream = server_.serve_stream(task.req, task.stream_opt);
+            while (auto frame = stream.next_frame()) {
+                if (!task.frame_cb) continue;
+                try {
+                    task.frame_cb(*frame);
+                } catch (...) {
+                    // Frame callbacks must not tear down the session; the
+                    // stream still drains so its flight/cache settle.
+                }
+            }
+            res = stream.head();
+        } else {
+            res = server_.serve(task.req);
+        }
         if (task.cb) {
             try {
                 task.cb(res);

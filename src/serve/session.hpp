@@ -37,9 +37,24 @@ public:
     Session(const Session&) = delete;
     Session& operator=(const Session&) = delete;
 
+    /// Invoked on a worker thread once per streamed frame, in stream order
+    /// (header, bodies, FIN). The span is valid only for the call — a
+    /// transport would write it to its socket, not retain it. Exceptions
+    /// are swallowed (workers must live); the stream still runs to its end.
+    using FrameCallback = std::function<void(std::span<const u8>)>;
+
     /// Queue a request; the shared future is also safe to drop (fire and
     /// forget) or to copy to multiple consumers.
     std::shared_future<ServeResult> submit(ServeRequest req, Callback cb = {});
+
+    /// Queue a request served through ContentServer::serve_stream: frames
+    /// are delivered to `on_frame` as the worker pulls them (the worker's
+    /// pace is the stream's backpressure), and the future resolves with the
+    /// stream's head status once the FIN has been delivered. The result
+    /// carries stats but never a wire — the frames were the payload.
+    std::shared_future<ServeResult> submit_stream(ServeRequest req,
+                                                  FrameCallback on_frame,
+                                                  StreamOptions opt = {});
 
     /// Block until every submitted request has completed.
     void wait_idle();
@@ -52,6 +67,9 @@ private:
         ServeRequest req;
         std::promise<ServeResult> promise;
         Callback cb;
+        bool streamed = false;
+        FrameCallback frame_cb;
+        StreamOptions stream_opt;
     };
 
     void worker_loop();

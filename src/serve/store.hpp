@@ -123,6 +123,25 @@ public:
     /// StoreError when it is stored but unreadable or corrupt.
     std::optional<Loaded> load(const std::string& name) const;
 
+    /// One corrupt (or unreadable) stored asset found by verify().
+    struct VerifyIssue {
+        std::string name;
+        StoreStatus status = StoreStatus::bad_container;
+        std::string detail;
+    };
+    struct VerifyReport {
+        std::size_t checked = 0;
+        std::vector<VerifyIssue> issues;
+        bool ok() const noexcept { return issues.empty(); }
+    };
+    /// Re-walk every manifest and container: mmap, FNV-check against the
+    /// manifest (regardless of verify_on_load), and structurally parse the
+    /// container. Corrupt assets come back as typed issues instead of a
+    /// throw on the first defect — the boot-time scrub a server runs so a
+    /// bad asset surfaces before its first demand-load does. Healthy assets
+    /// are untouched in memory terms: mappings are dropped on return.
+    VerifyReport verify() const;
+
     /// Remove an asset's container and manifest. Existing mappings stay
     /// valid. False when the name is not stored.
     bool remove(const std::string& name);

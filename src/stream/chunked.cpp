@@ -45,22 +45,32 @@ std::vector<u64> ChunkedStream::chunk_offsets() const {
 }
 
 std::vector<u8> ChunkedStream::serialize() const {
-    std::vector<u8> out;
-    out.insert(out.end(), kMagicV2, kMagicV2 + 4);
-    put_u32(out, prob_bits);
-    put_u32(out, static_cast<u32>(chunks.size()));
+    format::VectorSink sink;
+    serialize_into(sink);
+    return std::move(sink.out);
+}
+
+void ChunkedStream::serialize_into(format::WireSink& sink) const {
+    format::HashingSink hs(sink);
+    std::vector<u8> head;
+    head.insert(head.end(), kMagicV2, kMagicV2 + 4);
+    put_u32(head, prob_bits);
+    put_u32(head, static_cast<u32>(chunks.size()));
+    hs.write(std::move(head));
     for (const Chunk& c : chunks) {
-        put_freq_table(out, c.freq);
+        std::vector<u8> section;
+        put_freq_table(section, c.freq);
         const auto meta = serialize_metadata(c.metadata);
-        put_u64(out, meta.size());
-        out.insert(out.end(), meta.begin(), meta.end());
-        put_u64(out, c.units.size());
-        put_unit_pad(out);
-        const auto* ub = reinterpret_cast<const u8*>(c.units.data());
-        out.insert(out.end(), ub, ub + c.units.size() * 2);
+        put_u64(section, meta.size());
+        section.insert(section.end(), meta.begin(), meta.end());
+        put_u64(section, c.units.size());
+        put_unit_pad(section, hs.bytes());
+        hs.write(std::move(section));
+        hs.write(format::unit_wire_bytes(c.units, 0, c.units.size()));
     }
-    append_checksum(out);
-    return out;
+    std::vector<u8> trailer;
+    put_u64(trailer, hs.digest());
+    sink.write(std::move(trailer));
 }
 
 u64 ChunkedStream::serialized_size() const {

@@ -59,8 +59,14 @@ struct ChunkedStream {
 
     /// Serialize with integrity checksum; parse validates everything.
     /// serialize writes the RCS2 layout (per-chunk unit payloads padded to
-    /// even offsets); parse accepts RCS1 too.
+    /// even offsets); parse accepts RCS1 too. serialize is a materializing
+    /// adapter over serialize_into (one producer, two framings).
     std::vector<u8> serialize() const;
+    /// Streaming producer: emit the RCS2 wire into `sink` piece by piece —
+    /// one small owned section plus one borrowed unit-payload view per
+    /// chunk — bit-exact with serialize(). Peak producer memory is
+    /// O(largest chunk metadata), not O(wire).
+    void serialize_into(format::WireSink& sink) const;
     static ChunkedStream parse(std::span<const u8> bytes);
 
     /// Parse without copying any chunk's bitstream: unit buffers are views
