@@ -2,14 +2,19 @@
 // 2176-split asset (the paper's "Large" parallelism), byte-range wire cost,
 // single-flight coalescing under a concurrent cold stampede, aggregate
 // request throughput for a mixed fleet of client classes driven through the
-// async Session API, and cold-boot-from-disk time for a persistent store
-// (mmap + zero-copy parse vs re-encoding the master). `--quick` shrinks the
-// workload for CI smoke runs.
+// async Session API, a cache-policy study (LRU vs SLRU vs TinyLFU-gated)
+// under scan-polluted Zipf traffic, and cold-boot-from-disk time for a
+// persistent store (mmap + zero-copy parse vs re-encoding the master).
+// `--quick` shrinks the workload for CI smoke runs; `--json OUT.json` emits
+// the numbers machine-readably so the perf trajectory is tracked across PRs.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <future>
+#include <string>
 
 #include "bench_util.hpp"
 #include "serve/session.hpp"
@@ -25,6 +30,40 @@ struct ClientClass {
     const char* name;
     u32 parallelism;
     u32 weight;  ///< share of fleet traffic
+};
+
+/// Accumulates the machine-readable report for --json. Values are appended
+/// as they are measured; the file is written once at the end.
+struct JsonReport {
+    std::string body;
+    bool first = true;
+
+    void field(const char* key, const std::string& value) {
+        body += first ? "\n  " : ",\n  ";
+        first = false;
+        body += '"';
+        body += key;
+        body += "\": ";
+        body += value;
+    }
+    static std::string num(double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        return buf;
+    }
+    static std::string num(u64 v) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(v));
+        return buf;
+    }
+    bool write(const char* path) const {
+        std::FILE* f = std::fopen(path, "w");
+        if (f == nullptr) return false;
+        std::fprintf(f, "{%s\n}\n", body.c_str());
+        std::fclose(f);
+        return true;
+    }
 };
 
 constexpr ClientClass kFleet[] = {
@@ -55,14 +94,29 @@ double avg_serve_seconds(ContentServer& server, const ServeRequest& req, int n,
 
 int main(int argc, char** argv) {
     bool quick = false;
-    for (int i = 1; i < argc; ++i)
+    const char* json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json requires an output path\n");
+                return 2;
+            }
+            json_path = argv[++i];
+        }
+    }
+    JsonReport report;
     const double scale = quick ? 0.02 : workload::bench_scale();
     const u64 size = static_cast<u64>(10'000'000 * scale);
     const int n = quick ? 2 : bench::runs();
     std::printf("bench_serve: %llu-byte asset, %u splits, %d runs%s\n\n",
                 static_cast<unsigned long long>(size), bench::kLargeSplits, n,
                 quick ? " (--quick)" : "");
+    report.field("workload",
+                 "{\"asset_bytes\": " + JsonReport::num(size) +
+                     ", \"splits\": " + JsonReport::num(u64{bench::kLargeSplits}) +
+                     ", \"runs\": " + JsonReport::num(u64(n)) +
+                     ", \"quick\": " + (quick ? "true" : "false") + "}");
 
     auto data = workload::gen_text(size, 2024);
     ContentServer server;
@@ -78,6 +132,7 @@ int main(int argc, char** argv) {
     std::printf("%-24s %12s %12s %12s %8s\n", "client", "wire B", "cold ms",
                 "warm us", "ratio");
     double worst_ratio = 1e30;
+    std::string classes_json = "[";
     for (const ClientClass& c : kFleet) {
         const ServeRequest req{"asset", c.parallelism, std::nullopt};
         const double cold = avg_serve_seconds(server, req, n, true);
@@ -88,7 +143,16 @@ int main(int argc, char** argv) {
         std::printf("%-24s %12llu %12.3f %12.2f %7.0fx\n", c.name,
                     static_cast<unsigned long long>(res.stats.wire_bytes),
                     cold * 1e3, warm * 1e6, ratio);
+        if (classes_json.size() > 1) classes_json += ", ";
+        classes_json += "{\"parallelism\": " + JsonReport::num(u64{c.parallelism}) +
+                        ", \"wire_bytes\": " + JsonReport::num(res.stats.wire_bytes) +
+                        ", \"cold_ms\": " + JsonReport::num(cold * 1e3) +
+                        ", \"warm_us\": " + JsonReport::num(warm * 1e6) +
+                        ", \"warm_cold_ratio\": " + JsonReport::num(ratio) + "}";
     }
+    classes_json += "]";
+    report.field("classes", classes_json);
+    report.field("warm_cold_worst_ratio", JsonReport::num(worst_ratio));
     std::printf("\nwarm-cache serving is >= %.0fx faster than cold "
                 "(acceptance: >= 10x)\n\n", worst_ratio);
 
@@ -195,6 +259,106 @@ int main(int argc, char** argv) {
                                                 fleet_before.coalesced_requests),
                 static_cast<double>(fleet_after.bytes_saved -
                                     fleet_before.bytes_saved) / 1e6);
+    report.field(
+        "fleet",
+        "{\"requests_per_s\": " + JsonReport::num(reqs_per_s) +
+            ", \"wire_gbps\": " +
+            JsonReport::num(gbps(static_cast<double>(total_bytes), total_s)) +
+            ", \"hit_rate\": " +
+            JsonReport::num(static_cast<double>(hits) /
+                            (static_cast<double>(n) *
+                             static_cast<double>(mix.size()))) +
+            "}");
+
+    // --- cache-policy study: seeded Zipf + one-hit-wonder scan pollution,
+    // served serially (deterministic cache state) against every policy.
+    // Two thirds of the traffic is Zipf(1.2) over 32 client classes; every
+    // 3rd request is a unique byte range no one ever asks for again — the
+    // classic trace where plain LRU bleeds: it caches every scan wire and
+    // evicts the hot head to do so. SLRU confines scans to probation;
+    // TinyLFU admission rejects them outright (one observed access does
+    // not pay for a wire-sized entry). Acceptance: slru-tinylfu must beat
+    // plain LRU's byte-hit-rate.
+    double lru_byte_hit_rate = 0, best_byte_hit_rate = 0;
+    {
+        const u64 psize = std::max<u64>(size / 10, 50'000);
+        auto pdata = workload::gen_text(psize, 4242);
+        const int preqs = quick ? 300 : 900;
+        // Same generator as test_session's hit-rate regressions
+        // (workload::zipf_plan), so test and bench measure one trace model.
+        const std::vector<u32> plan =
+            workload::zipf_plan(32, static_cast<std::size_t>(preqs), 1.2,
+                                2024);
+        u64 pwire = 0;
+        {
+            ContentServer probe;
+            probe.store().encode_bytes("p", pdata, 64);
+            pwire = probe.serve(ServeRequest{"p", 1, std::nullopt})
+                        .stats.wire_bytes;
+        }
+        const u64 pcapacity = pwire * 8 + pwire / 2;
+        const u64 span = psize / 4;
+
+        std::printf("cache-policy study: %d reqs (1/3 unique scans), "
+                    "capacity ~8.5 wires\n", preqs);
+        std::printf("%-16s %8s %10s %14s %12s %10s\n", "policy", "hits",
+                    "hit rate", "byte hit rate", "adm. reject", "evictions");
+        std::string policies_json = "[";
+        for (const char* pname :
+             {"lru", "slru", "lru-tinylfu", "slru-tinylfu"}) {
+            ServerOptions popt;
+            popt.cache_capacity_bytes = pcapacity;
+            popt.cache_policy = *parse_cache_policy(pname);
+            ContentServer psrv(popt);
+            psrv.store().encode_bytes("p", pdata, 64);
+            for (std::size_t i = 0; i < plan.size(); ++i) {
+                ServeRequest req{"p", plan[i], std::nullopt};
+                if (workload::zipf_scan_slot(i)) {
+                    const u64 lo = workload::zipf_scan_lo(i, psize, span);
+                    req.parallelism = 1;
+                    req.range = {{lo, lo + span}};
+                }
+                auto res = psrv.serve(req);
+                if (!res.ok()) {
+                    std::fprintf(stderr, "policy serve failed: %s\n",
+                                 res.detail.c_str());
+                    return 1;
+                }
+            }
+            const auto pt = psrv.totals();
+            const auto pc = psrv.cache().stats();
+            const double hit_rate = static_cast<double>(pt.cache_hits) /
+                                    static_cast<double>(preqs);
+            const double byte_hit_rate =
+                static_cast<double>(pc.hit_bytes) /
+                static_cast<double>(pt.wire_bytes);
+            if (std::strcmp(pname, "lru") == 0)
+                lru_byte_hit_rate = byte_hit_rate;
+            if (std::strcmp(pname, "slru-tinylfu") == 0)
+                best_byte_hit_rate = byte_hit_rate;
+            std::printf("%-16s %8llu %9.1f%% %13.1f%% %12llu %10llu\n",
+                        pname,
+                        static_cast<unsigned long long>(pt.cache_hits),
+                        100.0 * hit_rate, 100.0 * byte_hit_rate,
+                        static_cast<unsigned long long>(
+                            pc.admission_rejected),
+                        static_cast<unsigned long long>(pc.evictions));
+            if (policies_json.size() > 1) policies_json += ", ";
+            policies_json +=
+                std::string("{\"name\": \"") + pname + "\"" +
+                ", \"hits\": " + JsonReport::num(pt.cache_hits) +
+                ", \"hit_rate\": " + JsonReport::num(hit_rate) +
+                ", \"byte_hit_rate\": " + JsonReport::num(byte_hit_rate) +
+                ", \"admission_rejected\": " +
+                JsonReport::num(pc.admission_rejected) +
+                ", \"evictions\": " + JsonReport::num(pc.evictions) + "}";
+        }
+        policies_json += "]";
+        report.field("policies", policies_json);
+        std::printf("slru-tinylfu vs lru byte-hit-rate: %.1f%% vs %.1f%% "
+                    "(acceptance: strictly better)\n\n",
+                    100.0 * best_byte_hit_rate, 100.0 * lru_byte_hit_rate);
+    }
 
     // --- streamed vs materialized production: peak bytes held by the
     // producer. The materialized path must hold the whole wire; the
@@ -257,6 +421,15 @@ int main(int argc, char** argv) {
                          "memory acceptance failed\n");
             return 1;
         }
+        report.field(
+            "streamed",
+            "{\"wire_bytes\": " + JsonReport::num(wire) +
+                ", \"peak_owned_bytes\": " + JsonReport::num(peak_owned) +
+                ", \"peak_staged_bytes\": " + JsonReport::num(peak_staged) +
+                ", \"window_bytes\": " + JsonReport::num(sopt.window_bytes) +
+                ", \"materialized_ms\": " + JsonReport::num(mat_s * 1e3) +
+                ", \"streamed_ms\": " + JsonReport::num(stream_s * 1e3) +
+                "}");
     }
 
     // --- cold boot from a persistent store: restart cost is mmap, not
@@ -293,7 +466,29 @@ int main(int argc, char** argv) {
             persist_s * 1e3, exact ? "bit-exact" : "MISMATCH");
         fs::remove_all(dir);
         if (!exact) return 1;
+        report.field("cold_boot",
+                     "{\"open_ms\": " + JsonReport::num(open_s * 1e3) +
+                         ", \"first_response_ms\": " +
+                         JsonReport::num(first_s * 1e3) +
+                         ", \"reencode_ms\": " +
+                         JsonReport::num(encode_s * 1e3) + "}");
     }
 
+    // The report lands BEFORE the acceptance gates: a failing run is
+    // exactly the one whose per-policy numbers are needed to debug it.
+    if (json_path != nullptr) {
+        if (!report.write(json_path)) {
+            std::fprintf(stderr, "failed to write %s\n", json_path);
+            return 1;
+        }
+        std::printf("wrote machine-readable report to %s\n", json_path);
+    }
+    if (best_byte_hit_rate <= lru_byte_hit_rate) {
+        std::fprintf(stderr,
+                     "slru-tinylfu byte-hit-rate (%.3f) did not beat plain "
+                     "LRU (%.3f) — policy acceptance failed\n",
+                     best_byte_hit_rate, lru_byte_hit_rate);
+        return 1;
+    }
     return worst_ratio >= 10.0 ? 0 : 1;
 }

@@ -15,9 +15,18 @@
 // `--verify-store` re-walks every manifest and container checksum at boot,
 // reporting corrupt assets as typed errors instead of failing on the first
 // demand-load.
+//
+// `--cache-policy lru|slru|lru-tinylfu|slru-tinylfu` selects the response
+// cache's eviction/admission policies; `--mem-budget BYTES` (K/M/G suffixes)
+// arms the resource governor with a global budget over cache bytes +
+// resident store bytes — under pressure it unloads cold demand-loadable
+// assets (pinned ones are protected) and shrinks the cache if that is not
+// enough. With both --store and --mem-budget set, a cold-asset tail is
+// served to demonstrate pressure unloads live.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 
@@ -41,11 +50,27 @@ ServeResult roundtrip(ContentServer& server, const ServeRequest& req) {
     return decode_response(response_frame);
 }
 
+/// "64M" -> bytes; bare numbers are bytes. 0 on parse failure (including
+/// trailing garbage after the K/M/G suffix, e.g. "64MB").
+u64 parse_bytes(const char* s) {
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || v < 0) return 0;
+    u64 mult = 1;
+    if (*end == 'K' || *end == 'k') mult = u64{1} << 10, ++end;
+    else if (*end == 'M' || *end == 'm') mult = u64{1} << 20, ++end;
+    else if (*end == 'G' || *end == 'g') mult = u64{1} << 30, ++end;
+    if (*end != '\0') return 0;
+    return static_cast<u64>(v * static_cast<double>(mult));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const char* store_dir = nullptr;
     bool verify_store = false;
+    CachePolicyConfig cache_policy;
+    u64 mem_budget = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--store") == 0) {
             if (i + 1 >= argc) {
@@ -55,13 +80,38 @@ int main(int argc, char** argv) {
             store_dir = argv[++i];
         } else if (std::strcmp(argv[i], "--verify-store") == 0) {
             verify_store = true;
+        } else if (std::strcmp(argv[i], "--cache-policy") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--cache-policy requires a name "
+                                     "(lru|slru|lru-tinylfu|slru-tinylfu)\n");
+                return 2;
+            }
+            auto parsed = parse_cache_policy(argv[++i]);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown cache policy '%s'\n", argv[i]);
+                return 2;
+            }
+            cache_policy = *parsed;
+        } else if (std::strcmp(argv[i], "--mem-budget") == 0) {
+            if (i + 1 >= argc ||
+                (mem_budget = parse_bytes(argv[i + 1])) == 0) {
+                std::fprintf(stderr,
+                             "--mem-budget requires a size (e.g. 64M)\n");
+                return 2;
+            }
+            ++i;
         }
     }
 
     const u64 size = 10'000'000;
     auto data = workload::gen_text(size, 2024);
 
-    ContentServer server;
+    ServerOptions server_opt;
+    server_opt.cache_policy = cache_policy;
+    server_opt.mem_budget_bytes = mem_budget;
+    ContentServer server(server_opt);
+    std::printf("cache policy: %s%s\n", server.cache().policy_name().c_str(),
+                mem_budget != 0 ? ", memory governor armed" : "");
     if (store_dir != nullptr) {
         Stopwatch open_sw;
         auto disk = std::make_shared<DiskStore>(store_dir);
@@ -277,19 +327,69 @@ int main(int argc, char** argv) {
                 error_name(bad.code), bad.detail.c_str());
     if (bad.code != ErrorCode::invalid_range) return 1;
 
+    // Resource governance under a global byte budget: pin the hot asset,
+    // then serve a tail of cold assets. Each tail serve grows resident
+    // bytes (write-through + demand-loadable); once cache + store exceed
+    // the budget the governor unloads the coldest unpinned assets — the
+    // pinned hot asset must ride out the pressure in memory.
+    if (mem_budget != 0 && store_dir != nullptr) {
+        server.governor().pin("asset");
+        const int kTail = 6;
+        for (int i = 0; i < kTail; ++i) {
+            const std::string name = "tail/" + std::to_string(i);
+            if (server.store().resolve(name) == nullptr) {
+                auto cold = workload::gen_text(1'000'000, 100 + i);
+                server.store().encode_bytes(name, cold, 32);
+            }
+            if (!roundtrip(server, ServeRequest{name, 4, {}}).ok()) return 1;
+        }
+        const auto g = server.governor().stats();
+        std::printf(
+            "governor: budget %llu B, resident %llu B + cache %llu B; "
+            "%llu pressure passes, %llu unloads (%llu B), %llu cache "
+            "shrinks, skipped %llu pinned / %llu in-use\n",
+            static_cast<unsigned long long>(g.budget_bytes),
+            static_cast<unsigned long long>(g.resident_bytes),
+            static_cast<unsigned long long>(g.cache_bytes),
+            static_cast<unsigned long long>(g.enforcements),
+            static_cast<unsigned long long>(g.unloads),
+            static_cast<unsigned long long>(g.bytes_unloaded),
+            static_cast<unsigned long long>(g.cache_shrinks),
+            static_cast<unsigned long long>(g.skipped_pinned),
+            static_cast<unsigned long long>(g.skipped_in_use));
+        if (server.store().find("asset") == nullptr) {
+            std::fprintf(stderr, "governor unloaded a pinned asset\n");
+            return 1;
+        }
+        // Unloaded tail assets are pressure relief, not eviction: the next
+        // request demand-loads the same generation and bytes.
+        auto back = roundtrip(server, ServeRequest{"tail/0", 4, {}});
+        if (!back.ok()) {
+            std::fprintf(stderr, "reload after governor unload failed: %s\n",
+                         back.detail.c_str());
+            return 1;
+        }
+        std::printf("governor: pinned 'asset' stayed resident; unloaded "
+                    "tails demand-load back bit-identically\n\n");
+    }
+
     const auto t = server.totals();
     const auto c = server.cache().stats();
     std::printf("server totals: %llu requests (%llu range), %llu cache hits, "
-                "%llu coalesced, %.1f MB saved, %llu failures; cache holds "
-                "%llu entries / %llu B\n",
+                "%llu coalesced, %.1f MB saved, %llu failures; cache [%s] "
+                "holds %llu entries / %llu B (%llu evictions, %llu admission "
+                "rejections)\n",
                 static_cast<unsigned long long>(t.requests),
                 static_cast<unsigned long long>(t.range_requests),
                 static_cast<unsigned long long>(t.cache_hits),
                 static_cast<unsigned long long>(t.coalesced_requests),
                 static_cast<double>(t.bytes_saved) / 1e6,
                 static_cast<unsigned long long>(t.failures),
+                server.cache().policy_name().c_str(),
                 static_cast<unsigned long long>(c.entries),
-                static_cast<unsigned long long>(c.bytes));
+                static_cast<unsigned long long>(c.bytes),
+                static_cast<unsigned long long>(c.evictions),
+                static_cast<unsigned long long>(c.admission_rejected));
     if (store_dir != nullptr)
         std::printf("store: %zu assets persisted in %s — rerun with the same "
                     "--store to serve them without re-encoding\n",

@@ -6,6 +6,15 @@
 
 namespace recoil::serve {
 
+void AssetStore::publish_locked(std::shared_ptr<const Asset> ptr) {
+    auto& slot = assets_[ptr->name()];
+    if (slot != nullptr)
+        resident_bytes_.fetch_sub(slot->master_bytes(),
+                                  std::memory_order_relaxed);
+    resident_bytes_.fetch_add(ptr->master_bytes(), std::memory_order_relaxed);
+    slot = std::move(ptr);
+}
+
 std::shared_ptr<const Asset> AssetStore::insert(std::shared_ptr<Asset> a) {
     {
         // Memory-only store: publish directly, no write-through ordering.
@@ -13,7 +22,7 @@ std::shared_ptr<const Asset> AssetStore::insert(std::shared_ptr<Asset> a) {
         if (disk_ == nullptr) {
             a->uid_ = next_uid_++;
             std::shared_ptr<const Asset> ptr = std::move(a);
-            assets_[ptr->name()] = ptr;
+            publish_locked(ptr);
             return ptr;
         }
     }
@@ -38,7 +47,7 @@ std::shared_ptr<const Asset> AssetStore::insert(std::shared_ptr<Asset> a) {
     std::shared_ptr<const Asset> ptr = std::move(a);
     {
         std::unique_lock lk(mu_);
-        assets_[ptr->name()] = ptr;
+        publish_locked(ptr);
     }
     return ptr;
 }
@@ -104,7 +113,7 @@ std::shared_ptr<const Asset> AssetStore::resolve(const std::string& name) {
     a->uid_ = loaded->info.generation;
     if (next_uid_ <= a->uid_) next_uid_ = a->uid_ + 1;
     std::shared_ptr<const Asset> ptr = std::move(a);
-    assets_[name] = ptr;
+    publish_locked(ptr);
     return ptr;
 }
 
@@ -132,7 +141,12 @@ bool AssetStore::is_current(const Asset& a) const {
 
 bool AssetStore::unload(const std::string& name) {
     std::unique_lock lk(mu_);
-    return assets_.erase(name) != 0;
+    auto it = assets_.find(name);
+    if (it == assets_.end()) return false;
+    resident_bytes_.fetch_sub(it->second->master_bytes(),
+                              std::memory_order_relaxed);
+    assets_.erase(it);
+    return true;
 }
 
 bool AssetStore::erase(const std::string& name) {
@@ -142,11 +156,36 @@ bool AssetStore::erase(const std::string& name) {
     bool had = false;
     {
         std::unique_lock lk(mu_);
-        had = assets_.erase(name) != 0;
+        auto it = assets_.find(name);
+        if (it != assets_.end()) {
+            resident_bytes_.fetch_sub(it->second->master_bytes(),
+                                      std::memory_order_relaxed);
+            assets_.erase(it);
+            had = true;
+        }
         disk = disk_;
     }
     if (disk != nullptr) had = disk->remove(name) || had;
     return had;
+}
+
+std::vector<AssetStore::ResidentAsset> AssetStore::residency() const {
+    std::vector<ResidentAsset> out;
+    std::shared_ptr<DiskStore> disk;
+    {
+        std::shared_lock lk(mu_);
+        out.reserve(assets_.size());
+        for (const auto& [name, asset] : assets_)
+            // use_count samples holders beyond the store's own reference —
+            // no copy of the shared_ptr is made here, so the store counts
+            // exactly once.
+            out.push_back(ResidentAsset{name, asset->master_bytes(), false,
+                                        asset.use_count() - 1});
+        disk = disk_;
+    }
+    if (disk != nullptr)
+        for (ResidentAsset& r : out) r.backed = disk->info(r.name).has_value();
+    return out;
 }
 
 std::vector<std::string> AssetStore::names() const {

@@ -10,6 +10,7 @@
 // valid over unload/reload cycles and the asset corpus is bounded by disk,
 // not RAM.
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <span>
@@ -66,8 +67,36 @@ public:
     std::vector<std::string> names() const;
     std::size_t size() const;
 
+    /// Master bytes of every in-memory asset — the store's RAM footprint as
+    /// the resource governor accounts it (for a demand-loaded asset this is
+    /// the mmap-resident container; for a heap asset, its payload buffers).
+    /// Lock-free: maintained incrementally across add/resolve/unload/erase.
+    u64 resident_bytes() const noexcept {
+        return resident_bytes_.load(std::memory_order_relaxed);
+    }
+
+    /// One in-memory asset as the governor sees it when ranking unload
+    /// candidates: only `backed` assets can be unloaded without data loss
+    /// (resolve() reloads them under the same generation), and an asset
+    /// with live external references (in-flight streams pin their asset) is
+    /// pointless to unload — its memory stays pinned anyway.
+    struct ResidentAsset {
+        std::string name;
+        u64 bytes = 0;
+        bool backed = false;
+        /// shared_ptr holders beyond the store's own reference, sampled at
+        /// snapshot time (approximate under concurrency — a racing holder
+        /// may appear or vanish; the governor treats it as a heuristic).
+        long external_refs = 0;
+    };
+    /// Snapshot of every in-memory asset. The `backed` flags are queried
+    /// from the backing store after the memory snapshot is taken.
+    std::vector<ResidentAsset> residency() const;
+
 private:
     std::shared_ptr<const Asset> insert(std::shared_ptr<Asset> a);
+    /// Publish (or replace) under mu_, keeping resident_bytes_ exact.
+    void publish_locked(std::shared_ptr<const Asset> ptr);
 
     mutable std::shared_mutex mu_;
     /// Serializes demand-loads and write-through ordering (taken before
@@ -76,6 +105,7 @@ private:
     std::shared_ptr<DiskStore> disk_;
     std::unordered_map<std::string, std::shared_ptr<const Asset>> assets_;
     u64 next_uid_ = 1;
+    std::atomic<u64> resident_bytes_{0};
 };
 
 }  // namespace recoil::serve

@@ -1,0 +1,239 @@
+#include "serve/cache_policy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace recoil::serve {
+
+// ---- LruPolicy ----
+
+void LruPolicy::on_insert(EntryId id, u64 /*bytes*/) {
+    order_.push_front(id);
+    pos_[id] = order_.begin();
+}
+
+void LruPolicy::on_touch(EntryId id) {
+    auto it = pos_.find(id);
+    RECOIL_CHECK(it != pos_.end(), "lru: touch of untracked entry");
+    order_.splice(order_.begin(), order_, it->second);
+}
+
+void LruPolicy::on_erase(EntryId id) {
+    auto it = pos_.find(id);
+    RECOIL_CHECK(it != pos_.end(), "lru: erase of untracked entry");
+    order_.erase(it->second);
+    pos_.erase(it);
+}
+
+EntryId LruPolicy::victim() const {
+    return order_.empty() ? kNoEntry : order_.back();
+}
+
+void LruPolicy::clear() {
+    order_.clear();
+    pos_.clear();
+}
+
+// ---- SegmentedLruPolicy ----
+
+SegmentedLruPolicy::SegmentedLruPolicy(u64 capacity_bytes,
+                                       double protected_fraction)
+    : protected_cap_(static_cast<u64>(
+          static_cast<double>(capacity_bytes) *
+          std::clamp(protected_fraction, 0.0, 1.0))) {}
+
+void SegmentedLruPolicy::on_insert(EntryId id, u64 bytes) {
+    probation_.push_front(id);
+    nodes_[id] = Node{probation_.begin(), bytes, false};
+    probation_bytes_ += bytes;
+}
+
+void SegmentedLruPolicy::on_touch(EntryId id) {
+    auto it = nodes_.find(id);
+    RECOIL_CHECK(it != nodes_.end(), "slru: touch of untracked entry");
+    Node& n = it->second;
+    if (n.protected_seg) {
+        protected_.splice(protected_.begin(), protected_, n.it);
+        return;
+    }
+    // Second access: promote out of probation. The protected segment may
+    // now exceed its byte cap; demote its cold tail back to probation.
+    protected_.splice(protected_.begin(), probation_, n.it);
+    n.protected_seg = true;
+    probation_bytes_ -= n.bytes;
+    protected_bytes_ += n.bytes;
+    shrink_protected();
+}
+
+void SegmentedLruPolicy::on_resize(EntryId id, u64 bytes) {
+    auto it = nodes_.find(id);
+    RECOIL_CHECK(it != nodes_.end(), "slru: resize of untracked entry");
+    Node& n = it->second;
+    u64& segment = n.protected_seg ? protected_bytes_ : probation_bytes_;
+    segment -= n.bytes;
+    segment += bytes;
+    n.bytes = bytes;
+    if (n.protected_seg) shrink_protected();
+}
+
+void SegmentedLruPolicy::on_erase(EntryId id) {
+    auto it = nodes_.find(id);
+    RECOIL_CHECK(it != nodes_.end(), "slru: erase of untracked entry");
+    Node& n = it->second;
+    if (n.protected_seg) {
+        protected_bytes_ -= n.bytes;
+        protected_.erase(n.it);
+    } else {
+        probation_bytes_ -= n.bytes;
+        probation_.erase(n.it);
+    }
+    nodes_.erase(it);
+}
+
+EntryId SegmentedLruPolicy::victim() const {
+    if (!probation_.empty()) return probation_.back();
+    return protected_.empty() ? kNoEntry : protected_.back();
+}
+
+void SegmentedLruPolicy::shrink_protected() {
+    // Demotions land at probation's MRU end: relative to probation's tail
+    // (never touched since insertion) a demoted entry was used recently.
+    while (protected_bytes_ > protected_cap_ && protected_.size() > 1) {
+        const EntryId id = protected_.back();
+        Node& n = nodes_[id];
+        probation_.splice(probation_.begin(), protected_, n.it);
+        n.protected_seg = false;
+        protected_bytes_ -= n.bytes;
+        probation_bytes_ += n.bytes;
+    }
+}
+
+void SegmentedLruPolicy::clear() {
+    probation_.clear();
+    protected_.clear();
+    nodes_.clear();
+    protected_bytes_ = 0;
+    probation_bytes_ = 0;
+}
+
+// ---- TinyLfuAdmission ----
+
+namespace {
+
+/// Row-salted avalanche mix (splitmix64 finalizer) so the four sketch rows
+/// index independently from one key hash.
+u64 mix_hash(u64 h, u64 salt) {
+    u64 x = h ^ (salt * 0x9e3779b97f4a7c15ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+u32 round_up_pow2(u32 v) {
+    u32 p = 1;
+    while (p < v && p < (u32{1} << 30)) p <<= 1;
+    return p;
+}
+
+}  // namespace
+
+TinyLfuAdmission::TinyLfuAdmission(u64 small_floor_bytes, u32 width)
+    : small_floor_(small_floor_bytes),
+      mask_(round_up_pow2(std::max<u32>(width, 64)) - 1),
+      window_(u64{8} * (mask_ + 1)) {
+    for (auto& row : rows_) row.assign(mask_ + 1, 0);
+}
+
+void TinyLfuAdmission::record(u64 key_hash) {
+    for (u32 r = 0; r < kRows; ++r) {
+        u8& c = rows_[r][mix_hash(key_hash, r + 1) & mask_];
+        if (c < kCounterMax) ++c;
+    }
+    if (++ops_ < window_) return;
+    // Window full: halve every counter so the sketch tracks the recent
+    // stream instead of all of history (a key hot an hour ago decays).
+    ops_ = 0;
+    for (auto& row : rows_)
+        for (u8& c : row) c >>= 1;
+}
+
+u32 TinyLfuAdmission::estimate(u64 key_hash) const noexcept {
+    u32 est = kCounterMax;
+    for (u32 r = 0; r < kRows; ++r)
+        est = std::min<u32>(est, rows_[r][mix_hash(key_hash, r + 1) & mask_]);
+    return est;
+}
+
+bool TinyLfuAdmission::admit(u64 key_hash, u64 bytes) {
+    // The candidate's own miss was already record()ed, so >= 2 means at
+    // least one prior access inside the window: demonstrated reuse.
+    if (estimate(key_hash) >= 2) return true;
+    return bytes <= small_floor_;
+}
+
+void TinyLfuAdmission::clear() {
+    ops_ = 0;
+    for (auto& row : rows_) std::fill(row.begin(), row.end(), u8{0});
+}
+
+// ---- factories / naming ----
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(
+    const CachePolicyConfig& cfg, u64 capacity_bytes) {
+    switch (cfg.eviction) {
+        case EvictionKind::lru:
+            return std::make_unique<LruPolicy>();
+        case EvictionKind::slru:
+            return std::make_unique<SegmentedLruPolicy>(
+                capacity_bytes, cfg.slru_protected_fraction);
+    }
+    raise("make_eviction_policy: unknown eviction kind");
+}
+
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    const CachePolicyConfig& cfg, u64 capacity_bytes) {
+    switch (cfg.admission) {
+        case AdmissionKind::admit_all:
+            return std::make_unique<AdmitAll>();
+        case AdmissionKind::tinylfu: {
+            const u64 floor = cfg.tinylfu_small_floor != 0
+                                  ? cfg.tinylfu_small_floor
+                                  : capacity_bytes / 64;
+            return std::make_unique<TinyLfuAdmission>(floor,
+                                                      cfg.tinylfu_width);
+        }
+    }
+    raise("make_admission_policy: unknown admission kind");
+}
+
+std::optional<CachePolicyConfig> parse_cache_policy(std::string_view name) {
+    CachePolicyConfig cfg;
+    if (name == "lru") return cfg;
+    if (name == "slru") {
+        cfg.eviction = EvictionKind::slru;
+        return cfg;
+    }
+    if (name == "lru-tinylfu") {
+        cfg.admission = AdmissionKind::tinylfu;
+        return cfg;
+    }
+    if (name == "slru-tinylfu") {
+        cfg.eviction = EvictionKind::slru;
+        cfg.admission = AdmissionKind::tinylfu;
+        return cfg;
+    }
+    return std::nullopt;
+}
+
+std::string cache_policy_name(const CachePolicyConfig& cfg) {
+    std::string name =
+        cfg.eviction == EvictionKind::slru ? "slru" : "lru";
+    if (cfg.admission == AdmissionKind::tinylfu) name += "-tinylfu";
+    return name;
+}
+
+}  // namespace recoil::serve

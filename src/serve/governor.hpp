@@ -1,0 +1,132 @@
+#pragma once
+// Resource governance for the serve stack: one global byte budget spanning
+// the response cache AND the asset store's resident masters (heap or mmap),
+// so "serve this corpus from N bytes of RAM" is a single knob instead of
+// two capacities that have to be guessed in ratio. Under pressure the
+// governor UNLOADS cold demand-loadable assets — AssetStore::unload keeps
+// the backing copy and the generation, so cached responses stay valid and
+// the next request simply re-mmaps — and, if the store alone cannot get
+// under budget, shrinks the cache through its eviction policy.
+//
+// What the governor will not do:
+//   - unload a pinned asset (pin()/unpin(): per-class protection for
+//     assets an operator knows are hot, whatever the clock says);
+//   - unload an asset that is not in the backing store (that would be data
+//     loss, not memory-pressure relief);
+//   - unload an asset with live external references — an in-flight stream
+//     pins its asset (and therefore its mmap) via shared_ptr, so unloading
+//     would free nothing and force a pointless reload. The reference
+//     sample is racy by nature: a stream acquiring the asset between the
+//     snapshot and the unload keeps its pinned buffers and streams to
+//     completion bit-exactly (the unload only drops the store's map entry);
+//     the cost of losing that race is one re-mmap, never corruption.
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "serve/asset_store.hpp"
+#include "serve/metadata_cache.hpp"
+#include "util/ints.hpp"
+
+namespace recoil::serve {
+
+struct GovernorOptions {
+    /// Global budget over cache bytes + resident store bytes. 0 disables
+    /// the governor entirely (over_budget() is always false).
+    u64 budget_bytes = 0;
+};
+
+/// Counters are cumulative; the `cache_bytes`/`resident_bytes` gauges are
+/// live samples taken when stats() is called (usage may have regrown since
+/// the last pass — judge a pass by the unload/shrink counters, not by the
+/// gauges).
+struct GovernorStats {
+    u64 budget_bytes = 0;
+    u64 cache_bytes = 0;     ///< live cache usage at stats() time
+    u64 resident_bytes = 0;  ///< live store usage at stats() time
+    u64 enforcements = 0;    ///< enforce() passes that found pressure
+    u64 unloads = 0;         ///< assets unloaded
+    u64 bytes_unloaded = 0;  ///< master bytes released by unloads
+    u64 cache_shrinks = 0;   ///< passes that had to shrink the cache too
+    u64 skipped_pinned = 0;  ///< candidates protected by pin()
+    u64 skipped_in_use = 0;  ///< candidates with live external references
+};
+
+class ResourceGovernor {
+public:
+    ResourceGovernor(AssetStore& store, MetadataCache& cache,
+                     GovernorOptions opt)
+        : store_(store), cache_(cache), opt_(opt) {}
+
+    bool enabled() const noexcept { return opt_.budget_bytes != 0; }
+    u64 budget_bytes() const noexcept { return opt_.budget_bytes; }
+
+    /// Pinned assets are never unloaded by enforce(), however cold. The
+    /// per-class protection knob: pin the assets a fleet's hot classes
+    /// depend on and let the long tail absorb the pressure.
+    void pin(const std::string& name);
+    void unpin(const std::string& name);
+    bool pinned(const std::string& name) const;
+
+    /// Recency signal: the server reports every request's asset here; the
+    /// enforce() pass ranks unload candidates coldest-first by this clock.
+    /// Assets never reported (preloaded, idle) rank coldest of all.
+    void note_access(const std::string& name);
+
+    /// Cheap pressure probe (two relaxed atomic loads) for the hot path.
+    bool over_budget() const noexcept {
+        return enabled() &&
+               cache_.current_bytes() + store_.resident_bytes() >
+                   opt_.budget_bytes;
+    }
+
+    /// over_budget() AND a pass has a chance of helping. When a pass ends
+    /// still over budget (everything left is pinned, unbacked, or in use),
+    /// the stuck usage level is remembered and the hot path stops paying
+    /// for futile O(residents) passes until usage grows past it, the pin
+    /// set changes, or an explicit enforce() runs (which always executes —
+    /// and re-arms the probe if it manages to relieve anything). An asset
+    /// can also become reclaimable with NO usage change (a stream finishes
+    /// and drops the last external reference), so a latched governor still
+    /// retries once every kLatchedRetryPeriod probes — bounded background
+    /// cost, bounded reclaim delay.
+    bool pressure_actionable() const noexcept {
+        if (!over_budget()) return false;
+        const u64 stuck = futile_usage_.load(std::memory_order_relaxed);
+        if (stuck == 0 ||
+            cache_.current_bytes() + store_.resident_bytes() > stuck)
+            return true;
+        return latched_probes_.fetch_add(1, std::memory_order_relaxed) %
+                   kLatchedRetryPeriod ==
+               kLatchedRetryPeriod - 1;
+    }
+
+    /// One governance pass: if usage exceeds the budget, unload cold
+    /// eligible assets coldest-first until under budget, then — only if
+    /// the store alone could not get there — shrink the cache to whatever
+    /// share of the budget the remaining residents leave. Serialized
+    /// internally; concurrent callers queue. Returns bytes released.
+    u64 enforce();
+
+    GovernorStats stats() const;
+
+private:
+    AssetStore& store_;
+    MetadataCache& cache_;
+    GovernorOptions opt_;
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, u64> last_access_;
+    std::unordered_set<std::string> pinned_;
+    std::atomic<u64> clock_{0};
+    /// Usage level a pass ended at while still over budget (0 = none):
+    /// the futility latch behind pressure_actionable().
+    std::atomic<u64> futile_usage_{0};
+    static constexpr u64 kLatchedRetryPeriod = 64;
+    mutable std::atomic<u64> latched_probes_{0};
+    GovernorStats stats_;
+};
+
+}  // namespace recoil::serve

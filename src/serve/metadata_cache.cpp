@@ -6,87 +6,138 @@
 
 namespace recoil::serve {
 
+MetadataCache::MetadataCache(u64 capacity_bytes, CachePolicyConfig policy)
+    : capacity_(capacity_bytes),
+      policy_cfg_(policy),
+      policy_(make_eviction_policy(policy, capacity_bytes)),
+      admission_(make_admission_policy(policy, capacity_bytes)) {}
+
 WireBytes MetadataCache::get(const std::string& asset_key, u32 parallelism,
-                             u32* splits_out) {
+                             u32* splits_out, bool record_access) {
     std::scoped_lock lk(mu_);
-    auto it = index_.find(Key{asset_key, parallelism});
-    if (it == index_.end()) {
+    const Key key{asset_key, parallelism};
+    if (record_access) admission_->record(KeyHash{}(key));
+    auto it = map_.find(key);
+    if (it == map_.end()) {
         ++stats_.misses;
         return nullptr;
     }
     ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    if (splits_out != nullptr) *splits_out = it->second->splits;
-    return it->second->wire;
+    stats_.hit_bytes += it->second.wire->size();
+    policy_->on_touch(it->second.id);
+    if (splits_out != nullptr) *splits_out = it->second.splits;
+    return it->second.wire;
 }
 
 void MetadataCache::put(const std::string& asset_key, u32 parallelism,
                         WireBytes wire, u32 splits) {
     RECOIL_CHECK(wire != nullptr, "cache put: null payload");
     std::scoped_lock lk(mu_);
+    const Key key{asset_key, parallelism};
+    auto it = map_.find(key);
     if (wire->size() > capacity_) {  // would evict everything for nothing
         ++stats_.rejected;
+        // A resident entry under this key is now known stale: serving it
+        // would hand out superseded bytes, so it goes too (not an eviction
+        // — nothing displaced it for space).
+        if (it != map_.end()) {
+            set_bytes_locked(stats_.bytes - it->second.wire->size());
+            erase_entry_locked(it->second.id);
+            stats_.entries = map_.size();
+        }
         return;
     }
-    const Key key{asset_key, parallelism};
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-        stats_.bytes -= it->second->wire->size();
-        stats_.bytes += wire->size();
-        it->second->wire = std::move(wire);
-        it->second->splits = splits;
-        lru_.splice(lru_.begin(), lru_, it->second);
+    if (it != map_.end()) {
+        // Refresh: already admitted once — the gate does not re-run.
+        set_bytes_locked(stats_.bytes - it->second.wire->size() +
+                         wire->size());
+        it->second.wire = std::move(wire);
+        it->second.splits = splits;
+        policy_->on_touch(it->second.id);
+        policy_->on_resize(it->second.id, it->second.wire->size());
     } else {
-        stats_.bytes += wire->size();
-        lru_.push_front(Entry{key, std::move(wire), splits});
-        index_.emplace(key, lru_.begin());
+        if (!admission_->admit(KeyHash{}(key), wire->size())) {
+            ++stats_.admission_rejected;
+            return;
+        }
+        const EntryId id = next_id_++;
+        set_bytes_locked(stats_.bytes + wire->size());
+        auto [pos, inserted] =
+            map_.emplace(key, Entry{std::move(wire), splits, id});
+        by_id_[id] = &pos->first;
+        policy_->on_insert(id, pos->second.wire->size());
         ++stats_.insertions;
     }
-    stats_.entries = index_.size();
+    stats_.entries = map_.size();
     // Peak is sampled before eviction trims back under capacity: it reports
     // the most bytes the cache ever actually held.
     stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes);
-    while (stats_.bytes > capacity_ && !lru_.empty()) evict_lru_locked();
+    evict_until_locked(capacity_);
 }
 
-void MetadataCache::evict_lru_locked() {
-    const Entry& victim = lru_.back();
-    stats_.bytes -= victim.wire->size();
-    index_.erase(victim.key);
-    lru_.pop_back();
-    ++stats_.evictions;
-    stats_.entries = index_.size();
+void MetadataCache::erase_entry_locked(EntryId id) {
+    auto idx = by_id_.find(id);
+    RECOIL_CHECK(idx != by_id_.end(), "cache: unknown entry id");
+    const Key key = *idx->second;  // copy: erasing invalidates the pointer
+    by_id_.erase(idx);
+    policy_->on_erase(id);
+    map_.erase(key);
+}
+
+void MetadataCache::evict_until_locked(u64 target_bytes) {
+    while (stats_.bytes > target_bytes && !map_.empty()) {
+        const EntryId id = policy_->victim();
+        RECOIL_CHECK(id != kNoEntry, "cache: policy lost a resident entry");
+        auto idx = by_id_.find(id);
+        RECOIL_CHECK(idx != by_id_.end(), "cache: victim id unknown");
+        set_bytes_locked(stats_.bytes - map_.at(*idx->second).wire->size());
+        erase_entry_locked(id);
+        ++stats_.evictions;
+        stats_.entries = map_.size();
+    }
 }
 
 void MetadataCache::erase_asset(const std::string& asset_key) {
     std::scoped_lock lk(mu_);
-    for (auto it = lru_.begin(); it != lru_.end();) {
-        const std::string& a = it->key.asset;
+    for (auto it = map_.begin(); it != map_.end();) {
+        const std::string& a = it->first.asset;
         const bool derived = a.size() > asset_key.size() &&
                              a.compare(0, asset_key.size(), asset_key) == 0 &&
                              a[asset_key.size()] == '\n';
         if (a == asset_key || derived) {
-            stats_.bytes -= it->wire->size();
-            index_.erase(it->key);
-            it = lru_.erase(it);
+            set_bytes_locked(stats_.bytes - it->second.wire->size());
+            by_id_.erase(it->second.id);
+            policy_->on_erase(it->second.id);
+            it = map_.erase(it);
         } else {
             ++it;
         }
     }
-    stats_.entries = index_.size();
+    stats_.entries = map_.size();
+}
+
+void MetadataCache::shrink_to(u64 target_bytes) {
+    std::scoped_lock lk(mu_);
+    evict_until_locked(target_bytes);
 }
 
 void MetadataCache::clear() {
     std::scoped_lock lk(mu_);
-    lru_.clear();
-    index_.clear();
-    stats_.bytes = 0;
+    map_.clear();
+    by_id_.clear();
+    policy_->clear();
+    set_bytes_locked(0);
     stats_.entries = 0;
 }
 
 CacheStats MetadataCache::stats() const {
     std::scoped_lock lk(mu_);
     return stats_;
+}
+
+void MetadataCache::set_bytes_locked(u64 bytes) {
+    stats_.bytes = bytes;
+    bytes_now_.store(bytes, std::memory_order_relaxed);
 }
 
 }  // namespace recoil::serve

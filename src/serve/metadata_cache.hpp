@@ -1,19 +1,27 @@
 #pragma once
-// LRU cache of serialized serve responses keyed by (asset key, client
+// Cache of serialized serve responses keyed by (asset key, client
 // parallelism). The §3.3 serving path is cheap but not free — combine_splits
 // walks M split points and the wire re-serialization copies the bitstream —
 // and real traffic concentrates on a few client classes (phone / laptop /
 // GPU), so the hot responses are cached whole and handed out by reference.
 // Range responses reuse the same cache under a derived asset key (see
 // server.cpp), hence the string key rather than an asset pointer.
+//
+// Decision-making is delegated to the pluggable policy layer
+// (cache_policy.hpp): an EvictionPolicy picks victims (LRU by default —
+// bit-exact with the historical cache — or segmented LRU) and an
+// AdmissionPolicy gates brand-new entries (admit-all by default, or a
+// size-aware TinyLFU frequency sketch). The cache owns storage, stats, and
+// the byte-capacity invariant; policies own ordering and gatekeeping.
 
-#include <list>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "serve/cache_policy.hpp"
 #include "serve/protocol.hpp"
 #include "util/ints.hpp"
 
@@ -24,12 +32,19 @@ namespace recoil::serve {
 struct CacheStats {
     u64 hits = 0;
     u64 misses = 0;
+    /// Payload bytes served from the cache (the byte-hit-rate numerator:
+    /// hit_bytes / total wire bytes served). Cumulative, survives clear().
+    u64 hit_bytes = 0;
     u64 insertions = 0;
     u64 evictions = 0;
     /// Puts dropped because the payload alone exceeds the whole cache
     /// capacity. A persistently rising value means the capacity is
     /// mis-sized for the traffic, which a silent drop used to hide.
     u64 rejected = 0;
+    /// New entries the AdmissionPolicy turned away (e.g. TinyLFU rejecting
+    /// a one-hit wonder). Distinct from `rejected`: these entries would
+    /// have fit — the policy judged them not worth the bytes.
+    u64 admission_rejected = 0;
     /// High-water mark of `bytes` over the cache's lifetime. Like the
     /// cumulative counters it survives clear() (which resets the current
     /// size, not the history), so the memory story stays observable across
@@ -41,31 +56,60 @@ struct CacheStats {
 
 class MetadataCache {
 public:
-    explicit MetadataCache(u64 capacity_bytes) : capacity_(capacity_bytes) {}
+    explicit MetadataCache(u64 capacity_bytes, CachePolicyConfig policy = {});
 
-    /// nullptr on miss. A hit refreshes the entry's LRU position and, when
-    /// `splits_out` is given, reports the split count stored with the entry.
+    /// nullptr on miss. A hit refreshes the entry's position with the
+    /// eviction policy and, when `splits_out` is given, reports the split
+    /// count stored with the entry. With `record_access` (the default)
+    /// the lookup is recorded with the admission policy — that is where
+    /// its frequency sketch learns the key stream. Pass false for internal
+    /// re-lookups of the SAME logical request (the single-flight leader's
+    /// post-acquire recheck): double-recording would teach the sketch that
+    /// every cold key was seen twice, silently disarming the one-hit-
+    /// wonder gate.
     WireBytes get(const std::string& asset_key, u32 parallelism,
-                  u32* splits_out = nullptr);
+                  u32* splits_out = nullptr, bool record_access = true);
 
-    /// Insert (or refresh) an entry, evicting LRU entries past capacity.
-    /// Payloads larger than the whole cache are not cached at all — counted
-    /// in CacheStats::rejected, never silently dropped. `splits` is the
-    /// work-item count the response carries, echoed back by get().
+    /// Insert (or refresh) an entry, evicting policy-chosen victims past
+    /// capacity. Payloads larger than the whole cache are never cached —
+    /// counted in CacheStats::rejected (an oversized refresh also drops the
+    /// now-stale resident entry rather than keep serving superseded bytes).
+    /// A NEW key must additionally pass the admission policy; a refusal
+    /// counts in CacheStats::admission_rejected. An entry exactly equal to
+    /// capacity is admitted (it fits — alone). `splits` is the work-item
+    /// count the response carries, echoed back by get().
     void put(const std::string& asset_key, u32 parallelism, WireBytes wire,
              u32 splits = 0);
 
     /// Drop every entry for `asset_key` (all parallelisms, and derived keys
-    /// of the form "asset_key\n..." such as range responses).
+    /// of the form "asset_key\n..." such as range responses). Not an
+    /// eviction: the evictions counter is untouched.
     void erase_asset(const std::string& asset_key);
+
+    /// Evict policy-chosen victims until current bytes <= `target_bytes`
+    /// (counted as evictions — this is capacity pressure, from the resource
+    /// governor rather than from an insertion). The configured capacity is
+    /// unchanged: the cache may grow back.
+    void shrink_to(u64 target_bytes);
 
     /// Drop every entry. Resets the current-size fields (`bytes`,
     /// `entries`) only; cumulative counters (hits/misses/insertions/
-    /// evictions/rejected) survive, so observability across a clear() is
-    /// not lost. Dropped entries do not count as evictions.
+    /// evictions/rejected/admission_rejected) survive, so observability
+    /// across a clear() is not lost. Dropped entries do not count as
+    /// evictions. The admission sketch also survives: it models the access
+    /// stream, which a contents clear does not rewrite.
     void clear();
     CacheStats stats() const;
     u64 capacity_bytes() const noexcept { return capacity_; }
+    /// Lock-free mirror of stats().bytes for cheap pressure checks.
+    u64 current_bytes() const noexcept {
+        return bytes_now_.load(std::memory_order_relaxed);
+    }
+    /// Canonical "eviction[-admission]" spelling, e.g. "slru-tinylfu".
+    std::string policy_name() const { return cache_policy_name(policy_cfg_); }
+    const CachePolicyConfig& policy_config() const noexcept {
+        return policy_cfg_;
+    }
 
 private:
     struct Key {
@@ -80,18 +124,29 @@ private:
         }
     };
     struct Entry {
-        Key key;
         WireBytes wire;
         u32 splits = 0;
+        EntryId id = kNoEntry;
     };
 
-    void evict_lru_locked();
+    /// Remove one entry (found via the by-id index) and report it to the
+    /// policy; the caller decides whether it counts as an eviction.
+    void erase_entry_locked(EntryId id);
+    void evict_until_locked(u64 target_bytes);
+    void set_bytes_locked(u64 bytes);
 
     mutable std::mutex mu_;
     u64 capacity_;
-    std::list<Entry> lru_;  ///< front = most recently used
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+    CachePolicyConfig policy_cfg_;
+    std::unique_ptr<EvictionPolicy> policy_;
+    std::unique_ptr<AdmissionPolicy> admission_;
+    std::unordered_map<Key, Entry, KeyHash> map_;
+    /// Victim lookup: policy ids -> the map key holding that entry. Points
+    /// into map_ nodes (stable under rehash for node-based containers).
+    std::unordered_map<EntryId, const Key*> by_id_;
+    EntryId next_id_ = 1;
     CacheStats stats_;
+    std::atomic<u64> bytes_now_{0};
 };
 
 }  // namespace recoil::serve

@@ -85,6 +85,14 @@ struct StreamState {
     // ---- consumer state (single consumer: the ServeStream) ----
     enum class Phase : u8 { header, body, fin, finished };
     Phase phase = Phase::header;
+    /// Adaptive frame sizing is live for this stream (producer-backed and
+    /// opted in). Replay sources keep uniform frames: their pieces are
+    /// copies/views whose owned/borrowed shape no longer distinguishes
+    /// metadata from payload.
+    bool adaptive = false;
+    /// First payload-view (borrowed) piece reached the consumer: the
+    /// metadata-dense prefix is over, frames grow to max_frame_bytes.
+    bool payload_phase = false;
     format::ByteBuffer pending;  ///< partially framed piece
     std::size_t pending_off = 0;
     u64 replay_offset = 0;  ///< cached/follower sources: wire bytes consumed
@@ -207,6 +215,10 @@ void StreamState::producer_main() {
     } catch (...) {
         fail_producer(ErrorCode::internal, "stream production failed");
     }
+    // Stream production can demand-load and cache-assemble; relieve budget
+    // pressure now, while the server is still guaranteed alive (this runs
+    // before the sign-off below, which is the LAST server touch).
+    srv.maybe_govern();
     // Tail, in strict order: (1) take the self-reference an abandoning
     // destructor may have installed; (2) sign off with the server — the
     // LAST server touch, after which ~ContentServer may return; (3) let
@@ -405,17 +417,31 @@ std::optional<std::vector<u8>> ServeStream::next_frame() {
 
     if (st.phase == Phase::body) {
         const u64 max_frame = st.opt.max_frame_bytes;
+        // Adaptive frame sizing: structural-prefix frames are capped small
+        // so the client sees the plan early; the target jumps to max_frame
+        // once payload-view bytes begin.
+        const auto target = [&]() -> u64 {
+            if (!st.adaptive || st.payload_phase) return max_frame;
+            return std::min(max_frame, st.opt.prefix_frame_bytes);
+        };
         std::vector<u8> payload;
         bool end = false;
-        while (payload.size() < max_frame) {
+        while (payload.size() < target()) {
             if (st.pending_off >= st.pending.size()) {
                 auto piece = st.pull_piece(/*block=*/payload.empty(), end);
                 if (!piece.has_value()) break;
                 st.pending = std::move(*piece);
                 st.pending_off = 0;
+                if (st.adaptive && !st.payload_phase &&
+                    st.pending.borrowed()) {
+                    // Payload starts here. Flush the prefix as its own
+                    // (small) frame; an empty frame just grows the target.
+                    st.payload_phase = true;
+                    if (!payload.empty()) break;
+                }
             }
             const std::size_t n =
-                std::min<std::size_t>(static_cast<std::size_t>(max_frame) -
+                std::min<std::size_t>(static_cast<std::size_t>(target()) -
                                           payload.size(),
                                       st.pending.size() - st.pending_off);
             payload.insert(payload.end(), st.pending.begin() + st.pending_off,
@@ -493,7 +519,28 @@ ServeResult ContentServer::serve(const ServeRequest& req) noexcept {
     } else {
         failures_.fetch_add(1, std::memory_order_relaxed);
     }
+    // The request may have demand-loaded an asset or grown the cache; if
+    // the global budget is now exceeded, relieve the pressure before the
+    // next request piles on.
+    maybe_govern();
     return res;
+}
+
+void ContentServer::maybe_govern() noexcept {
+    try {
+        // pressure_actionable (not just over_budget): when a pass already
+        // proved it cannot relieve the pressure (all residents pinned,
+        // unbacked, or in use), re-running it per request would serialize
+        // the serve path behind futile O(residents) scans.
+        if (governor_.pressure_actionable()) governor_.enforce();
+    } catch (...) {
+        // Governance is best-effort relief; a failed pass (allocation
+        // exhaustion under the very pressure it relieves, or a policy
+        // invariant tripping) must not take a serve path down with it —
+        // but it must not vanish either: the counter surfaces in Totals
+        // so "pressure relief silently stopped" is observable.
+        governance_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 ContentServer::Prepared ContentServer::prepare(const ServeRequest& req) {
@@ -501,6 +548,7 @@ ContentServer::Prepared ContentServer::prepare(const ServeRequest& req) {
     if (asset == nullptr)
         throw ProtocolError(ErrorCode::unknown_asset,
                             "serve: unknown asset '" + req.asset + "'");
+    governor_.note_access(req.asset);  // recency clock for pressure unloads
 
     Prepared p;
     p.asset = std::move(asset);
@@ -611,10 +659,12 @@ ServedWire ContentServer::serve_shared(const Prepared& p, ServeStats& stats) {
     // Won the flight — but the previous leader may have populated the cache
     // between our miss and the flight insert (put happens before the flight
     // retires). Recheck before paying for a combine, and publish the cached
-    // wire to any followers already parked on this flight.
+    // wire to any followers already parked on this flight. The recheck is
+    // the same logical request, so it must not re-feed the admission sketch.
     if (p.use_cache) {
         u32 splits = 0;
-        if (WireBytes cached = cache_.get(p.key, p.parallelism, &splits)) {
+        if (WireBytes cached = cache_.get(p.key, p.parallelism, &splits,
+                                          /*record_access=*/false)) {
             ServedWire wire{std::move(cached), splits};
             retire_flight(flight_key, flight, &wire, ErrorCode::ok, {});
             stats.cache_hit = true;
@@ -690,6 +740,10 @@ ServeStream ContentServer::serve_stream(const ServeRequest& req,
     streamed_requests_.fetch_add(1, std::memory_order_relaxed);
     if (opt.max_frame_bytes == 0) opt.max_frame_bytes = kDefaultMaxFrameBytes;
     opt.window_bytes = std::max(opt.window_bytes, opt.max_frame_bytes);
+    if (opt.prefix_frame_bytes == 0)
+        opt.prefix_frame_bytes = kDefaultPrefixFrameBytes;
+    opt.prefix_frame_bytes = std::min(opt.prefix_frame_bytes,
+                                      opt.max_frame_bytes);
 
     auto st = std::make_shared<detail::StreamState>();
     st->server = this;
@@ -733,10 +787,12 @@ ServeStream ContentServer::serve_stream(const ServeRequest& req,
                 return ServeStream(std::move(st));
             }
             // Leader: the previous leader may have populated the cache
-            // between our miss and the flight insert. Recheck, publishing
-            // the cached wire to any followers already parked here.
+            // between our miss and the flight insert. Recheck (without
+            // re-feeding the admission sketch — same logical request),
+            // publishing the cached wire to any followers already parked.
             if (WireBytes wire =
-                    cache_.get(st->prep.key, st->prep.parallelism, &splits)) {
+                    cache_.get(st->prep.key, st->prep.parallelism, &splits,
+                               /*record_access=*/false)) {
                 ServedWire served{wire, splits};
                 retire_flight(st->flight_key, st->flight, &served,
                               ErrorCode::ok, {});
@@ -750,7 +806,10 @@ ServeStream ContentServer::serve_stream(const ServeRequest& req,
         // Leader or solo: produce on a background thread, pull-paced by the
         // consumer through the window. Registered with the server first, so
         // ~ContentServer waits for it even if the stream is abandoned and
-        // the producer detached.
+        // the producer detached. Producer-backed streams are the only ones
+        // where adaptive frame sizing applies: the owned/borrowed shape of
+        // fresh producer pieces marks the metadata/payload boundary.
+        st->adaptive = opt.adaptive_frames;
         if (opt_.combine_hook) opt_.combine_hook(st->prep.key);
         {
             std::scoped_lock lk(streams_mu_);
@@ -818,6 +877,8 @@ ContentServer::Totals ContentServer::totals() const noexcept {
     t.wire_bytes = wire_bytes_.load(std::memory_order_relaxed);
     t.coalesced_requests = coalesced_.load(std::memory_order_relaxed);
     t.bytes_saved = bytes_saved_.load(std::memory_order_relaxed);
+    t.governance_failures =
+        governance_failures_.load(std::memory_order_relaxed);
     return t;
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "serve/asset_store.hpp"
+#include "serve/governor.hpp"
 #include "serve/metadata_cache.hpp"
 #include "serve/protocol.hpp"
 
@@ -37,12 +38,24 @@ namespace recoil::serve {
 
 struct ServerOptions {
     u64 cache_capacity_bytes = u64{256} << 20;
-    bool cache_ranges = true;  ///< range responses join the LRU cache too
+    /// Cache decision-making: eviction (lru | slru) and admission
+    /// (admit-all | tinylfu) policies. Defaults reproduce the historical
+    /// LRU cache bit-exactly.
+    CachePolicyConfig cache_policy;
+    /// Global memory budget over cache bytes + resident store bytes; when
+    /// exceeded, the resource governor unloads cold demand-loadable assets
+    /// (and shrinks the cache if that is not enough). 0 disables.
+    u64 mem_budget_bytes = 0;
+    bool cache_ranges = true;  ///< range responses join the wire cache too
     /// Observability/test hook: invoked (if set) with the cache key at the
     /// start of every miss combine (materialized or streamed), before the
     /// wire is built.
     std::function<void(const std::string&)> combine_hook;
 };
+
+/// Default ceiling for frames carrying the metadata-dense structural prefix
+/// when adaptive frame sizing is on (StreamOptions::adaptive_frames).
+inline constexpr u64 kDefaultPrefixFrameBytes = u64{8} << 10;
 
 /// Per-stream knobs of serve_stream(), negotiated per connection.
 struct StreamOptions {
@@ -58,6 +71,18 @@ struct StreamOptions {
     /// worth caching. Such streams do not coalesce (nothing shareable is
     /// assembled) and do not consult the cache.
     bool use_cache = true;
+    /// Adaptive frame sizing: while a cold producer-backed stream is still
+    /// emitting the metadata-dense structural prefix (header, model, split
+    /// plan — owned pieces), frames are capped at prefix_frame_bytes so a
+    /// client can start planning its decode early; the frame that would
+    /// first carry payload-view bytes flushes the prefix, and payload
+    /// frames run at max_frame_bytes. Cache-hit and coalesced-follower
+    /// replays are unaffected (their wire already exists in full; uniform
+    /// max-size frames move it fastest). Reassembly is framing-agnostic, so
+    /// the wire stays bit-exact either way.
+    bool adaptive_frames = true;
+    /// Prefix-frame payload ceiling; clamped down to max_frame_bytes.
+    u64 prefix_frame_bytes = kDefaultPrefixFrameBytes;
 };
 
 namespace detail {
@@ -136,7 +161,9 @@ struct Flight {
 class ContentServer {
 public:
     explicit ContentServer(ServerOptions opt = {})
-        : opt_(std::move(opt)), cache_(opt_.cache_capacity_bytes) {}
+        : opt_(std::move(opt)),
+          cache_(opt_.cache_capacity_bytes, opt_.cache_policy),
+          governor_(store_, cache_, GovernorOptions{opt_.mem_budget_bytes}) {}
     /// Blocks until every outstanding stream producer has finished —
     /// including detached drains from abandoned leader streams — so a
     /// background producer can never touch a dead server. ServeStream
@@ -145,6 +172,10 @@ public:
 
     AssetStore& store() noexcept { return store_; }
     MetadataCache& cache() noexcept { return cache_; }
+    /// The resource governor over this server's store + cache (disabled —
+    /// never unloading — unless ServerOptions::mem_budget_bytes is set).
+    /// pin()/unpin() protect per-class hot assets from pressure unloads.
+    ResourceGovernor& governor() noexcept { return governor_; }
 
     /// Serve one request. Never throws: failures come back as a typed
     /// ErrorCode, so scheduler workers cannot tear down their pool. Assets
@@ -196,6 +227,9 @@ public:
         /// Wire bytes delivered from shared buffers (cache hits + coalesced)
         /// rather than freshly combined — work the protocol design saved.
         u64 bytes_saved = 0;
+        /// Governance passes that threw (swallowed so the serve path
+        /// lives). Nonzero means pressure relief is failing — investigate.
+        u64 governance_failures = 0;
     };
     Totals totals() const noexcept;
 
@@ -238,10 +272,15 @@ private:
                        const std::shared_ptr<Flight>& flight,
                        const ServedWire* wire, ErrorCode error_code,
                        std::string error_detail);
+    /// Run a governance pass if the global budget is exceeded. Called at
+    /// the end of every serve and stream production — the moments usage
+    /// can have grown (demand-load, cache put).
+    void maybe_govern() noexcept;
 
     ServerOptions opt_;
     AssetStore store_;
     MetadataCache cache_;
+    ResourceGovernor governor_;
     std::mutex flights_mu_;
     std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
     /// Outstanding serve_stream producer threads (guarded by streams_mu_);
@@ -258,6 +297,7 @@ private:
     std::atomic<u64> wire_bytes_{0};
     std::atomic<u64> coalesced_{0};
     std::atomic<u64> bytes_saved_{0};
+    std::atomic<u64> governance_failures_{0};
 };
 
 /// Aggregate view of a set of results, for benches and logs.

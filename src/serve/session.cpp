@@ -27,6 +27,7 @@ std::shared_future<ServeResult> Session::submit(ServeRequest req, Callback cb) {
         std::scoped_lock lk(mu_);
         RECOIL_CHECK(!stopping_, "Session::submit after shutdown began");
         queue_.push_back(Task{std::move(req), std::move(promise), std::move(cb)});
+        ++stats_.submitted;
     }
     cv_.notify_one();
     return fut;
@@ -45,6 +46,7 @@ std::shared_future<ServeResult> Session::submit_stream(ServeRequest req,
         std::scoped_lock lk(mu_);
         RECOIL_CHECK(!stopping_, "Session::submit_stream after shutdown began");
         queue_.push_back(std::move(task));
+        ++stats_.submitted;
     }
     cv_.notify_one();
     return fut;
@@ -58,6 +60,11 @@ void Session::wait_idle() {
 std::size_t Session::in_flight() const {
     std::scoped_lock lk(mu_);
     return queue_.size() + active_;
+}
+
+Session::Stats Session::stats() const {
+    std::scoped_lock lk(mu_);
+    return stats_;
 }
 
 void Session::worker_loop() {
@@ -74,10 +81,12 @@ void Session::worker_loop() {
         // serve()/serve_stream() are noexcept; failures arrive as typed
         // results (or a typed error header frame).
         ServeResult res;
+        u64 frames = 0;
         if (task.streamed) {
             ServeStream stream = server_.serve_stream(task.req, task.stream_opt);
             while (auto frame = stream.next_frame()) {
                 if (!task.frame_cb) continue;
+                ++frames;
                 try {
                     task.frame_cb(*frame);
                 } catch (...) {
@@ -96,10 +105,15 @@ void Session::worker_loop() {
                 // Completion callbacks must not tear down the session.
             }
         }
+        const bool ok = res.ok();
         task.promise.set_value(std::move(res));
         {
             std::scoped_lock lk(mu_);
             --active_;
+            ++stats_.completed;
+            if (!ok) ++stats_.failed;
+            if (task.streamed) ++stats_.streamed;
+            stats_.frames_delivered += frames;
             if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
         }
     }

@@ -62,6 +62,18 @@ public:
     /// Requests submitted but not yet completed.
     std::size_t in_flight() const;
 
+    /// Cumulative session-side counters (the server's totals() aggregate
+    /// every session; these isolate one). Counters only — the API is
+    /// otherwise unchanged.
+    struct Stats {
+        u64 submitted = 0;  ///< submit() + submit_stream() calls accepted
+        u64 completed = 0;  ///< futures resolved (ok or typed failure)
+        u64 failed = 0;     ///< completed with a non-ok code
+        u64 streamed = 0;   ///< completed via submit_stream
+        u64 frames_delivered = 0;  ///< frames handed to frame callbacks
+    };
+    Stats stats() const;
+
 private:
     struct Task {
         ServeRequest req;
@@ -81,6 +93,7 @@ private:
     std::deque<Task> queue_;
     std::size_t active_ = 0;  ///< tasks currently being served
     bool stopping_ = false;
+    Stats stats_;  ///< guarded by mu_
     std::vector<std::thread> workers_;
 };
 

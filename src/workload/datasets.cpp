@@ -2,9 +2,12 @@
 // latents.cpp (latent datasets). This TU anchors the workload library and
 // provides the scale used when RECOIL_FULL is requested.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "workload/datasets.hpp"
+#include "util/xoshiro.hpp"
 
 namespace recoil::workload {
 
@@ -20,6 +23,25 @@ double bench_scale() {
         if (v > 0) return v;
     }
     return 0.1;  // rand_* at 1 MB, enwik9 stand-in at 100 MB
+}
+
+std::vector<u32> zipf_plan(u32 keys, std::size_t requests, double s,
+                           u64 seed) {
+    std::vector<double> cdf(keys);
+    double mass = 0;
+    for (u32 r = 0; r < keys; ++r) {
+        mass += 1.0 / std::pow(static_cast<double>(r + 1), s);
+        cdf[r] = mass;
+    }
+    Xoshiro256 rng(seed);
+    std::vector<u32> plan(requests);
+    for (auto& key : plan) {
+        const double u = rng.uniform() * mass;
+        key = static_cast<u32>(std::lower_bound(cdf.begin(), cdf.end(), u) -
+                               cdf.begin()) +
+              1;
+    }
+    return plan;
 }
 
 }  // namespace recoil::workload

@@ -1,0 +1,581 @@
+// Tests for the pluggable cache-policy layer and the resource governor:
+// LRU stays bit-exact with the historical cache (the seeded-Zipf regression
+// in test_session is the end-to-end anchor; here the counter edges are
+// pinned), segmented LRU protects reused entries from scan pollution,
+// TinyLFU admission rejects expensive one-hit wonders, and the governor
+// unloads cold demand-loadable assets under a global byte budget without
+// ever touching pinned assets or assets pinned by in-flight streams.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "serve/session.hpp"
+#include "serve/store.hpp"
+#include "test_util.hpp"
+
+namespace recoil::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+WireBytes wire_of(u64 n, u8 fill) {
+    return std::make_shared<const std::vector<u8>>(n, fill);
+}
+
+CachePolicyConfig slru_config(double protected_fraction = 0.8) {
+    CachePolicyConfig cfg;
+    cfg.eviction = EvictionKind::slru;
+    cfg.slru_protected_fraction = protected_fraction;
+    return cfg;
+}
+
+/// Fresh store directory per test; removed on destruction.
+struct TempDir {
+    fs::path path;
+    explicit TempDir(const char* tag)
+        : path(fs::temp_directory_path() /
+               (std::string("recoil_policy_") + tag)) {
+        fs::remove_all(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+std::vector<u8> asset_bytes(u64 n, u64 seed) {
+    return test::geometric_symbols<u8>(n, 0.6, 256, seed);
+}
+
+// ---- counter edges (satellite: audit rejected/eviction edges) ----
+
+TEST(CachePolicy, ExactCapacityPayloadIsAdmittedNotRejected) {
+    MetadataCache cache(100);
+    cache.put("a", 1, wire_of(40, 1));
+    cache.put("b", 1, wire_of(40, 2));
+
+    // Exactly capacity: fits (alone), so it is an insertion that evicts
+    // everything else — never a rejection.
+    cache.put("full", 1, wire_of(100, 3));
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.insertions, 3u);
+    EXPECT_EQ(s.evictions, 2u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.bytes, 100u);
+    EXPECT_NE(cache.get("full", 1), nullptr);
+
+    // The same holds after a clear(): the capacity comparison must not
+    // drift against the (reset) current size.
+    cache.clear();
+    cache.put("full2", 1, wire_of(100, 4));
+    s = cache.stats();
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.bytes, 100u);
+    EXPECT_NE(cache.get("full2", 1), nullptr);
+
+    // One byte over capacity IS a rejection, and not an insertion.
+    cache.put("over", 1, wire_of(101, 5));
+    s = cache.stats();
+    EXPECT_EQ(s.rejected, 1u);
+    EXPECT_EQ(s.insertions, 4u);
+    EXPECT_EQ(s.entries, 1u);  // resident entry untouched
+}
+
+TEST(CachePolicy, OversizedRefreshDropsTheStaleResidentEntry) {
+    MetadataCache cache(100);
+    cache.put("k", 1, wire_of(40, 1));
+    ASSERT_NE(cache.get("k", 1), nullptr);
+
+    // A refresh too large to cache: the resident entry is now known stale,
+    // so it must not keep being served. Counted as rejected, NOT as an
+    // eviction (nothing displaced it for space).
+    cache.put("k", 1, wire_of(101, 2));
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.rejected, 1u);
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.bytes, 0u);
+    EXPECT_EQ(cache.get("k", 1), nullptr);
+}
+
+TEST(CachePolicy, ShrinkToEvictsColdestFirstAndCountsEvictions) {
+    MetadataCache cache(1000);
+    for (int i = 0; i < 5; ++i)
+        cache.put("k" + std::to_string(i), 1, wire_of(100, u8(i)));
+    cache.get("k0", 1);  // refresh: k0 is now the hottest
+
+    cache.shrink_to(250);
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.bytes, 200u);
+    EXPECT_EQ(s.evictions, 3u);
+    EXPECT_NE(cache.get("k0", 1), nullptr);  // survived via recency
+    EXPECT_NE(cache.get("k4", 1), nullptr);
+    EXPECT_EQ(cache.get("k1", 1), nullptr);
+
+    // shrink_to does not change the configured capacity: the cache grows
+    // right back.
+    cache.put("k5", 1, wire_of(100, 9));
+    EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(CachePolicy, HitBytesAccumulateForByteHitRate) {
+    MetadataCache cache(1000);
+    cache.put("a", 1, wire_of(300, 1));
+    cache.get("a", 1);
+    cache.get("a", 1);
+    cache.get("missing", 1);
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.hit_bytes, 600u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+// ---- segmented LRU ----
+
+TEST(CachePolicy, SlruScanTrafficCannotFlushTheProtectedSet) {
+    // Capacity 100, protected cap 80. Two entries are reused (promoted to
+    // protected); a stream of one-shot scan entries then churns probation
+    // without ever displacing the protected pair — under plain LRU the
+    // scans would have flushed them.
+    MetadataCache cache(100, slru_config(0.8));
+    cache.put("hot1", 1, wire_of(30, 1));
+    cache.put("hot2", 1, wire_of(30, 2));
+    ASSERT_NE(cache.get("hot1", 1), nullptr);  // promote
+    ASSERT_NE(cache.get("hot2", 1), nullptr);  // promote
+
+    for (int i = 0; i < 16; ++i)
+        cache.put("scan" + std::to_string(i), 1, wire_of(30, u8(i)));
+
+    EXPECT_NE(cache.get("hot1", 1), nullptr);
+    EXPECT_NE(cache.get("hot2", 1), nullptr);
+    // Every scan wave evicted from probation; the last scan may or may not
+    // be resident, but at most one can fit next to the protected pair.
+    EXPECT_LE(cache.stats().entries, 3u);
+    EXPECT_GE(cache.stats().evictions, 15u);
+}
+
+TEST(CachePolicy, SlruDemotesWhenProtectedOverflowsItsByteCap) {
+    // Protected cap = 60 of 100: promoting a third 30-byte entry demotes
+    // the coldest protected entry back to probation, where a scan can
+    // evict it — the cap keeps "protected" an earned, bounded status.
+    MetadataCache cache(100, slru_config(0.6));
+    cache.put("a", 1, wire_of(30, 1));
+    cache.put("b", 1, wire_of(30, 2));
+    cache.put("c", 1, wire_of(30, 3));
+    cache.get("a", 1);
+    cache.get("b", 1);
+    cache.get("c", 1);  // protected would be 90 > 60: "a" demoted
+
+    // A scan entry fills probation past capacity; the victim comes from
+    // probation: first the scan's own predecessors, then demoted "a".
+    cache.put("s1", 1, wire_of(30, 4));
+    EXPECT_EQ(cache.get("a", 1), nullptr) << "demoted entry outlived a scan";
+    EXPECT_NE(cache.get("b", 1), nullptr);
+    EXPECT_NE(cache.get("c", 1), nullptr);
+}
+
+TEST(CachePolicy, SlruEvictsFromProtectedOnlyWhenProbationIsEmpty) {
+    MetadataCache cache(100, slru_config(1.0));  // everything promotable
+    cache.put("a", 1, wire_of(50, 1));
+    cache.put("b", 1, wire_of(50, 2));
+    cache.get("a", 1);
+    cache.get("b", 1);  // both protected; probation empty
+    cache.put("c", 1, wire_of(50, 3));
+    // c sits in probation; over capacity, victim comes from probation (c
+    // itself would be next) — but first the insert pushed bytes to 150, so
+    // the probation victim is c's own segment: a and b survive.
+    EXPECT_NE(cache.get("a", 1), nullptr);
+    EXPECT_NE(cache.get("b", 1), nullptr);
+}
+
+// ---- TinyLFU admission ----
+
+TEST(CachePolicy, TinyLfuRejectsExpensiveOneHitWonders) {
+    CachePolicyConfig cfg;
+    cfg.admission = AdmissionKind::tinylfu;
+    cfg.tinylfu_small_floor = 50;
+    MetadataCache cache(1000, cfg);
+
+    // A large never-seen key is refused outright: one observed access (or
+    // none) does not justify 500 bytes.
+    cache.put("big", 1, wire_of(500, 1));
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.admission_rejected, 1u);
+    EXPECT_EQ(s.insertions, 0u);
+    EXPECT_EQ(s.entries, 0u);
+
+    // A small stranger is a cheap gamble: admitted.
+    cache.put("small", 1, wire_of(40, 2));
+    EXPECT_EQ(cache.stats().insertions, 1u);
+
+    // Demonstrated reuse admits the big key: two recorded lookups put its
+    // sketch estimate at 2.
+    EXPECT_EQ(cache.get("big", 1), nullptr);
+    EXPECT_EQ(cache.get("big", 1), nullptr);
+    cache.put("big", 1, wire_of(500, 1));
+    s = cache.stats();
+    EXPECT_EQ(s.admission_rejected, 1u);  // unchanged
+    EXPECT_EQ(s.insertions, 2u);
+    EXPECT_NE(cache.get("big", 1), nullptr);
+}
+
+TEST(CachePolicy, TinyLfuSketchEstimatesSaturateAndClear) {
+    TinyLfuAdmission lfu(/*small_floor_bytes=*/10, /*width=*/128);
+    const u64 key = 0x1234abcdu;
+    EXPECT_EQ(lfu.estimate(key), 0u);
+    for (int i = 0; i < 40; ++i) lfu.record(key);
+    EXPECT_EQ(lfu.estimate(key), 15u);  // 4-bit counters saturate
+    EXPECT_TRUE(lfu.admit(key, 1'000'000));
+    EXPECT_FALSE(lfu.admit(0x9999u, 11));  // stranger over the floor
+    EXPECT_TRUE(lfu.admit(0x9999u, 10));   // stranger at the floor
+    lfu.clear();
+    EXPECT_EQ(lfu.estimate(key), 0u);
+}
+
+TEST(CachePolicy, ParseAndNameRoundTrip) {
+    for (const char* name :
+         {"lru", "slru", "lru-tinylfu", "slru-tinylfu"}) {
+        auto cfg = parse_cache_policy(name);
+        ASSERT_TRUE(cfg.has_value()) << name;
+        EXPECT_EQ(cache_policy_name(*cfg), name);
+    }
+    EXPECT_FALSE(parse_cache_policy("fifo").has_value());
+    EXPECT_FALSE(parse_cache_policy("").has_value());
+}
+
+// ---- resource governor ----
+
+/// Store + cache + governor under test control (no ContentServer): every
+/// pressure decision is driven explicitly, so the assertions are exact.
+struct GovernedRig {
+    AssetStore store;
+    MetadataCache cache;
+    explicit GovernedRig(u64 cache_capacity = u64{1} << 20)
+        : cache(cache_capacity) {}
+};
+
+TEST(Governor, UnloadsColdestBackedAssetsFirst) {
+    TempDir dir("coldest");
+    GovernedRig rig;
+    rig.store.attach_backing(std::make_shared<DiskStore>(dir.path));
+    for (int i = 0; i < 4; ++i)
+        rig.store.encode_bytes("a" + std::to_string(i),
+                               asset_bytes(40000, 7 + i), 8);
+    const u64 resident = rig.store.resident_bytes();
+    ASSERT_GT(resident, 0u);
+    const u64 per_asset = resident / 4;
+
+    // Recency: a0 never accessed (coldest), then a1 < a2 < a3.
+    ResourceGovernor gov(rig.store, rig.cache,
+                         GovernorOptions{resident - per_asset / 2});
+    gov.note_access("a1");
+    gov.note_access("a2");
+    gov.note_access("a3");
+
+    ASSERT_TRUE(gov.over_budget());
+    const u64 released = gov.enforce();
+    EXPECT_GT(released, 0u);
+    EXPECT_FALSE(gov.over_budget());
+    // Only the coldest had to go; the budget gap was under one asset.
+    EXPECT_EQ(rig.store.find("a0"), nullptr);
+    EXPECT_NE(rig.store.find("a1"), nullptr);
+    EXPECT_NE(rig.store.find("a2"), nullptr);
+    EXPECT_NE(rig.store.find("a3"), nullptr);
+    const GovernorStats s = gov.stats();
+    EXPECT_EQ(s.unloads, 1u);
+    EXPECT_EQ(s.bytes_unloaded, released);
+    EXPECT_EQ(s.enforcements, 1u);
+
+    // Unload is pressure relief, not eviction: the asset demand-loads back
+    // under the same generation, so cached response keys stay valid.
+    auto back = rig.store.resolve("a0");
+    ASSERT_NE(back, nullptr);
+    EXPECT_TRUE(rig.store.is_current(*back));
+}
+
+TEST(Governor, PinnedAssetsRideOutPressure) {
+    TempDir dir("pinned");
+    GovernedRig rig;
+    rig.store.attach_backing(std::make_shared<DiskStore>(dir.path));
+    for (int i = 0; i < 3; ++i)
+        rig.store.encode_bytes("a" + std::to_string(i),
+                               asset_bytes(40000, 20 + i), 8);
+    const u64 resident = rig.store.resident_bytes();
+
+    // a0 is coldest AND pinned: pressure must skip it and take a1 instead.
+    ResourceGovernor gov(rig.store, rig.cache,
+                         GovernorOptions{resident - resident / 6});
+    gov.pin("a0");
+    gov.note_access("a1");
+    gov.note_access("a2");
+    gov.enforce();
+    EXPECT_NE(rig.store.find("a0"), nullptr) << "pinned asset was unloaded";
+    EXPECT_EQ(rig.store.find("a1"), nullptr);
+    EXPECT_GE(gov.stats().skipped_pinned, 1u);
+
+    gov.unpin("a0");
+    EXPECT_FALSE(gov.pinned("a0"));
+    gov.enforce();  // under budget now: no-op
+    EXPECT_NE(rig.store.find("a0"), nullptr);
+}
+
+TEST(Governor, UnbackedAssetsAreNeverUnloaded) {
+    // No backing store: unloading would be data loss, so the governor must
+    // leave every asset resident and relieve pressure via the cache alone.
+    GovernedRig rig(/*cache_capacity=*/u64{1} << 20);
+    rig.store.encode_bytes("mem0", asset_bytes(40000, 31), 8);
+    rig.store.encode_bytes("mem1", asset_bytes(40000, 32), 8);
+    rig.cache.put("k", 1, wire_of(5000, 1));
+
+    ResourceGovernor gov(rig.store, rig.cache, GovernorOptions{1});
+    gov.enforce();
+    EXPECT_NE(rig.store.find("mem0"), nullptr);
+    EXPECT_NE(rig.store.find("mem1"), nullptr);
+    EXPECT_EQ(gov.stats().unloads, 0u);
+    // The cache was shrunk as far as it goes (budget 1 leaves no share).
+    EXPECT_EQ(rig.cache.stats().entries, 0u);
+    EXPECT_GE(gov.stats().cache_shrinks, 1u);
+}
+
+TEST(Governor, InUseAssetsAreSkippedUntilReleased) {
+    TempDir dir("inuse");
+    GovernedRig rig;
+    rig.store.attach_backing(std::make_shared<DiskStore>(dir.path));
+    rig.store.encode_bytes("held", asset_bytes(40000, 41), 8);
+
+    ResourceGovernor gov(rig.store, rig.cache, GovernorOptions{1});
+    {
+        // An external holder (a stream's Prepared would be one): unloading
+        // frees nothing, so the governor must skip it.
+        std::shared_ptr<const Asset> ref = rig.store.find("held");
+        ASSERT_NE(ref, nullptr);
+        gov.enforce();
+        EXPECT_NE(rig.store.find("held"), nullptr);
+        EXPECT_GE(gov.stats().skipped_in_use, 1u);
+    }
+    // Reference dropped: the next pass reclaims it.
+    gov.enforce();
+    EXPECT_EQ(rig.store.find("held"), nullptr);
+    EXPECT_EQ(gov.stats().unloads, 1u);
+}
+
+TEST(Governor, CacheShrinksOnlyWhenTheStoreCannotGetUnderBudget) {
+    TempDir dir("shrink");
+    GovernedRig rig;
+    rig.store.attach_backing(std::make_shared<DiskStore>(dir.path));
+    rig.store.encode_bytes("a", asset_bytes(40000, 51), 8);
+    rig.store.encode_bytes("b", asset_bytes(40000, 52), 8);
+    rig.cache.put("w1", 1, wire_of(4000, 1));
+    rig.cache.put("w2", 1, wire_of(4000, 2));
+    const u64 resident = rig.store.resident_bytes();
+
+    // Budget leaves room for one (pinned) asset + one cache entry: the
+    // pass unloads the unpinned asset, and — because the pinned one cannot
+    // go — the cache gives back the rest.
+    ResourceGovernor gov(rig.store, rig.cache,
+                         GovernorOptions{resident / 2 + 4500});
+    gov.pin("b");
+    gov.note_access("b");  // a is coldest
+    gov.enforce();
+    EXPECT_EQ(rig.store.find("a"), nullptr);
+    EXPECT_NE(rig.store.find("b"), nullptr);
+    const GovernorStats s = gov.stats();
+    EXPECT_EQ(s.unloads, 1u);
+    EXPECT_GE(s.cache_shrinks, 1u);
+    EXPECT_LE(rig.cache.current_bytes() + rig.store.resident_bytes(),
+              gov.budget_bytes());
+    EXPECT_EQ(rig.cache.stats().entries, 1u);  // one entry fit the share
+    EXPECT_EQ(rig.cache.stats().evictions, 1u);
+}
+
+TEST(Governor, FutilePassesLatchOffTheHotPathProbe) {
+    // A pass that cannot relieve the pressure (only unbacked assets) must
+    // not be re-run by the hot path on every request: after a futile pass
+    // pressure_actionable() goes false at the stuck usage level, and
+    // re-arms when usage grows or the pin set changes. Explicit enforce()
+    // always runs regardless.
+    GovernedRig rig;
+    rig.store.encode_bytes("mem", asset_bytes(40000, 65), 8);
+    ResourceGovernor gov(rig.store, rig.cache, GovernorOptions{1});
+
+    ASSERT_TRUE(gov.over_budget());
+    EXPECT_TRUE(gov.pressure_actionable());
+    EXPECT_EQ(gov.enforce(), 0u);  // nothing unloadable
+    EXPECT_TRUE(gov.over_budget());
+    EXPECT_FALSE(gov.pressure_actionable()) << "futile pass did not latch";
+
+    // Usage grows past the stuck level: actionable again.
+    rig.store.encode_bytes("mem2", asset_bytes(40000, 66), 8);
+    EXPECT_TRUE(gov.pressure_actionable());
+    EXPECT_EQ(gov.enforce(), 0u);
+    EXPECT_FALSE(gov.pressure_actionable());
+
+    // Pin-set changes re-arm the probe (eligibility may have changed).
+    gov.pin("mem");
+    EXPECT_TRUE(gov.pressure_actionable());
+}
+
+TEST(Governor, DisabledGovernorNeverActs) {
+    GovernedRig rig;
+    rig.store.encode_bytes("a", asset_bytes(30000, 61), 8);
+    rig.cache.put("k", 1, wire_of(100, 1));
+    ResourceGovernor gov(rig.store, rig.cache, GovernorOptions{0});
+    EXPECT_FALSE(gov.enabled());
+    EXPECT_FALSE(gov.over_budget());
+    EXPECT_EQ(gov.enforce(), 0u);
+    EXPECT_NE(rig.store.find("a"), nullptr);
+    EXPECT_EQ(rig.cache.stats().entries, 1u);
+}
+
+// ---- governor vs in-flight streams (end-to-end through ContentServer) ----
+
+TEST(Governor, StreamPinsItsAssetAcrossAPressurePass) {
+    TempDir dir("streampin");
+    ServerOptions opt;
+    opt.cache_capacity_bytes = u64{1} << 20;
+    opt.mem_budget_bytes = 1;  // permanent pressure: every pass unloads all
+    ContentServer server(opt);
+    server.store().attach_backing(std::make_shared<DiskStore>(dir.path));
+    const auto data = asset_bytes(60000, 71);
+    server.store().encode_bytes("a", data, 16);
+
+    const ServeResult ref = server.serve({"a", 4, std::nullopt});
+    ASSERT_TRUE(ref.ok());
+
+    StreamOptions sopt;
+    sopt.max_frame_bytes = 4096;
+    sopt.use_cache = false;
+    {
+        ServeStream stream = server.serve_stream(
+            {"a", 4, std::nullopt, kAcceptAll | kAcceptStreamed}, sopt);
+        auto first = stream.next_frame();
+        ASSERT_TRUE(first.has_value());
+
+        // Mid-stream pressure pass: the stream's Prepared holds the asset,
+        // so the governor must skip it — unloading would free nothing.
+        server.governor().enforce();
+        EXPECT_NE(server.store().find("a"), nullptr)
+            << "governor unloaded an asset pinned by an in-flight stream";
+        EXPECT_GE(server.governor().stats().skipped_in_use, 1u);
+
+        StreamReassembler client(sopt.max_frame_bytes);
+        client.feed(*first);
+        while (auto frame = stream.next_frame()) client.feed(*frame);
+        const ServeResult got = client.result();
+        ASSERT_TRUE(got.ok()) << got.detail;
+        EXPECT_EQ(*got.wire, *ref.wire);
+    }
+    // Stream gone (and its producer joined): the next pass may reclaim.
+    server.governor().enforce();
+    EXPECT_EQ(server.store().find("a"), nullptr);
+    // And the asset demand-loads straight back, bit-identically.
+    const ServeResult back = server.serve({"a", 4, std::nullopt});
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back.wire, *ref.wire);
+}
+
+TEST(Governor, UnloadRacingStreamsStaysBitExact) {
+    // The TSan anchor: streams, materialized serves and explicit pressure
+    // passes hammer the same small asset set under a budget that is always
+    // exceeded. Whatever interleaving happens, every response must be
+    // bit-exact and every stream must complete — losing the in-use race
+    // costs a re-mmap, never bytes.
+    TempDir dir("race");
+    ServerOptions opt;
+    opt.cache_capacity_bytes = u64{256} << 10;
+    opt.mem_budget_bytes = 1;
+    ContentServer server(opt);
+    server.store().attach_backing(std::make_shared<DiskStore>(dir.path));
+
+    constexpr int kAssets = 3;
+    std::vector<std::vector<u8>> reference(kAssets);
+    for (int i = 0; i < kAssets; ++i) {
+        const std::string name = "a" + std::to_string(i);
+        server.store().encode_bytes(name, asset_bytes(30000, 80 + i), 8);
+        const ServeResult r = server.serve({name, 4, std::nullopt});
+        ASSERT_TRUE(r.ok());
+        reference[i] = *r.wire;
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            StreamOptions sopt;
+            sopt.max_frame_bytes = 2048;
+            sopt.use_cache = (t % 2 == 0);
+            for (int i = 0; i < 12; ++i) {
+                const int a = (t + i) % kAssets;
+                const std::string name = "a" + std::to_string(a);
+                ServeStream stream = server.serve_stream(
+                    {name, 4, std::nullopt, kAcceptAll | kAcceptStreamed},
+                    sopt);
+                StreamReassembler client(sopt.max_frame_bytes);
+                try {
+                    while (auto frame = stream.next_frame())
+                        client.feed(*frame);
+                    const ServeResult got = client.result();
+                    if (!got.ok() || *got.wire != reference[a]) ++failures;
+                } catch (const std::exception&) {
+                    ++failures;
+                }
+                const ServeResult mat = server.serve({name, 4, std::nullopt});
+                if (!mat.ok() || *mat.wire != reference[a]) ++failures;
+            }
+        });
+    }
+    std::thread governor([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            server.governor().enforce();
+            std::this_thread::yield();
+        }
+    });
+    for (auto& t : threads) t.join();
+    stop.store(true, std::memory_order_relaxed);
+    governor.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(server.totals().failures, 0u);
+    // Everything still demand-loads after the storm.
+    for (int i = 0; i < kAssets; ++i) {
+        const ServeResult r =
+            server.serve({"a" + std::to_string(i), 4, std::nullopt});
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(*r.wire, reference[i]);
+    }
+}
+
+// ---- session stats surface ----
+
+TEST(SessionStats, CountersTrackSubmissionsCompletionsAndFrames) {
+    ContentServer server;
+    server.store().encode_bytes("asset", asset_bytes(50000, 91), 16);
+    Session session(server, {2});
+
+    EXPECT_TRUE(session.submit({"asset", 4, std::nullopt}).get().ok());
+    EXPECT_FALSE(session.submit({"missing", 4, std::nullopt}).get().ok());
+    u64 frames = 0;
+    StreamOptions sopt;
+    sopt.max_frame_bytes = 4096;
+    auto fut = session.submit_stream(
+        {"asset", 4, std::nullopt, kAcceptAll | kAcceptStreamed},
+        [&](std::span<const u8>) { ++frames; }, sopt);
+    EXPECT_TRUE(fut.get().ok());
+    session.wait_idle();
+
+    const Session::Stats s = session.stats();
+    EXPECT_EQ(s.submitted, 3u);
+    EXPECT_EQ(s.completed, 3u);
+    EXPECT_EQ(s.failed, 1u);
+    EXPECT_EQ(s.streamed, 1u);
+    EXPECT_GE(s.frames_delivered, 3u);  // header + >=1 body + FIN
+    EXPECT_EQ(s.frames_delivered, frames);
+}
+
+}  // namespace
+}  // namespace recoil::serve

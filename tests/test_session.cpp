@@ -16,6 +16,7 @@
 #include "serve/session.hpp"
 #include "test_util.hpp"
 #include "util/xoshiro.hpp"
+#include "workload/datasets.hpp"
 
 namespace recoil::serve {
 namespace {
@@ -304,19 +305,11 @@ TEST(Session, ZipfTrafficHitRateIsExactAndDeterministic) {
     constexpr int kRequests = 1200;
     const auto data = small_asset_bytes(60000, 41);
 
-    std::vector<double> cdf(kKeys);
-    double mass = 0;
-    for (u32 r = 0; r < kKeys; ++r) {
-        mass += 1.0 / std::pow(static_cast<double>(r + 1), 1.2);
-        cdf[r] = mass;
-    }
-    Xoshiro256 rng(2024);
-    std::vector<u32> plan(kRequests);
-    for (auto& key : plan) {
-        const double u = rng.uniform() * mass;
-        key = static_cast<u32>(std::lower_bound(cdf.begin(), cdf.end(), u) -
-                               cdf.begin()) + 1;  // parallelism 1..kKeys
-    }
+    // Shared traffic model (workload::zipf_plan): keys are parallelism
+    // classes 1..kKeys. Same generator as bench_serve's policy study, so
+    // the regression and the bench measure the same trace shape.
+    const std::vector<u32> plan = workload::zipf_plan(kKeys, kRequests, 1.2,
+                                                      2024);
 
     // Size the cache off the real wire size so the test tracks format
     // changes instead of hard-coding bytes.
@@ -368,6 +361,144 @@ TEST(Session, ZipfTrafficHitRateIsExactAndDeterministic) {
     EXPECT_EQ(second.cache_hits, first.cache_hits);
     EXPECT_EQ(second.wire_bytes, first.wire_bytes);
     EXPECT_EQ(second.bytes_saved, first.bytes_saved);
+}
+
+struct PolicyRun {
+    u64 hits = 0;
+    u64 hit_bytes = 0;
+    u64 wire_bytes = 0;
+    u64 admission_rejected = 0;
+    double hit_rate = 0;
+    double byte_hit_rate = 0;
+};
+
+/// Drive a scan-polluted Zipf plan serially through the Session API against
+/// one cache policy: scan slots (workload::zipf_scan_slot — the schedule
+/// bench_serve's policy study shares) become unique, never-repeated range
+/// requests (one-hit wonders with distinct cache keys), the rest follow
+/// the Zipf class plan. Serial awaits keep cache state deterministic.
+PolicyRun run_policy(const CachePolicyConfig& policy, u64 capacity,
+                     const std::vector<u8>& data,
+                     const std::vector<u32>& plan) {
+    ServerOptions opt;
+    opt.cache_capacity_bytes = capacity;
+    opt.cache_policy = policy;
+    ContentServer server(opt);
+    server.store().encode_bytes("asset", data, 64);
+    const u64 symbols = data.size();
+    const u64 span = symbols / 4;
+    Session session(server, {2});
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        ServeRequest req{"asset", plan[i], std::nullopt};
+        if (workload::zipf_scan_slot(i)) {
+            const u64 lo = workload::zipf_scan_lo(i, symbols, span);
+            req.parallelism = 1;
+            req.range = {{lo, lo + span}};
+        }
+        const ServeResult res = session.submit(req).get();
+        EXPECT_TRUE(res.ok()) << res.detail;
+    }
+    PolicyRun out;
+    const CacheStats c = server.cache().stats();
+    const auto t = server.totals();
+    out.hits = t.cache_hits;
+    out.hit_bytes = c.hit_bytes;
+    out.wire_bytes = t.wire_bytes;
+    out.admission_rejected = c.admission_rejected;
+    out.hit_rate = static_cast<double>(t.cache_hits) /
+                   static_cast<double>(plan.size());
+    out.byte_hit_rate = static_cast<double>(c.hit_bytes) /
+                        static_cast<double>(t.wire_bytes);
+    return out;
+}
+
+TEST(Session, SlruZipfHitRateHoldsTheFloor) {
+    // The pure-Zipf harness above pins LRU exactly; SLRU on the same kind
+    // of traffic must hold the same hit-rate floor (the skewed head stays
+    // resident — promotion just changes who absorbs the tail misses).
+    const auto data = small_asset_bytes(60000, 41);
+    u64 wire_size = 0;
+    {
+        ContentServer probe;
+        probe.store().encode_bytes("asset", data, 64);
+        wire_size = probe.serve(ServeRequest{"asset", 1, std::nullopt})
+                        .stats.wire_bytes;
+    }
+    const u64 capacity = wire_size * 8 + wire_size / 2;
+    const auto plan = workload::zipf_plan(32, 900, 1.2, 2025);
+
+    ServerOptions opt;
+    opt.cache_capacity_bytes = capacity;
+    opt.cache_policy.eviction = EvictionKind::slru;
+    ContentServer server(opt);
+    server.store().encode_bytes("asset", data, 64);
+    Session session(server, {2});
+    for (const u32 key : plan) {
+        const ServeResult res =
+            session.submit(ServeRequest{"asset", key, std::nullopt}).get();
+        ASSERT_TRUE(res.ok()) << res.detail;
+    }
+    const double hit_rate =
+        static_cast<double>(server.totals().cache_hits) /
+        static_cast<double>(plan.size());
+    EXPECT_GE(hit_rate, 0.5) << "SLRU hit rate regressed: " << hit_rate;
+    EXPECT_LT(hit_rate, 1.0);
+
+    // Determinism: same plan, same policy, same hits.
+    ContentServer again(opt);
+    again.store().encode_bytes("asset", data, 64);
+    Session session2(again, {2});
+    for (const u32 key : plan)
+        ASSERT_TRUE(
+            session2.submit(ServeRequest{"asset", key, std::nullopt})
+                .get()
+                .ok());
+    EXPECT_EQ(again.totals().cache_hits, server.totals().cache_hits);
+}
+
+TEST(Session, SlruWithTinyLfuBeatsLruUnderScanPollution) {
+    // The acceptance comparison: on Zipf traffic polluted with one-hit-
+    // wonder scans, segmented LRU + size-aware admission must beat plain
+    // LRU's byte-hit-rate. LRU admits every scan and evicts hot entries to
+    // hold them; SLRU confines scans to probation; TinyLFU refuses them
+    // outright (floor 1: nothing un-reused is worth caching).
+    const auto data = small_asset_bytes(60000, 41);
+    u64 wire_size = 0;
+    {
+        ContentServer probe;
+        probe.store().encode_bytes("asset", data, 64);
+        wire_size = probe.serve(ServeRequest{"asset", 1, std::nullopt})
+                        .stats.wire_bytes;
+    }
+    const u64 capacity = wire_size * 8 + wire_size / 2;
+    const auto plan = workload::zipf_plan(32, 1200, 1.2, 2024);
+
+    CachePolicyConfig lru;  // defaults
+    CachePolicyConfig gated;
+    gated.eviction = EvictionKind::slru;
+    gated.admission = AdmissionKind::tinylfu;
+    gated.tinylfu_small_floor = 1;
+
+    const PolicyRun base = run_policy(lru, capacity, data, plan);
+    const PolicyRun best = run_policy(gated, capacity, data, plan);
+
+    EXPECT_GT(best.byte_hit_rate, base.byte_hit_rate)
+        << "slru+tinylfu " << best.byte_hit_rate << " vs lru "
+        << base.byte_hit_rate;
+    EXPECT_GT(best.hits, base.hits);
+    EXPECT_GT(best.admission_rejected, 0u) << "the gate never fired";
+    EXPECT_EQ(base.admission_rejected, 0u);
+    // Absolute floor: with 1/3 of traffic unrepeatable, the gated policy
+    // still serves over a third of all bytes from cache.
+    EXPECT_GE(best.byte_hit_rate, 0.35);
+
+    // The admission gate alone (LRU eviction) must also improve on plain
+    // LRU: rejecting scans keeps the Zipf head resident.
+    CachePolicyConfig lru_gated;
+    lru_gated.admission = AdmissionKind::tinylfu;
+    lru_gated.tinylfu_small_floor = 1;
+    const PolicyRun gated_only = run_policy(lru_gated, capacity, data, plan);
+    EXPECT_GT(gated_only.byte_hit_rate, base.byte_hit_rate);
 }
 
 }  // namespace

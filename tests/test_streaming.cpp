@@ -119,6 +119,58 @@ TEST_F(StreamingFixture, StreamedBytesAreBitExactWithV1ForEveryKindAndShape) {
     }
 }
 
+TEST_F(StreamingFixture, AdaptiveFramingShipsTheMetadataPrefixInSmallFrames) {
+    // Adaptive sizing: the metadata-dense structural prefix (header, model,
+    // split plan — owned pieces) rides in frames capped at
+    // prefix_frame_bytes, so a client can start planning its decode before
+    // the payload arrives; payload frames then run at max_frame_bytes. The
+    // reassembled wire is bit-exact either way — framing never changes
+    // bytes, only their grouping.
+    for (const char* name : {"static", "chunked"}) {
+        const ServeRequest req{name, 8, std::nullopt, kAcceptStream};
+        server.cache().clear();
+        const ServeResult ref = server.serve(req);
+        ASSERT_TRUE(ref.ok()) << ref.detail;
+
+        StreamOptions adaptive;
+        adaptive.max_frame_bytes = 64 * 1024;
+        adaptive.prefix_frame_bytes = 1024;
+        adaptive.use_cache = false;  // force a producer-backed cold stream
+        server.cache().clear();
+        auto frames = collect_frames(server.serve_stream(req, adaptive));
+
+        std::vector<u64> body_sizes;
+        for (const auto& f : frames) {
+            const StreamFrame parsed =
+                decode_stream_frame(f, adaptive.max_frame_bytes);
+            if (parsed.type == StreamFrameType::body)
+                body_sizes.push_back(parsed.payload.size());
+        }
+        ASSERT_GE(body_sizes.size(), 2u) << name;
+        // The first frame is a small prefix frame; some later frame carries
+        // payload well past the prefix cap.
+        EXPECT_LE(body_sizes.front(), adaptive.prefix_frame_bytes) << name;
+        EXPECT_GT(*std::max_element(body_sizes.begin(), body_sizes.end()),
+                  adaptive.prefix_frame_bytes)
+            << name << ": no frame ever outgrew the prefix cap";
+        EXPECT_EQ(*reassemble(frames, adaptive.max_frame_bytes).wire,
+                  *ref.wire)
+            << name;
+
+        // Adaptive off: frames may pack metadata and payload together (the
+        // first frame's size depends on producer timing — the consumer
+        // flushes rather than stalls — so only the adaptive path makes a
+        // promise about it). The wire is identical regardless of framing.
+        StreamOptions uniform = adaptive;
+        uniform.adaptive_frames = false;
+        server.cache().clear();
+        auto uframes = collect_frames(server.serve_stream(req, uniform));
+        EXPECT_EQ(*reassemble(uframes, uniform.max_frame_bytes).wire,
+                  *ref.wire)
+            << name;
+    }
+}
+
 TEST_F(StreamingFixture, WarmStreamsReplayTheCacheEntry) {
     const ServeRequest req{"static", 8, std::nullopt, kAcceptStream};
     const ServeResult ref = server.serve(req);  // populates the cache
@@ -413,12 +465,14 @@ TEST(StreamingGate, StalePutGateHoldsForStreams) {
 
     ContentServer* srv = nullptr;
     bool evicted = false;
-    ContentServer hooked({u64{256} << 20, true, [&](const std::string&) {
-                              if (!evicted) {
-                                  evicted = true;
-                                  srv->evict_asset("doomed");
-                              }
-                          }});
+    ServerOptions hooked_opt;
+    hooked_opt.combine_hook = [&](const std::string&) {
+        if (!evicted) {
+            evicted = true;
+            srv->evict_asset("doomed");
+        }
+    };
+    ContentServer hooked(hooked_opt);
     srv = &hooked;
     hooked.store().encode_bytes("doomed", data, 8);
     auto frames = collect_frames(
