@@ -5,8 +5,12 @@
 // async Session API, a cache-policy study (LRU vs SLRU vs TinyLFU-gated)
 // under scan-polluted Zipf traffic, and cold-boot-from-disk time for a
 // persistent store (mmap + zero-copy parse vs re-encoding the master).
-// `--quick` shrinks the workload for CI smoke runs; `--json OUT.json` emits
-// the numbers machine-readably so the perf trajectory is tracked across PRs.
+// Every repeated-measurement section reports p50/p99/p999 (log2-bucket
+// histograms from the obs layer), a telemetry-overhead section pins the
+// registry's warm-hit cost at <= 2%, and the server's full metrics snapshot
+// is embedded in the JSON report. `--quick` shrinks the workload for CI
+// smoke runs; `--json OUT.json` emits the numbers machine-readably so the
+// perf trajectory is tracked across PRs.
 
 #include <algorithm>
 #include <cmath>
@@ -17,6 +21,7 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "serve/session.hpp"
 #include "serve/store.hpp"
 #include "util/xoshiro.hpp"
@@ -73,21 +78,67 @@ constexpr ClientClass kFleet[] = {
     {"GPU box (2176 warps)", bench::kLargeSplits, 10},
 };
 
-double avg_serve_seconds(ContentServer& server, const ServeRequest& req, int n,
-                         bool cold) {
+/// Point-in-time copy of a live histogram (the bench-local analogue of what
+/// MetricsRegistry::snapshot does for registered ones).
+obs::HistogramSnapshot hist_snap(const obs::Histogram& h) {
+    obs::HistogramSnapshot s;
+    s.count = h.count();
+    s.sum_ns = h.sum_ns();
+    for (int i = 0; i < obs::Histogram::kBuckets; ++i) s.buckets[i] = h.bucket(i);
+    return s;
+}
+
+/// Named server histogram as a snapshot; empty when absent (telemetry off).
+obs::HistogramSnapshot server_hist(ContentServer& server, const char* name) {
+    const auto snap = server.metrics().snapshot();
+    const auto* h = snap.find_histogram(name);
+    return h != nullptr ? *h : obs::HistogramSnapshot{};
+}
+
+/// after - before: isolates one bench section's samples out of a cumulative
+/// server histogram, so each section reports its own percentiles.
+obs::HistogramSnapshot hist_delta(const obs::HistogramSnapshot& before,
+                                  const obs::HistogramSnapshot& after) {
+    obs::HistogramSnapshot d;
+    d.name = after.name;
+    d.count = after.count - before.count;
+    d.sum_ns = after.sum_ns - before.sum_ns;
+    for (int i = 0; i < obs::Histogram::kBuckets; ++i)
+        d.buckets[i] = after.buckets[i] - before.buckets[i];
+    return d;
+}
+
+std::string pct_json(const obs::HistogramSnapshot& s) {
+    return "{\"count\": " + JsonReport::num(s.count) +
+           ", \"mean_us\": " + JsonReport::num(s.mean_seconds() * 1e6) +
+           ", \"p50_us\": " + JsonReport::num(s.p50() * 1e6) +
+           ", \"p99_us\": " + JsonReport::num(s.p99() * 1e6) +
+           ", \"p999_us\": " + JsonReport::num(s.p999() * 1e6) + "}";
+}
+
+struct LatencySummary {
+    double mean_s = 0;
+    obs::HistogramSnapshot hist;
+};
+
+LatencySummary measure_serve(ContentServer& server, const ServeRequest& req,
+                             int n, bool cold) {
+    obs::Histogram h;
     if (!cold) server.serve(req);  // prime
     double total = 0;
     for (int i = 0; i < n; ++i) {
         if (cold) server.cache().clear();
         Stopwatch sw;
         auto res = server.serve(req);
-        total += sw.seconds();
+        const double s = sw.seconds();
+        total += s;
+        h.observe(s);
         if (!res.ok()) {
             std::fprintf(stderr, "serve failed: %s\n", res.detail.c_str());
             std::exit(1);
         }
     }
-    return total / n;
+    return {total / n, hist_snap(h)};
 }
 
 }  // namespace
@@ -129,25 +180,31 @@ int main(int argc, char** argv) {
                 asset->file()->metadata.num_splits() - 1);
 
     // --- warm vs cold serve latency per client class ---
-    std::printf("%-24s %12s %12s %12s %8s\n", "client", "wire B", "cold ms",
-                "warm us", "ratio");
+    std::printf("%-24s %10s %10s %9s %9s %9s %9s %7s\n", "client", "wire B",
+                "cold ms", "warm us", "p50 us", "p99 us", "p999 us", "ratio");
     double worst_ratio = 1e30;
     std::string classes_json = "[";
     for (const ClientClass& c : kFleet) {
         const ServeRequest req{"asset", c.parallelism, std::nullopt};
-        const double cold = avg_serve_seconds(server, req, n, true);
-        const double warm = avg_serve_seconds(server, req, n * 10, false);
-        const double ratio = warm > 0 ? cold / warm : 1e9;
+        const auto cold = measure_serve(server, req, n, true);
+        const auto warm = measure_serve(server, req, n * 10, false);
+        const double ratio =
+            warm.mean_s > 0 ? cold.mean_s / warm.mean_s : 1e9;
         worst_ratio = std::min(worst_ratio, ratio);
         auto res = server.serve(req);
-        std::printf("%-24s %12llu %12.3f %12.2f %7.0fx\n", c.name,
+        std::printf("%-24s %10llu %10.3f %9.2f %9.2f %9.2f %9.2f %6.0fx\n",
+                    c.name,
                     static_cast<unsigned long long>(res.stats.wire_bytes),
-                    cold * 1e3, warm * 1e6, ratio);
+                    cold.mean_s * 1e3, warm.mean_s * 1e6,
+                    warm.hist.p50() * 1e6, warm.hist.p99() * 1e6,
+                    warm.hist.p999() * 1e6, ratio);
         if (classes_json.size() > 1) classes_json += ", ";
         classes_json += "{\"parallelism\": " + JsonReport::num(u64{c.parallelism}) +
                         ", \"wire_bytes\": " + JsonReport::num(res.stats.wire_bytes) +
-                        ", \"cold_ms\": " + JsonReport::num(cold * 1e3) +
-                        ", \"warm_us\": " + JsonReport::num(warm * 1e6) +
+                        ", \"cold_ms\": " + JsonReport::num(cold.mean_s * 1e3) +
+                        ", \"warm_us\": " + JsonReport::num(warm.mean_s * 1e6) +
+                        ", \"warm_latency\": " + pct_json(warm.hist) +
+                        ", \"cold_latency\": " + pct_json(cold.hist) +
                         ", \"warm_cold_ratio\": " + JsonReport::num(ratio) + "}";
     }
     classes_json += "]";
@@ -158,21 +215,30 @@ int main(int argc, char** argv) {
 
     // --- byte-range serving: wire cost proportional to the slice ---
     const u64 span = std::min<u64>(size / 2, 16384);
-    auto range_res =
-        server.serve(ServeRequest{"asset", 1, {{size / 2, size / 2 + span}}});
+    const ServeRequest range_req{"asset", 1, {{size / 2, size / 2 + span}}};
+    auto range_res = server.serve(range_req);
     auto full_res = server.serve(ServeRequest{"asset", 2, std::nullopt});
+    const auto range_warm = measure_serve(server, range_req, n * 10, false);
     std::printf("range [%llu, +%llu): wire %llu B vs full wire %llu B "
-                "(%u covering splits)\n\n",
+                "(%u covering splits); warm p50/p99/p999 %.2f/%.2f/%.2f us\n\n",
                 static_cast<unsigned long long>(size / 2),
                 static_cast<unsigned long long>(span),
                 static_cast<unsigned long long>(range_res.stats.wire_bytes),
                 static_cast<unsigned long long>(full_res.stats.wire_bytes),
-                range_res.stats.splits_served);
+                range_res.stats.splits_served,
+                range_warm.hist.p50() * 1e6, range_warm.hist.p99() * 1e6,
+                range_warm.hist.p999() * 1e6);
+    report.field("range",
+                 "{\"wire_bytes\": " + JsonReport::num(range_res.stats.wire_bytes) +
+                     ", \"full_wire_bytes\": " +
+                     JsonReport::num(full_res.stats.wire_bytes) +
+                     ", \"warm_latency\": " + pct_json(range_warm.hist) + "}");
 
     // --- cold stampede: single-flight coalescing through the Session ---
     const unsigned stampede = 32;
     server.cache().clear();
     const auto before = server.totals();
+    const auto stampede_h0 = server_hist(server, "serve_request_seconds");
     {
         Session session(server, {8});
         std::vector<std::shared_future<ServeResult>> futs;
@@ -187,7 +253,7 @@ int main(int argc, char** argv) {
         const u64 cache_hits = after.cache_hits - before.cache_hits;
         std::printf("cold stampede: %u concurrent identical requests in %.2f ms: "
                     "%llu combines, %llu coalesced, %llu cache hits, "
-                    "%.1f MB recombination saved\n\n",
+                    "%.1f MB recombination saved\n",
                     stampede, s * 1e3,
                     static_cast<unsigned long long>(stampede - coalesced -
                                                     cache_hits),
@@ -195,6 +261,17 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(cache_hits),
                     static_cast<double>(after.bytes_saved - before.bytes_saved) /
                         1e6);
+        const auto lat =
+            hist_delta(stampede_h0, server_hist(server, "serve_request_seconds"));
+        std::printf("  per-request latency: p50 %.2f us, p99 %.2f us, "
+                    "p999 %.2f us (from the server's serve_request_seconds "
+                    "histogram)\n\n",
+                    lat.p50() * 1e6, lat.p99() * 1e6, lat.p999() * 1e6);
+        report.field("stampede",
+                     "{\"wall_ms\": " + JsonReport::num(s * 1e3) +
+                         ", \"coalesced\": " + JsonReport::num(coalesced) +
+                         ", \"cache_hits\": " + JsonReport::num(cache_hits) +
+                         ", \"latency\": " + pct_json(lat) + "}");
         for (auto& f : futs)
             if (!f.get().ok()) {
                 std::fprintf(stderr, "stampede serve failed\n");
@@ -222,6 +299,7 @@ int main(int argc, char** argv) {
     }
 
     const auto fleet_before = server.totals();
+    const auto fleet_h0 = server_hist(server, "serve_request_seconds");
     Session session(server, {static_cast<unsigned>(
                         std::thread::hardware_concurrency())});
     double total_s = 0;
@@ -253,12 +331,18 @@ int main(int argc, char** argv) {
                 gbps(static_cast<double>(total_bytes), total_s),
                 100.0 * static_cast<double>(hits) /
                     (static_cast<double>(n) * static_cast<double>(mix.size())));
+    const auto fleet_lat =
+        hist_delta(fleet_h0, server_hist(server, "serve_request_seconds"));
     std::printf("  sharing: %llu coalesced requests, %.1f MB served from "
-                "shared buffers instead of recombined\n\n",
+                "shared buffers instead of recombined\n",
                 static_cast<unsigned long long>(fleet_after.coalesced_requests -
                                                 fleet_before.coalesced_requests),
                 static_cast<double>(fleet_after.bytes_saved -
                                     fleet_before.bytes_saved) / 1e6);
+    std::printf("  per-request latency: p50 %.2f us, p99 %.2f us, "
+                "p999 %.2f us\n\n",
+                fleet_lat.p50() * 1e6, fleet_lat.p99() * 1e6,
+                fleet_lat.p999() * 1e6);
     report.field(
         "fleet",
         "{\"requests_per_s\": " + JsonReport::num(reqs_per_s) +
@@ -268,7 +352,7 @@ int main(int argc, char** argv) {
             JsonReport::num(static_cast<double>(hits) /
                             (static_cast<double>(n) *
                              static_cast<double>(mix.size()))) +
-            "}");
+            ", \"latency\": " + pct_json(fleet_lat) + "}");
 
     // --- cache-policy study: seeded Zipf + one-hit-wonder scan pollution,
     // served serially (deterministic cache state) against every policy.
@@ -301,8 +385,9 @@ int main(int argc, char** argv) {
 
         std::printf("cache-policy study: %d reqs (1/3 unique scans), "
                     "capacity ~8.5 wires\n", preqs);
-        std::printf("%-16s %8s %10s %14s %12s %10s\n", "policy", "hits",
-                    "hit rate", "byte hit rate", "adm. reject", "evictions");
+        std::printf("%-16s %8s %10s %14s %12s %10s %9s\n", "policy", "hits",
+                    "hit rate", "byte hit rate", "adm. reject", "evictions",
+                    "p99 us");
         std::string policies_json = "[";
         for (const char* pname :
              {"lru", "slru", "lru-tinylfu", "slru-tinylfu"}) {
@@ -311,6 +396,7 @@ int main(int argc, char** argv) {
             popt.cache_policy = *parse_cache_policy(pname);
             ContentServer psrv(popt);
             psrv.store().encode_bytes("p", pdata, 64);
+            obs::Histogram plat;
             for (std::size_t i = 0; i < plan.size(); ++i) {
                 ServeRequest req{"p", plan[i], std::nullopt};
                 if (workload::zipf_scan_slot(i)) {
@@ -318,13 +404,16 @@ int main(int argc, char** argv) {
                     req.parallelism = 1;
                     req.range = {{lo, lo + span}};
                 }
+                Stopwatch psw;
                 auto res = psrv.serve(req);
+                plat.observe(psw.seconds());
                 if (!res.ok()) {
                     std::fprintf(stderr, "policy serve failed: %s\n",
                                  res.detail.c_str());
                     return 1;
                 }
             }
+            const auto plat_snap = hist_snap(plat);
             const auto pt = psrv.totals();
             const auto pc = psrv.cache().stats();
             const double hit_rate = static_cast<double>(pt.cache_hits) /
@@ -336,13 +425,14 @@ int main(int argc, char** argv) {
                 lru_byte_hit_rate = byte_hit_rate;
             if (std::strcmp(pname, "slru-tinylfu") == 0)
                 best_byte_hit_rate = byte_hit_rate;
-            std::printf("%-16s %8llu %9.1f%% %13.1f%% %12llu %10llu\n",
+            std::printf("%-16s %8llu %9.1f%% %13.1f%% %12llu %10llu %9.2f\n",
                         pname,
                         static_cast<unsigned long long>(pt.cache_hits),
                         100.0 * hit_rate, 100.0 * byte_hit_rate,
                         static_cast<unsigned long long>(
                             pc.admission_rejected),
-                        static_cast<unsigned long long>(pc.evictions));
+                        static_cast<unsigned long long>(pc.evictions),
+                        plat_snap.p99() * 1e6);
             if (policies_json.size() > 1) policies_json += ", ";
             policies_json +=
                 std::string("{\"name\": \"") + pname + "\"" +
@@ -351,7 +441,8 @@ int main(int argc, char** argv) {
                 ", \"byte_hit_rate\": " + JsonReport::num(byte_hit_rate) +
                 ", \"admission_rejected\": " +
                 JsonReport::num(pc.admission_rejected) +
-                ", \"evictions\": " + JsonReport::num(pc.evictions) + "}";
+                ", \"evictions\": " + JsonReport::num(pc.evictions) +
+                ", \"latency\": " + pct_json(plat_snap) + "}";
         }
         policies_json += "]";
         report.field("policies", policies_json);
@@ -391,6 +482,7 @@ int main(int argc, char** argv) {
         sopt.max_frame_bytes = std::clamp<u64>(wire / 24, 4096, 64 * 1024);
         sopt.window_bytes = 4 * sopt.max_frame_bytes;
         sopt.use_cache = false;  // no cache assembly: the bounded regime
+        const auto frame_h0 = server_hist(server, "stream_frame_seconds");
         Stopwatch stream_sw;
         auto stream = server.serve_stream(req, sopt);
         StreamReassembler client(sopt.max_frame_bytes);
@@ -414,6 +506,12 @@ int main(int argc, char** argv) {
             static_cast<double>(wire) / static_cast<double>(peak_owned),
             static_cast<unsigned long long>(stream.frames_emitted()),
             exact ? "bit-exact" : "MISMATCH");
+        const auto frame_lat =
+            hist_delta(frame_h0, server_hist(server, "stream_frame_seconds"));
+        std::printf("  per-frame production: p50 %.2f us, p99 %.2f us, "
+                    "p999 %.2f us\n\n",
+                    frame_lat.p50() * 1e6, frame_lat.p99() * 1e6,
+                    frame_lat.p999() * 1e6);
         if (!exact) return 1;
         if (peak_owned >= wire / 2) {
             std::fprintf(stderr,
@@ -429,7 +527,7 @@ int main(int argc, char** argv) {
                 ", \"window_bytes\": " + JsonReport::num(sopt.window_bytes) +
                 ", \"materialized_ms\": " + JsonReport::num(mat_s * 1e3) +
                 ", \"streamed_ms\": " + JsonReport::num(stream_s * 1e3) +
-                "}");
+                ", \"frame_latency\": " + pct_json(frame_lat) + "}");
     }
 
     // --- cold boot from a persistent store: restart cost is mmap, not
@@ -450,20 +548,33 @@ int main(int argc, char** argv) {
         const ServeRequest req{"asset", 16, std::nullopt};
         auto reference = server.serve(req);
 
-        Stopwatch boot_sw;
-        ContentServer cold;
-        cold.store().attach_backing(std::make_shared<DiskStore>(dir));
-        const double open_s = boot_sw.seconds();
-        auto first = cold.serve(req);  // demand-load (mmap + parse) + combine
-        const double first_s = boot_sw.seconds();
-        const bool exact = first.ok() && reference.ok() &&
-                           *first.wire == *reference.wire;
+        // Boot n fresh servers so first-response gets a distribution, not a
+        // single sample (open is mmap + manifest parse; cheap to repeat).
+        obs::Histogram boot_lat;
+        double open_s = 0, first_s = 0;
+        bool exact = true;
+        for (int i = 0; i < n; ++i) {
+            Stopwatch boot_sw;
+            ContentServer booted;
+            booted.store().attach_backing(std::make_shared<DiskStore>(dir));
+            if (i == 0) open_s = boot_sw.seconds();
+            // demand-load (mmap + parse) + combine
+            auto first = booted.serve(req);
+            const double t = boot_sw.seconds();
+            if (i == 0) first_s = t;
+            boot_lat.observe(t);
+            exact = exact && first.ok() && reference.ok() &&
+                    *first.wire == *reference.wire;
+        }
+        const auto boot_snap = hist_snap(boot_lat);
         std::printf(
             "cold boot from disk: store open %.2f ms, first response %.2f ms "
             "(demand-load + combine) vs %.0f ms re-encode; persist %.0f ms; "
-            "restart response %s\n",
-            open_s * 1e3, first_s * 1e3, encode_s * 1e3,
-            persist_s * 1e3, exact ? "bit-exact" : "MISMATCH");
+            "p50/p99/p999 %.2f/%.2f/%.2f ms over %d boots; restart "
+            "response %s\n",
+            open_s * 1e3, first_s * 1e3, encode_s * 1e3, persist_s * 1e3,
+            boot_snap.p50() * 1e3, boot_snap.p99() * 1e3,
+            boot_snap.p999() * 1e3, n, exact ? "bit-exact" : "MISMATCH");
         fs::remove_all(dir);
         if (!exact) return 1;
         report.field("cold_boot",
@@ -471,8 +582,69 @@ int main(int argc, char** argv) {
                          ", \"first_response_ms\": " +
                          JsonReport::num(first_s * 1e3) +
                          ", \"reencode_ms\": " +
-                         JsonReport::num(encode_s * 1e3) + "}");
+                         JsonReport::num(encode_s * 1e3) +
+                         ", \"first_response_latency\": " +
+                         pct_json(boot_snap) + "}");
     }
+
+    // --- telemetry overhead on the warm-hit path. A warm hit here is a few
+    // hundred nanoseconds, so full per-request tracing (a handful of clock
+    // reads) is measurable at this scale — that regime is what
+    // ServerOptions::sample_every exists for: 1-in-N requests take the
+    // timed path, the rest pay one relaxed fetch_add, and counters stay
+    // exact. The 2% acceptance gate covers the sampled configuration; the
+    // full-fidelity (sample_every=1) cost is reported alongside it as an
+    // absolute number, because for network-scale serves (us-ms) that cost
+    // is noise. Best-of-rounds on every side filters scheduler noise; the
+    // gate is enforced only on full runs (--quick rounds are too short to
+    // resolve 2%).
+    double telemetry_overhead = 0;
+    {
+        const ServeRequest req{"asset", 16, std::nullopt};
+        const int reps = quick ? 2000 : 20000;
+        auto warm_ns = [&](bool telemetry, u32 sample_every) {
+            ServerOptions topt;
+            topt.telemetry = telemetry;
+            topt.sample_every = sample_every;
+            ContentServer tsrv(topt);
+            tsrv.store().add_file("asset", *asset->file());
+            tsrv.serve(req);  // prime the cache
+            double best = 1e30;
+            for (int round = 0; round < 5; ++round) {
+                Stopwatch sw;
+                for (int i = 0; i < reps; ++i) tsrv.serve(req);
+                best = std::min(best, sw.seconds() / reps);
+            }
+            return best * 1e9;
+        };
+        const u32 kSample = 64;
+        const double off_ns = warm_ns(false, 1);
+        const double sampled_ns = warm_ns(true, kSample);
+        const double full_ns = warm_ns(true, 1);
+        telemetry_overhead = off_ns > 0 ? sampled_ns / off_ns - 1.0 : 0.0;
+        const double full_overhead = off_ns > 0 ? full_ns / off_ns - 1.0 : 0.0;
+        std::printf(
+            "telemetry overhead (warm hit): disabled %.0f ns; sampled "
+            "1/%u %.0f ns = %+.2f%% (acceptance: <= 2%%); full tracing "
+            "%.0f ns = %+.1f%% (+%.0f ns absolute)\n\n",
+            off_ns, kSample, sampled_ns, 100.0 * telemetry_overhead, full_ns,
+            100.0 * full_overhead, full_ns - off_ns);
+        report.field(
+            "telemetry_overhead",
+            "{\"warm_hit_ns_off\": " + JsonReport::num(off_ns) +
+                ", \"warm_hit_ns_sampled\": " + JsonReport::num(sampled_ns) +
+                ", \"warm_hit_ns_full\": " + JsonReport::num(full_ns) +
+                ", \"sample_every\": " + JsonReport::num(u64{kSample}) +
+                ", \"overhead_sampled\": " +
+                JsonReport::num(telemetry_overhead) +
+                ", \"overhead_full\": " + JsonReport::num(full_overhead) +
+                "}");
+    }
+
+    // The full unified snapshot — every subsystem's counters plus the
+    // per-phase histograms — rides along in the report, so a perf
+    // regression comes with the telemetry needed to explain it.
+    report.field("metrics", server.metrics().snapshot().to_json());
 
     // The report lands BEFORE the acceptance gates: a failing run is
     // exactly the one whose per-policy numbers are needed to debug it.
@@ -488,6 +660,12 @@ int main(int argc, char** argv) {
                      "slru-tinylfu byte-hit-rate (%.3f) did not beat plain "
                      "LRU (%.3f) — policy acceptance failed\n",
                      best_byte_hit_rate, lru_byte_hit_rate);
+        return 1;
+    }
+    if (!quick && telemetry_overhead > 0.02) {
+        std::fprintf(stderr,
+                     "telemetry overhead %.2f%% exceeded the 2%% warm-hit "
+                     "budget\n", 100.0 * telemetry_overhead);
         return 1;
     }
     return worst_ratio >= 10.0 ? 0 : 1;

@@ -23,6 +23,13 @@
 // assets (pinned ones are protected) and shrinks the cache if that is not
 // enough. With both --store and --mem-budget set, a cold-asset tail is
 // served to demonstrate pressure unloads live.
+//
+// `--metrics-json PATH` dumps the unified telemetry snapshot (every serve /
+// cache / governor / store / session counter plus the per-phase latency
+// histograms) as JSON at exit; the same snapshot is also fetched over the
+// wire via the reserved "!metrics" introspection asset to prove the
+// exposition surface works end to end. `--trace-log PATH` dumps the slow
+// request log (N slowest + recent failures, with per-phase spans) as JSON.
 
 #include <algorithm>
 #include <cstdio>
@@ -50,6 +57,20 @@ ServeResult roundtrip(ContentServer& server, const ServeRequest& req) {
     return decode_response(response_frame);
 }
 
+/// Write `body` to `path` whole; returns false (with a stderr note) on any
+/// IO failure so telemetry dumps never turn a healthy run into a crash.
+bool dump_file(const char* path, const std::string& body) {
+    std::FILE* f = std::fopen(path, "wb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return false;
+    }
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    if (!ok) std::fprintf(stderr, "short write to %s\n", path);
+    return ok;
+}
+
 /// "64M" -> bytes; bare numbers are bytes. 0 on parse failure (including
 /// trailing garbage after the K/M/G suffix, e.g. "64MB").
 u64 parse_bytes(const char* s) {
@@ -71,6 +92,8 @@ int main(int argc, char** argv) {
     bool verify_store = false;
     CachePolicyConfig cache_policy;
     u64 mem_budget = 0;
+    const char* metrics_json = nullptr;
+    const char* trace_log = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--store") == 0) {
             if (i + 1 >= argc) {
@@ -100,6 +123,18 @@ int main(int argc, char** argv) {
                 return 2;
             }
             ++i;
+        } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--metrics-json requires a path\n");
+                return 2;
+            }
+            metrics_json = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-log") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--trace-log requires a path\n");
+                return 2;
+            }
+            trace_log = argv[++i];
         }
     }
 
@@ -394,5 +429,32 @@ int main(int argc, char** argv) {
         std::printf("store: %zu assets persisted in %s — rerun with the same "
                     "--store to serve them without re-encoding\n",
                     server.store().backing()->size(), store_dir);
+
+    if (metrics_json != nullptr) {
+        // Fetch the snapshot over the wire — the same framed protocol a
+        // remote scraper would speak — instead of reading the registry
+        // in-process, so the dump also proves the exposition surface.
+        auto m = roundtrip(server, ServeRequest{kMetricsAssetJson, 1, {},
+                                               kAcceptAll | kAcceptMetrics});
+        if (!m.ok() || m.payload != PayloadKind::metrics) {
+            std::fprintf(stderr, "metrics introspection failed [%s]: %s\n",
+                         error_name(m.code), m.detail.c_str());
+            return 1;
+        }
+        if (!dump_file(metrics_json,
+                       std::string(m.wire->begin(), m.wire->end())))
+            return 1;
+        std::printf("metrics: %llu B JSON snapshot (fetched via \"%s\" "
+                    "introspection) written to %s\n",
+                    static_cast<unsigned long long>(m.wire->size()),
+                    kMetricsAssetJson, metrics_json);
+    }
+    if (trace_log != nullptr) {
+        if (!dump_file(trace_log, server.slow_log().to_json())) return 1;
+        std::printf("traces: slow-request log (%llu request(s) recorded) "
+                    "written to %s\n",
+                    static_cast<unsigned long long>(server.slow_log().recorded()),
+                    trace_log);
+    }
     return 0;
 }

@@ -1,10 +1,44 @@
 #include "serve/asset_store.hpp"
 
 #include "core/recoil_encoder.hpp"
+#include "obs/metrics.hpp"
 #include "rans/symbol_stats.hpp"
 #include "util/error.hpp"
 
 namespace recoil::serve {
+
+namespace {
+
+/// Register the disk_* metric names against a weak_ptr: a detached or
+/// replaced DiskStore reads as 0, never dangles. Re-binding on attach
+/// replaces the callbacks by name (registry contract), so the newest
+/// backing always owns the names.
+void bind_disk_weak(obs::MetricsRegistry* reg,
+                    const std::weak_ptr<DiskStore>& wp) {
+    using obs::MetricKind;
+    auto poll = [wp](u64 DiskStore::Stats::* field) {
+        return [wp, field]() -> u64 {
+            auto disk = wp.lock();
+            return disk == nullptr ? 0 : disk->stats().*field;
+        };
+    };
+    reg->register_callback("disk_puts_total", MetricKind::counter,
+                           poll(&DiskStore::Stats::puts));
+    reg->register_callback("disk_put_bytes_total", MetricKind::counter,
+                           poll(&DiskStore::Stats::put_bytes));
+    reg->register_callback("disk_loads_total", MetricKind::counter,
+                           poll(&DiskStore::Stats::loads));
+    reg->register_callback("disk_load_bytes_total", MetricKind::counter,
+                           poll(&DiskStore::Stats::load_bytes));
+    reg->register_callback("disk_removes_total", MetricKind::counter,
+                           poll(&DiskStore::Stats::removes));
+    reg->register_callback("disk_assets", MetricKind::gauge, [wp]() -> u64 {
+        auto disk = wp.lock();
+        return disk == nullptr ? 0 : disk->size();
+    });
+}
+
+}  // namespace
 
 void AssetStore::publish_locked(std::shared_ptr<const Asset> ptr) {
     auto& slot = assets_[ptr->name()];
@@ -74,10 +108,27 @@ std::shared_ptr<const Asset> AssetStore::encode_bytes(std::string name,
 
 void AssetStore::attach_backing(std::shared_ptr<DiskStore> disk) {
     std::scoped_lock dl(disk_mu_);
-    std::unique_lock lk(mu_);
-    disk_ = std::move(disk);
-    if (disk_ != nullptr)
-        next_uid_ = std::max(next_uid_, disk_->next_generation());
+    {
+        std::unique_lock lk(mu_);
+        disk_ = std::move(disk);
+        if (disk_ != nullptr)
+            next_uid_ = std::max(next_uid_, disk_->next_generation());
+    }
+    // A registry bound before the backing existed picks the disk up now.
+    if (metrics_ != nullptr && disk_ != nullptr)
+        bind_disk_weak(metrics_, disk_);
+}
+
+void AssetStore::bind_metrics(obs::MetricsRegistry* reg) {
+    if (reg == nullptr) return;
+    using obs::MetricKind;
+    reg->register_callback("store_resident_bytes", MetricKind::gauge,
+                           [this] { return resident_bytes(); });
+    reg->register_callback("store_assets", MetricKind::gauge,
+                           [this] { return static_cast<u64>(size()); });
+    std::scoped_lock dl(disk_mu_);
+    metrics_ = reg;
+    if (disk_ != nullptr) bind_disk_weak(reg, disk_);
 }
 
 std::shared_ptr<DiskStore> AssetStore::backing() const {

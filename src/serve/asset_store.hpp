@@ -21,6 +21,10 @@
 #include "serve/asset.hpp"
 #include "serve/store.hpp"
 
+namespace recoil::obs {
+class MetricsRegistry;
+}
+
 namespace recoil::serve {
 
 class AssetStore {
@@ -93,6 +97,13 @@ public:
     /// from the backing store after the memory snapshot is taken.
     std::vector<ResidentAsset> residency() const;
 
+    /// Publish this store through `reg` as polled store_* metrics (resident
+    /// bytes, asset count) and — when a backing DiskStore is or later
+    /// becomes attached — the backing's disk_* metrics too. The disk
+    /// callbacks hold a weak_ptr: a detached/replaced DiskStore reads as 0,
+    /// never dangles.
+    void bind_metrics(obs::MetricsRegistry* reg);
+
 private:
     std::shared_ptr<const Asset> insert(std::shared_ptr<Asset> a);
     /// Publish (or replace) under mu_, keeping resident_bytes_ exact.
@@ -106,6 +117,9 @@ private:
     std::unordered_map<std::string, std::shared_ptr<const Asset>> assets_;
     u64 next_uid_ = 1;
     std::atomic<u64> resident_bytes_{0};
+    /// Registry bound via bind_metrics, remembered so a DiskStore attached
+    /// later is bound too. Guarded by disk_mu_.
+    obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace recoil::serve

@@ -4,6 +4,8 @@
 #include <iterator>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace recoil::serve {
 
 void ResourceGovernor::pin(const std::string& name) {
@@ -122,6 +124,35 @@ GovernorStats ResourceGovernor::stats() const {
     s.cache_bytes = cache_.current_bytes();
     s.resident_bytes = store_.resident_bytes();
     return s;
+}
+
+void ResourceGovernor::bind_metrics(obs::MetricsRegistry* reg) {
+    if (reg == nullptr) return;
+    using obs::MetricKind;
+    auto poll = [this](u64 GovernorStats::* field) {
+        return [this, field] { return stats().*field; };
+    };
+    reg->register_callback("governor_budget_bytes", MetricKind::gauge,
+                           poll(&GovernorStats::budget_bytes));
+    reg->register_callback("governor_cache_bytes", MetricKind::gauge,
+                           poll(&GovernorStats::cache_bytes));
+    reg->register_callback("governor_resident_bytes", MetricKind::gauge,
+                           poll(&GovernorStats::resident_bytes));
+    reg->register_callback("governor_enforcements_total", MetricKind::counter,
+                           poll(&GovernorStats::enforcements));
+    reg->register_callback("governor_unloads_total", MetricKind::counter,
+                           poll(&GovernorStats::unloads));
+    reg->register_callback("governor_bytes_unloaded_total",
+                           MetricKind::counter,
+                           poll(&GovernorStats::bytes_unloaded));
+    reg->register_callback("governor_cache_shrinks_total", MetricKind::counter,
+                           poll(&GovernorStats::cache_shrinks));
+    reg->register_callback("governor_skipped_pinned_total",
+                           MetricKind::counter,
+                           poll(&GovernorStats::skipped_pinned));
+    reg->register_callback("governor_skipped_in_use_total",
+                           MetricKind::counter,
+                           poll(&GovernorStats::skipped_in_use));
 }
 
 }  // namespace recoil::serve

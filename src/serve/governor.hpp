@@ -31,6 +31,10 @@
 #include "serve/metadata_cache.hpp"
 #include "util/ints.hpp"
 
+namespace recoil::obs {
+class MetricsRegistry;
+}
+
 namespace recoil::serve {
 
 struct GovernorOptions {
@@ -112,6 +116,10 @@ public:
     u64 enforce();
 
     GovernorStats stats() const;
+
+    /// Publish this governor through `reg` as polled governor_* metrics;
+    /// callbacks read the same counters stats() reports.
+    void bind_metrics(obs::MetricsRegistry* reg);
 
 private:
     AssetStore& store_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace recoil::serve {
@@ -133,6 +134,40 @@ void MetadataCache::clear() {
 CacheStats MetadataCache::stats() const {
     std::scoped_lock lk(mu_);
     return stats_;
+}
+
+void MetadataCache::bind_metrics(obs::MetricsRegistry* reg) {
+    if (reg == nullptr) return;
+    using obs::MetricKind;
+    // Polled callbacks reading the same stats_ the stats() API reports: the
+    // registry view is bit-identical by construction and the cache hot path
+    // gains no extra writes.
+    auto poll = [this](u64 CacheStats::* field) {
+        return [this, field] { return stats().*field; };
+    };
+    reg->register_callback("cache_hits_total", MetricKind::counter,
+                           poll(&CacheStats::hits));
+    reg->register_callback("cache_misses_total", MetricKind::counter,
+                           poll(&CacheStats::misses));
+    reg->register_callback("cache_hit_bytes_total", MetricKind::counter,
+                           poll(&CacheStats::hit_bytes));
+    reg->register_callback("cache_insertions_total", MetricKind::counter,
+                           poll(&CacheStats::insertions));
+    reg->register_callback("cache_evictions_total", MetricKind::counter,
+                           poll(&CacheStats::evictions));
+    reg->register_callback("cache_rejected_total", MetricKind::counter,
+                           poll(&CacheStats::rejected));
+    reg->register_callback("cache_admission_rejected_total",
+                           MetricKind::counter,
+                           poll(&CacheStats::admission_rejected));
+    reg->register_callback("cache_peak_bytes", MetricKind::gauge,
+                           poll(&CacheStats::peak_bytes));
+    reg->register_callback("cache_bytes", MetricKind::gauge,
+                           poll(&CacheStats::bytes));
+    reg->register_callback("cache_entries", MetricKind::gauge,
+                           poll(&CacheStats::entries));
+    reg->register_callback("cache_capacity_bytes", MetricKind::gauge,
+                           [this] { return capacity_bytes(); });
 }
 
 void MetadataCache::set_bytes_locked(u64 bytes) {

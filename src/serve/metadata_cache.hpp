@@ -25,6 +25,10 @@
 #include "serve/protocol.hpp"
 #include "util/ints.hpp"
 
+namespace recoil::obs {
+class MetricsRegistry;
+}
+
 namespace recoil::serve {
 
 /// Counters are cumulative over the cache's lifetime (they survive clear());
@@ -100,6 +104,12 @@ public:
     /// stream, which a contents clear does not rewrite.
     void clear();
     CacheStats stats() const;
+    /// Publish this cache through `reg` as polled cache_* metrics (see
+    /// docs/observability.md for the name catalogue). The callbacks read the
+    /// same counters stats() reports, so both views are bit-identical.
+    /// nullptr detaches nothing — binding is idempotent and re-binding a new
+    /// registry is not supported (bind once at server construction).
+    void bind_metrics(obs::MetricsRegistry* reg);
     u64 capacity_bytes() const noexcept { return capacity_; }
     /// Lock-free mirror of stats().bytes for cheap pressure checks.
     u64 current_bytes() const noexcept {

@@ -94,6 +94,7 @@ const char* payload_name(PayloadKind kind) noexcept {
         case PayloadKind::file: return "file";
         case PayloadKind::chunked: return "chunked";
         case PayloadKind::range: return "range";
+        case PayloadKind::metrics: return "metrics";
     }
     return "unknown";
 }
@@ -104,9 +105,11 @@ std::vector<u8> encode_request(const ServeRequest& req) {
     RECOIL_CHECK(!req.asset.empty() && req.asset.size() <= kMaxAssetNameLen,
                  "encode_request: bad asset name length");
     RECOIL_CHECK(req.parallelism != 0, "encode_request: zero parallelism");
-    RECOIL_CHECK(req.accept != 0 &&
-                     (req.accept & ~(kAcceptAll | kAcceptStreamed)) == 0,
-                 "encode_request: bad accept mask");
+    RECOIL_CHECK(
+        req.accept != 0 &&
+            (req.accept & ~(kAcceptAll | kAcceptStreamed | kAcceptMetrics)) ==
+                0,
+        "encode_request: bad accept mask");
     std::vector<u8> out;
     out.insert(out.end(), kRequestMagic, kRequestMagic + 4);
     out.push_back(kProtocolVersion);
@@ -136,7 +139,8 @@ ServeRequest decode_request(std::span<const u8> frame) {
         ServeRequest req;
         req.accept = c.get_u8();
         if (req.accept == 0 ||
-            (req.accept & ~(kAcceptAll | kAcceptStreamed)) != 0)
+            (req.accept & ~(kAcceptAll | kAcceptStreamed | kAcceptMetrics)) !=
+                0)
             fail(ErrorCode::bad_request, std::string(ctx) + ": bad accept mask");
         if (c.get_u8() != 0)
             fail(ErrorCode::malformed_frame, std::string(ctx) + ": reserved byte set");
@@ -204,7 +208,7 @@ ServeResult decode_response(std::span<const u8> frame, u64 max_frame_bytes) {
         // accepted (negotiation) could not be decoded anyway.
         res.code = static_cast<ErrorCode>(c.get_u16());
         const u8 kind = c.get_u8();
-        if (kind > static_cast<u8>(PayloadKind::range))
+        if (kind > static_cast<u8>(PayloadKind::metrics))
             fail(ErrorCode::malformed_frame, std::string(ctx) + ": unknown payload kind");
         res.payload = static_cast<PayloadKind>(kind);
         const u8 flags = c.get_u8();
@@ -338,7 +342,7 @@ StreamFrame decode_stream_frame(std::span<const u8> frame,
                 // Unknown codes are preserved (same contract as v1).
                 f.header.code = static_cast<ErrorCode>(c.get_u16());
                 const u8 kind = c.get_u8();
-                if (kind > static_cast<u8>(PayloadKind::range))
+                if (kind > static_cast<u8>(PayloadKind::metrics))
                     fail(ErrorCode::malformed_frame,
                          std::string(ctx) + ": unknown payload kind");
                 f.header.payload = static_cast<PayloadKind>(kind);

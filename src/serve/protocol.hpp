@@ -66,11 +66,31 @@ inline constexpr u8 kAcceptFile = 1;     ///< RecoilFile containers (RCF1)
 inline constexpr u8 kAcceptChunked = 2;  ///< ChunkedStream containers (RCS1)
 inline constexpr u8 kAcceptRange = 4;    ///< multi-segment range wires (RCR2)
 inline constexpr u8 kAcceptStreamed = 8; ///< v2 streamed response framing
+/// Introspection capability: the client understands metrics payloads served
+/// under the reserved "!metrics"/"!metrics.json" asset names. Like
+/// kAcceptStreamed, deliberately not part of kAcceptAll: a default request
+/// stays wire-compatible with servers that predate introspection.
+inline constexpr u8 kAcceptMetrics = 16;
 inline constexpr u8 kAcceptAll = kAcceptFile | kAcceptChunked | kAcceptRange;
 
-/// Which container format ServeResult::wire holds.
-enum class PayloadKind : u8 { none = 0, file = 1, chunked = 2, range = 3 };
+/// Which container format ServeResult::wire holds. `metrics` is a telemetry
+/// snapshot (Prometheus text or JSON, by requested name), not a RECOIL
+/// container.
+enum class PayloadKind : u8 {
+    none = 0,
+    file = 1,
+    chunked = 2,
+    range = 3,
+    metrics = 4,
+};
 const char* payload_name(PayloadKind kind) noexcept;
+
+/// Reserved asset names for the introspection request: a ServeRequest naming
+/// one of these (with kAcceptMetrics set) is answered with a PayloadKind::
+/// metrics snapshot of the server's registry instead of store content. A
+/// leading '!' is not a legal store name, so no real asset can collide.
+inline constexpr const char* kMetricsAssetText = "!metrics";
+inline constexpr const char* kMetricsAssetJson = "!metrics.json";
 
 struct ServeRequest {
     std::string asset;

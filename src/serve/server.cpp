@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
@@ -52,6 +53,10 @@ struct StreamState {
     StreamOptions opt;
     ServeResult head;  ///< status + stats known at stream start; wire null
     ContentServer::Prepared prep;  ///< pins the asset for the stream's life
+    /// Request trace (inactive when telemetry is off). Only the consumer
+    /// thread opens spans on it after serve_stream() returns.
+    obs::TraceContext trace;
+    obs::Histogram* h_frame = nullptr;  ///< stream_frame_seconds (or null)
     WireBytes cached;              ///< cache-hit (or rechecked) source
     std::shared_ptr<Flight> flight;  ///< leader target / follower source
     std::string flight_key;
@@ -180,7 +185,10 @@ void StreamState::producer_main() {
     ContentServer& srv = *server;
     try {
         ProducerSink sink(*this);
+        Stopwatch combine;
         const u32 splits = srv.produce(prep, sink);
+        if (trace.active() && srv.h_combine_ != nullptr)
+            srv.h_combine_->observe(combine.seconds());
         if (leader && flight != nullptr) {
             ServedWire wire;
             {
@@ -399,6 +407,14 @@ u64 ServeStream::peak_staged_bytes() const noexcept {
 std::optional<std::vector<u8>> ServeStream::next_frame() {
     using Phase = detail::StreamState::Phase;
     detail::StreamState& st = *st_;
+    // Per-frame production latency: how long the consumer waited for THIS
+    // frame (producer pace + framing), the distribution behind streamed
+    // tail-latency numbers.
+    Stopwatch frame_clock;
+    const auto emit = [&](std::vector<u8> frame) {
+        if (st.h_frame != nullptr) st.h_frame->observe(frame_clock.seconds());
+        return frame;
+    };
 
     if (st.phase == Phase::header) {
         StreamHeader h;
@@ -412,7 +428,9 @@ std::optional<std::vector<u8>> ServeStream::next_frame() {
         h.max_frame_bytes = st.opt.max_frame_bytes;
         st.phase = st.head.ok() ? Phase::body : Phase::finished;
         ++st.frames;
-        return encode_stream_header(h);
+        // An error response is a single header frame: the stream ends here.
+        if (st.phase == Phase::finished) st.server->record_stream_trace(st);
+        return emit(encode_stream_header(h));
     }
 
     if (st.phase == Phase::body) {
@@ -459,7 +477,7 @@ std::optional<std::vector<u8>> ServeStream::next_frame() {
                 st.peak_owned = std::max(st.peak_owned, held);
             }
             ++st.frames;
-            return encode_stream_body(st.seq++, payload, max_frame);
+            return emit(encode_stream_body(st.seq++, payload, max_frame));
         }
         st.phase = Phase::fin;  // exhausted: fall through to the FIN
     }
@@ -481,7 +499,8 @@ std::optional<std::vector<u8>> ServeStream::next_frame() {
             st.server->bytes_saved_.fetch_add(st.emitted_payload,
                                               std::memory_order_relaxed);
         }
-        return encode_stream_fin(fin);
+        st.server->record_stream_trace(st);
+        return emit(encode_stream_fin(fin));
     }
 
     return std::nullopt;
@@ -489,28 +508,91 @@ std::optional<std::vector<u8>> ServeStream::next_frame() {
 
 // ---- ContentServer ----
 
+ContentServer::ContentServer(ServerOptions opt)
+    : opt_(std::move(opt)),
+      cache_(opt_.cache_capacity_bytes, opt_.cache_policy),
+      governor_(store_, cache_, GovernorOptions{opt_.mem_budget_bytes}),
+      slow_log_(opt_.slow_log_slots, opt_.slow_log_slots) {
+    init_telemetry();
+}
+
 ContentServer::~ContentServer() {
     std::unique_lock lk(streams_mu_);
     streams_cv_.wait(lk, [&] { return active_stream_producers_ == 0; });
 }
 
+void ContentServer::init_telemetry() {
+    using obs::MetricKind;
+    // The serve totals as polled callbacks over the same atomics totals()
+    // reads — registered regardless of the telemetry knob: polling costs
+    // nothing until someone snapshots.
+    const auto poll = [this](const std::atomic<u64>& v) {
+        return [&v] { return v.load(std::memory_order_relaxed); };
+    };
+    metrics_.register_callback("serve_requests_total", MetricKind::counter,
+                               poll(requests_));
+    metrics_.register_callback("serve_failures_total", MetricKind::counter,
+                               poll(failures_));
+    metrics_.register_callback("serve_cache_hits_total", MetricKind::counter,
+                               poll(cache_hits_));
+    metrics_.register_callback("serve_range_requests_total",
+                               MetricKind::counter, poll(range_requests_));
+    metrics_.register_callback("serve_streamed_requests_total",
+                               MetricKind::counter, poll(streamed_requests_));
+    metrics_.register_callback("serve_wire_bytes_total", MetricKind::counter,
+                               poll(wire_bytes_));
+    metrics_.register_callback("serve_coalesced_requests_total",
+                               MetricKind::counter, poll(coalesced_));
+    metrics_.register_callback("serve_bytes_saved_total", MetricKind::counter,
+                               poll(bytes_saved_));
+    metrics_.register_callback("serve_governance_failures_total",
+                               MetricKind::counter,
+                               poll(governance_failures_));
+    metrics_.register_callback("serve_coalescing_waiters", MetricKind::gauge,
+                               poll(waiters_));
+    cache_.bind_metrics(&metrics_);
+    governor_.bind_metrics(&metrics_);
+    store_.bind_metrics(&metrics_);
+    sample_mask_ =
+        opt_.sample_every > 1 && std::has_single_bit(u64{opt_.sample_every})
+            ? u64{opt_.sample_every} - 1
+            : 0;
+    if (!opt_.telemetry) return;
+    h_request_ = &metrics_.histogram("serve_request_seconds");
+    h_prepare_ = &metrics_.histogram("serve_prepare_seconds");
+    h_decode_ = &metrics_.histogram("serve_decode_seconds");
+    h_hit_ = &metrics_.histogram("serve_hit_seconds");
+    h_combine_ = &metrics_.histogram("serve_combine_seconds");
+    h_frame_ = &metrics_.histogram("stream_frame_seconds");
+    h_govern_ = &metrics_.histogram("governor_pass_seconds");
+}
+
 ServeResult ContentServer::serve(const ServeRequest& req) noexcept {
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    const u64 tick = requests_.fetch_add(1, std::memory_order_relaxed);
+    obs::TraceContext trace = sample_tick(tick)
+                                  ? obs::TraceContext("serve", req.asset)
+                                  : obs::TraceContext();
     Stopwatch total;
     ServeResult res;
     try {
-        res = serve_impl(req);
+        res = serve_impl(req, trace);
     } catch (const ProtocolError& e) {
         res = fail(e.code(), e.what());
     } catch (const std::exception& e) {
         res = fail(ErrorCode::internal, e.what());
     }
     res.stats.total_seconds = total.seconds();
+    // Histograms ride the sampling decision (trace.active()), so the
+    // distributions describe exactly the sampled requests.
+    if (trace.active() && h_request_ != nullptr)
+        h_request_->observe(res.stats.total_seconds);
     if (res.ok()) {
         wire_bytes_.fetch_add(res.stats.wire_bytes, std::memory_order_relaxed);
         if (res.stats.cache_hit) {
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
             bytes_saved_.fetch_add(res.stats.wire_bytes, std::memory_order_relaxed);
+            if (trace.active() && h_hit_ != nullptr)
+                h_hit_->observe(res.stats.total_seconds);
         }
         if (res.stats.coalesced) {
             coalesced_.fetch_add(1, std::memory_order_relaxed);
@@ -519,11 +601,55 @@ ServeResult ContentServer::serve(const ServeRequest& req) noexcept {
     } else {
         failures_.fetch_add(1, std::memory_order_relaxed);
     }
+    finish_trace(trace, res);
     // The request may have demand-loaded an asset or grown the cache; if
     // the global budget is now exceeded, relieve the pressure before the
     // next request piles on.
     maybe_govern();
     return res;
+}
+
+void ContentServer::finish_trace(const obs::TraceContext& trace,
+                                 const ServeResult& res) {
+    if (!trace.active()) return;
+    const bool failed = !res.ok();
+    if (!slow_log_.interesting(res.stats.total_seconds, failed)) return;
+    obs::TraceRecord rec;
+    rec.id = trace.id();
+    rec.op = trace.op();
+    rec.asset = trace.asset();
+    rec.failed = failed;
+    rec.code = static_cast<u16>(res.code);
+    rec.code_name = error_name(res.code);
+    rec.detail = res.detail;
+    rec.cache_hit = res.stats.cache_hit;
+    rec.total_seconds = res.stats.total_seconds;
+    rec.wire_bytes = res.stats.wire_bytes;
+    rec.spans = trace.spans();
+    slow_log_.record(std::move(rec));
+}
+
+void ContentServer::record_stream_trace(detail::StreamState& st) {
+    if (!st.trace.active()) return;
+    // A stream fails at the head (typed error header) or at the FIN (the
+    // producer aborted mid-way); either way the typed code is retained.
+    const bool failed = !st.head.ok() || st.fin_code != ErrorCode::ok;
+    const ErrorCode code = !st.head.ok() ? st.head.code : st.fin_code;
+    const double total = st.trace.elapsed();
+    if (!slow_log_.interesting(total, failed)) return;
+    obs::TraceRecord rec;
+    rec.id = st.trace.id();
+    rec.op = st.trace.op();
+    rec.asset = st.trace.asset();
+    rec.failed = failed;
+    rec.code = static_cast<u16>(code);
+    rec.code_name = error_name(code);
+    rec.detail = !st.head.ok() ? st.head.detail : st.fin_detail;
+    rec.cache_hit = st.head.stats.cache_hit;
+    rec.total_seconds = total;
+    rec.wire_bytes = st.emitted_payload;
+    rec.spans = st.trace.spans();
+    slow_log_.record(std::move(rec));
 }
 
 void ContentServer::maybe_govern() noexcept {
@@ -532,14 +658,45 @@ void ContentServer::maybe_govern() noexcept {
         // proved it cannot relieve the pressure (all residents pinned,
         // unbacked, or in use), re-running it per request would serialize
         // the serve path behind futile O(residents) scans.
-        if (governor_.pressure_actionable()) governor_.enforce();
+        if (governor_.pressure_actionable()) {
+            Stopwatch pass;
+            governor_.enforce();
+            if (h_govern_ != nullptr) h_govern_->observe(pass.seconds());
+        }
+    } catch (const ProtocolError& e) {
+        note_governance_failure(static_cast<u16>(e.code()),
+                                error_name(e.code()), e.what());
+    } catch (const StoreError& e) {
+        note_governance_failure(
+            static_cast<u16>(e.status()),
+            std::string("store:") + store_status_name(e.status()), e.what());
+    } catch (const std::exception& e) {
+        note_governance_failure(0, "exception", e.what());
     } catch (...) {
-        // Governance is best-effort relief; a failed pass (allocation
-        // exhaustion under the very pressure it relieves, or a policy
-        // invariant tripping) must not take a serve path down with it —
-        // but it must not vanish either: the counter surfaces in Totals
-        // so "pressure relief silently stopped" is observable.
-        governance_failures_.fetch_add(1, std::memory_order_relaxed);
+        note_governance_failure(0, "unknown", "governance pass failed");
+    }
+}
+
+void ContentServer::note_governance_failure(u16 code, std::string code_name,
+                                            std::string detail) noexcept {
+    // Governance is best-effort relief; a failed pass (allocation
+    // exhaustion under the very pressure it relieves, or a policy
+    // invariant tripping) must not take a serve path down with it — but it
+    // must not vanish either: the counter surfaces in Totals, and the slow
+    // log keeps WHAT failed as a structured event with the typed code.
+    governance_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (!opt_.telemetry) return;
+    try {
+        obs::TraceRecord rec;
+        rec.id = obs::next_trace_id();
+        rec.op = "governance";
+        rec.failed = true;
+        rec.code = code;
+        rec.code_name = std::move(code_name);
+        rec.detail = std::move(detail);
+        slow_log_.record(std::move(rec));
+    } catch (...) {
+        // Telemetry must never finish what the governance failure started.
     }
 }
 
@@ -595,11 +752,15 @@ u32 ContentServer::produce(const Prepared& p, format::WireSink& sink) {
     return p.asset->combine_into(p.parallelism, sink);
 }
 
-ServeResult ContentServer::serve_impl(const ServeRequest& req) {
-    const Prepared p = prepare(req);
+ServeResult ContentServer::serve_impl(const ServeRequest& req,
+                                      obs::TraceContext& trace) {
+    const Prepared p = [&] {
+        auto span = trace.span("prepare", h_prepare_);
+        return prepare(req);
+    }();
     ServeResult res;
     res.payload = p.payload;
-    ServedWire served = serve_shared(p, res.stats);
+    ServedWire served = serve_shared(p, res.stats, &trace);
     res.wire = std::move(served.wire);
     res.stats.splits_served = served.splits;
     res.stats.wire_bytes = res.wire->size();
@@ -625,8 +786,10 @@ bool ContentServer::acquire_flight(const std::string& flight_key,
     return false;
 }
 
-ServedWire ContentServer::serve_shared(const Prepared& p, ServeStats& stats) {
+ServedWire ContentServer::serve_shared(const Prepared& p, ServeStats& stats,
+                                       obs::TraceContext* trace) {
     if (p.use_cache) {
+        obs::TraceContext::Scoped span(trace, "cache_lookup", nullptr);
         u32 splits = 0;
         if (WireBytes wire = cache_.get(p.key, p.parallelism, &splits)) {
             stats.cache_hit = true;
@@ -644,6 +807,7 @@ ServedWire ContentServer::serve_shared(const Prepared& p, ServeStats& stats) {
     const bool leader = acquire_flight(flight_key, flight, false);
 
     if (!leader) {
+        obs::TraceContext::Scoped span(trace, "coalesce_wait", nullptr);
         waiters_.fetch_add(1, std::memory_order_relaxed);
         std::unique_lock lk(flight->mu);
         flight->cv.wait(lk, [&] { return flight->done; });
@@ -677,6 +841,7 @@ ServedWire ContentServer::serve_shared(const Prepared& p, ServeStats& stats) {
     try {
         if (opt_.combine_hook) opt_.combine_hook(p.key);
         {
+            obs::TraceContext::Scoped span(trace, "combine", h_combine_);
             format::VectorSink sink;
             wire.splits = produce(p, sink);
             wire.wire = share(std::move(sink.out));
@@ -736,7 +901,7 @@ void ContentServer::retire_flight(const std::string& flight_key,
 
 ServeStream ContentServer::serve_stream(const ServeRequest& req,
                                         StreamOptions opt) noexcept {
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    const u64 tick = requests_.fetch_add(1, std::memory_order_relaxed);
     streamed_requests_.fetch_add(1, std::memory_order_relaxed);
     if (opt.max_frame_bytes == 0) opt.max_frame_bytes = kDefaultMaxFrameBytes;
     opt.window_bytes = std::max(opt.window_bytes, opt.max_frame_bytes);
@@ -748,6 +913,10 @@ ServeStream ContentServer::serve_stream(const ServeRequest& req,
     auto st = std::make_shared<detail::StreamState>();
     st->server = this;
     st->opt = opt;
+    if (sample_tick(tick)) {
+        st->trace = obs::TraceContext("stream", req.asset);
+        st->h_frame = h_frame_;
+    }
     const auto adopt_cache_hit = [&](WireBytes wire, u32 splits) {
         st->cached = std::move(wire);
         st->known_splits = splits;
@@ -762,7 +931,10 @@ ServeStream ContentServer::serve_stream(const ServeRequest& req,
             throw ProtocolError(
                 ErrorCode::not_acceptable,
                 "serve: client does not accept streamed responses");
-        st->prep = prepare(req);
+        {
+            auto span = st->trace.span("prepare", h_prepare_);
+            st->prep = prepare(req);
+        }
         st->head.payload = st->prep.payload;
         st->head.code = ErrorCode::ok;
         const bool use_cache = st->prep.use_cache && opt.use_cache;
@@ -848,18 +1020,57 @@ std::vector<u8> ContentServer::serve_frame(
     try {
         ServeRequest req;
         try {
+            Stopwatch decode;
             req = decode_request(request_frame);
+            if (h_decode_ != nullptr) h_decode_->observe(decode.seconds());
         } catch (const ProtocolError& e) {
             requests_.fetch_add(1, std::memory_order_relaxed);
             failures_.fetch_add(1, std::memory_order_relaxed);
             return encode_response(fail(e.code(), e.what()));
         }
+        // Reserved "!..." names are introspection, answered from the
+        // registry — never from the store (a leading '!' is not a legal
+        // store name, so no real asset is shadowed).
+        if (!req.asset.empty() && req.asset[0] == '!')
+            return encode_response(serve_introspection(req));
         return encode_response(serve(req));
     } catch (...) {
         // encode_response can only fail on allocation exhaustion; an empty
         // frame (rejected by any decoder) beats terminating the server.
         return {};
     }
+}
+
+ServeResult ContentServer::serve_introspection(
+    const ServeRequest& req) noexcept {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    ServeResult res;
+    try {
+        if ((req.accept & kAcceptMetrics) == 0)
+            throw ProtocolError(
+                ErrorCode::not_acceptable,
+                "serve: introspection requires the metrics accept bit");
+        std::string body;
+        if (req.asset == kMetricsAssetText)
+            body = metrics_.snapshot().to_prometheus();
+        else if (req.asset == kMetricsAssetJson)
+            body = metrics_.snapshot().to_json();
+        else
+            throw ProtocolError(
+                ErrorCode::unknown_asset,
+                "serve: unknown introspection target '" + req.asset + "'");
+        res.code = ErrorCode::ok;
+        res.payload = PayloadKind::metrics;
+        res.wire = share(std::vector<u8>(body.begin(), body.end()));
+        res.stats.wire_bytes = res.wire->size();
+    } catch (const ProtocolError& e) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        res = fail(e.code(), e.what());
+    } catch (const std::exception& e) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        res = fail(ErrorCode::internal, e.what());
+    }
+    return res;
 }
 
 bool ContentServer::evict_asset(const std::string& name) {

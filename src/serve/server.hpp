@@ -29,6 +29,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/asset_store.hpp"
 #include "serve/governor.hpp"
 #include "serve/metadata_cache.hpp"
@@ -51,6 +53,23 @@ struct ServerOptions {
     /// start of every miss combine (materialized or streamed), before the
     /// wire is built.
     std::function<void(const std::string&)> combine_hook;
+    /// Hot-path telemetry: per-phase latency histograms, request traces and
+    /// the slow-request log. Off, those record nothing (the overhead knob
+    /// bench_serve measures against); the metrics REGISTRY itself stays live
+    /// either way — counters/gauges are polled callbacks over stats the
+    /// server maintains regardless, so snapshots keep working.
+    bool telemetry = true;
+    /// Take the TIMED telemetry path (trace spans, per-phase histograms,
+    /// slow-log consideration) for 1 of every N requests. 1 (default) =
+    /// full fidelity: every request is traced, at an absolute cost of a few
+    /// clock reads (~150 ns) per request — negligible unless warm hits are
+    /// themselves sub-microsecond. For that in-process regime set 32+: the
+    /// amortized cost drops under the 2% warm-hit budget bench_serve
+    /// enforces, histograms/slow-log then describe the sampled subset, and
+    /// every counter/gauge stays exact (they are never sampled).
+    u32 sample_every = 1;
+    /// Retention of the slow-request log: N slowest + N most recent failed.
+    std::size_t slow_log_slots = 32;
 };
 
 /// Default ceiling for frames carrying the metadata-dense structural prefix
@@ -160,10 +179,7 @@ struct Flight {
 
 class ContentServer {
 public:
-    explicit ContentServer(ServerOptions opt = {})
-        : opt_(std::move(opt)),
-          cache_(opt_.cache_capacity_bytes, opt_.cache_policy),
-          governor_(store_, cache_, GovernorOptions{opt_.mem_budget_bytes}) {}
+    explicit ContentServer(ServerOptions opt = {});
     /// Blocks until every outstanding stream producer has finished —
     /// including detached drains from abandoned leader streams — so a
     /// background producer can never touch a dead server. ServeStream
@@ -176,6 +192,14 @@ public:
     /// never unloading — unless ServerOptions::mem_budget_bytes is set).
     /// pin()/unpin() protect per-class hot assets from pressure unloads.
     ResourceGovernor& governor() noexcept { return governor_; }
+    /// Unified telemetry directory: one snapshot() covers all five serve
+    /// subsystems (server totals, cache, governor, stores, sessions) plus
+    /// the per-phase latency histograms. Always live — see
+    /// ServerOptions::telemetry for what the knob does and does not gate.
+    obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+    /// The N slowest and N most recent failed requests, as structured trace
+    /// events (populated only with ServerOptions::telemetry on).
+    const obs::SlowRequestLog& slow_log() const noexcept { return slow_log_; }
 
     /// Serve one request. Never throws: failures come back as a typed
     /// ErrorCode, so scheduler workers cannot tear down their pool. Assets
@@ -254,12 +278,14 @@ private:
     /// Run the prepared production into `sink`; returns splits carried.
     u32 produce(const Prepared& p, format::WireSink& sink);
 
-    ServeResult serve_impl(const ServeRequest& req);
+    ServeResult serve_impl(const ServeRequest& req, obs::TraceContext& trace);
     /// Cache lookup + single-flight combine for one response key. `asset`
     /// is the asset the key was derived from: after the combine, the wire
     /// enters the cache only if that asset is still current (the
-    /// evict-during-flight stale-put gate).
-    ServedWire serve_shared(const Prepared& p, ServeStats& stats);
+    /// evict-during-flight stale-put gate). `trace` may be null (telemetry
+    /// off): spans are then skipped but behavior is identical.
+    ServedWire serve_shared(const Prepared& p, ServeStats& stats,
+                            obs::TraceContext* trace);
     /// Insert-or-join the flight for `flight_key`. True when this caller
     /// is the leader (it must eventually retire the flight).
     bool acquire_flight(const std::string& flight_key,
@@ -276,6 +302,32 @@ private:
     /// the end of every serve and stream production — the moments usage
     /// can have grown (demand-load, cache put).
     void maybe_govern() noexcept;
+    /// Count a swallowed governance error AND log it as a structured slow-
+    /// log failure event with the typed code attached (op "governance").
+    void note_governance_failure(u16 code, std::string code_name,
+                                 std::string detail) noexcept;
+    /// Register the serve_* callback metrics, bind the subsystems, and
+    /// (telemetry on) create the per-phase histograms.
+    void init_telemetry();
+    /// True when the request holding requests_ tick `tick` should take the
+    /// timed path (active trace + histograms): telemetry on, and the
+    /// 1-in-sample_every toss hits. Piggybacks on the totals counter the
+    /// serve path bumps anyway — sampling adds zero extra atomics — and
+    /// power-of-two rates (the sane choices) go through a divide-free mask.
+    bool sample_tick(u64 tick) const noexcept {
+        if (!opt_.telemetry) return false;
+        if (opt_.sample_every <= 1) return true;
+        if (sample_mask_ != 0) return (tick & sample_mask_) == 0;
+        return tick % opt_.sample_every == 0;
+    }
+    /// Record a finished serve() into the slow-request log when it
+    /// qualifies (slow enough, or failed).
+    void finish_trace(const obs::TraceContext& trace, const ServeResult& res);
+    /// Record a finished stream (FIN emitted or error header) likewise.
+    void record_stream_trace(detail::StreamState& st);
+    /// Answer a "!metrics"/"!metrics.json" introspection request against
+    /// the registry (requires kAcceptMetrics; typed errors otherwise).
+    ServeResult serve_introspection(const ServeRequest& req) noexcept;
 
     ServerOptions opt_;
     AssetStore store_;
@@ -298,6 +350,20 @@ private:
     std::atomic<u64> coalesced_{0};
     std::atomic<u64> bytes_saved_{0};
     std::atomic<u64> governance_failures_{0};
+    u64 sample_mask_ = 0;  ///< sample_every-1 when a power of two, else 0
+    obs::MetricsRegistry metrics_;
+    obs::SlowRequestLog slow_log_;
+    /// Per-phase histograms, created by init_telemetry() when
+    /// ServerOptions::telemetry is on; null otherwise, and every recording
+    /// site checks — the whole hot-path cost of the off state is a few
+    /// null tests.
+    obs::Histogram* h_request_ = nullptr;  ///< serve_request_seconds
+    obs::Histogram* h_prepare_ = nullptr;  ///< serve_prepare_seconds
+    obs::Histogram* h_decode_ = nullptr;   ///< serve_decode_seconds
+    obs::Histogram* h_hit_ = nullptr;      ///< serve_hit_seconds
+    obs::Histogram* h_combine_ = nullptr;  ///< serve_combine_seconds
+    obs::Histogram* h_frame_ = nullptr;    ///< stream_frame_seconds
+    obs::Histogram* h_govern_ = nullptr;   ///< governor_pass_seconds
 };
 
 /// Aggregate view of a set of results, for benches and logs.

@@ -4,7 +4,13 @@
 
 namespace recoil::serve {
 
-Session::Session(ContentServer& server, Options opt) : server_(server) {
+Session::Session(ContentServer& server, Options opt)
+    : server_(server),
+      c_submitted_(server.metrics().counter("session_submitted_total")),
+      c_completed_(server.metrics().counter("session_completed_total")),
+      c_failed_(server.metrics().counter("session_failed_total")),
+      c_streamed_(server.metrics().counter("session_streamed_total")),
+      c_frames_(server.metrics().counter("session_frames_delivered_total")) {
     const unsigned n = opt.workers == 0 ? 1 : opt.workers;
     workers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
@@ -29,6 +35,7 @@ std::shared_future<ServeResult> Session::submit(ServeRequest req, Callback cb) {
         queue_.push_back(Task{std::move(req), std::move(promise), std::move(cb)});
         ++stats_.submitted;
     }
+    c_submitted_.inc();
     cv_.notify_one();
     return fut;
 }
@@ -48,6 +55,7 @@ std::shared_future<ServeResult> Session::submit_stream(ServeRequest req,
         queue_.push_back(std::move(task));
         ++stats_.submitted;
     }
+    c_submitted_.inc();
     cv_.notify_one();
     return fut;
 }
@@ -107,6 +115,10 @@ void Session::worker_loop() {
         }
         const bool ok = res.ok();
         task.promise.set_value(std::move(res));
+        c_completed_.inc();
+        if (!ok) c_failed_.inc();
+        if (task.streamed) c_streamed_.inc();
+        c_frames_.inc(frames);
         {
             std::scoped_lock lk(mu_);
             --active_;

@@ -87,6 +87,15 @@ private:
     void worker_loop();
 
     ContentServer& server_;
+    // Fleet-wide session_* counters in the server's registry, shared across
+    // every Session on that server (get-or-create by name) and incremented
+    // in lockstep with the per-session stats_. References: the server — and
+    // with it the registry — outlives its sessions by contract.
+    obs::Counter& c_submitted_;
+    obs::Counter& c_completed_;
+    obs::Counter& c_failed_;
+    obs::Counter& c_streamed_;
+    obs::Counter& c_frames_;
     mutable std::mutex mu_;
     std::condition_variable cv_;       ///< workers: work available / stopping
     std::condition_variable idle_cv_;  ///< wait_idle: everything completed

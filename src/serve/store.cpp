@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "format/wire_io.hpp"
+#include "obs/metrics.hpp"
 
 namespace recoil::serve {
 
@@ -281,6 +282,8 @@ void DiskStore::put(const std::string& name, AssetKind kind,
         fs::remove(container_path(name, *prev_gen), ec);
     }
     index_[name] = std::move(info);
+    puts_.fetch_add(1, std::memory_order_relaxed);
+    put_bytes_.fetch_add(container.size(), std::memory_order_relaxed);
 }
 
 std::optional<DiskStore::Loaded> DiskStore::load(const std::string& name) const {
@@ -305,6 +308,9 @@ std::optional<DiskStore::Loaded> DiskStore::load(const std::string& name) const 
                 fail(StoreStatus::bad_container,
                      "store: container checksum mismatch for asset '" + name +
                          "'");
+            loads_.fetch_add(1, std::memory_order_relaxed);
+            load_bytes_.fetch_add(map->bytes().size(),
+                                  std::memory_order_relaxed);
             return Loaded{std::move(info), std::move(map), opt_.verify_on_load};
         } catch (const StoreError&) {
             // A concurrent put() may have replaced the asset (and collected
@@ -376,7 +382,29 @@ bool DiskStore::remove(const std::string& name) {
         ::close(dfd);
     }
     index_.erase(it);
+    removes_.fetch_add(1, std::memory_order_relaxed);
     return true;
+}
+
+void DiskStore::bind_metrics(obs::MetricsRegistry* reg) {
+    if (reg == nullptr) return;
+    // `this`-capturing callbacks: the caller guarantees the store outlives
+    // the registry (an AssetStore whose backing may be replaced binds its
+    // disk through weak_ptr-guarded callbacks instead — see
+    // AssetStore::bind_metrics).
+    using obs::MetricKind;
+    reg->register_callback("disk_puts_total", MetricKind::counter,
+                           [this] { return stats().puts; });
+    reg->register_callback("disk_put_bytes_total", MetricKind::counter,
+                           [this] { return stats().put_bytes; });
+    reg->register_callback("disk_loads_total", MetricKind::counter,
+                           [this] { return stats().loads; });
+    reg->register_callback("disk_load_bytes_total", MetricKind::counter,
+                           [this] { return stats().load_bytes; });
+    reg->register_callback("disk_removes_total", MetricKind::counter,
+                           [this] { return stats().removes; });
+    reg->register_callback("disk_assets", MetricKind::gauge,
+                           [this] { return static_cast<u64>(size()); });
 }
 
 std::shared_ptr<Asset> asset_from_mapped(const DiskStore::Loaded& loaded) {

@@ -14,6 +14,7 @@
 // demand-load time and parsed into zero-copy FileAsset/ChunkedAsset views
 // (format::SharedBuffer), so serving reads straight out of the page cache.
 
+#include <atomic>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -26,6 +27,10 @@
 #include "serve/asset.hpp"
 #include "util/error.hpp"
 #include "util/ints.hpp"
+
+namespace recoil::obs {
+class MetricsRegistry;
+}
 
 namespace recoil::serve {
 
@@ -146,6 +151,27 @@ public:
     /// valid. False when the name is not stored.
     bool remove(const std::string& name);
 
+    /// Cumulative disk-traffic counters over this store handle's lifetime
+    /// (successful operations only; a failed put/load counts nothing).
+    struct Stats {
+        u64 puts = 0;
+        u64 put_bytes = 0;   ///< container bytes durably written
+        u64 loads = 0;
+        u64 load_bytes = 0;  ///< container bytes mmapped by load()
+        u64 removes = 0;
+    };
+    Stats stats() const noexcept {
+        return {puts_.load(std::memory_order_relaxed),
+                put_bytes_.load(std::memory_order_relaxed),
+                loads_.load(std::memory_order_relaxed),
+                load_bytes_.load(std::memory_order_relaxed),
+                removes_.load(std::memory_order_relaxed)};
+    }
+
+    /// Publish this store through `reg` as polled disk_* metrics; callbacks
+    /// read the same atomics stats() reports.
+    void bind_metrics(obs::MetricsRegistry* reg);
+
 private:
     std::filesystem::path container_path(const std::string& name,
                                          u64 generation) const;
@@ -155,6 +181,11 @@ private:
     DiskStoreOptions opt_;
     mutable std::mutex mu_;
     std::map<std::string, StoredAssetInfo> index_;
+    std::atomic<u64> puts_{0};
+    std::atomic<u64> put_bytes_{0};
+    mutable std::atomic<u64> loads_{0};  ///< load() is logically const
+    mutable std::atomic<u64> load_bytes_{0};
+    std::atomic<u64> removes_{0};
 };
 
 /// Construct the in-memory asset for a mapped container: kind-dispatched
