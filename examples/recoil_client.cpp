@@ -1,0 +1,175 @@
+// Command-line client for recoil_served, built on src/net/client.hpp.
+//
+//   recoil_client --port N [--host H] ASSET            # v1 fetch, stats
+//   recoil_client --port N --stream ASSET              # v2 streamed fetch
+//   recoil_client --port N --range LO:HI ASSET         # byte-range fetch
+//   recoil_client --port N --verify ASSET              # v1 vs v2 bit-exact
+//   recoil_client --port N --metrics                   # "!metrics" scrape
+//   recoil_client --port N --metrics-json out.json     # JSON snapshot
+//
+// --verify exchanges the same request over both framings and exits
+// nonzero unless the reassembled v2 wire is byte-identical to the v1
+// response — the CI smoke's end-to-end check. Connects retry for a few
+// seconds so a just-forked daemon has time to start listening.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "net/client.hpp"
+
+using namespace recoil;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: recoil_client --port N [--host H] [--parallelism P]\n"
+                 "                     [--range LO:HI] [--stream] [--verify]\n"
+                 "                     [--out PATH] [--metrics]\n"
+                 "                     [--metrics-json PATH] [ASSET]\n");
+    return 2;
+}
+
+/// Retrying connect: a daemon forked moments ago may not be listening
+/// yet (the CI smoke starts both in one shell line).
+net::Client connect_retrying(net::ClientOptions opt,
+                             std::chrono::milliseconds budget) {
+    const auto give_up = std::chrono::steady_clock::now() + budget;
+    for (;;) {
+        try {
+            return net::Client(opt);
+        } catch (const net::NetError&) {
+            if (std::chrono::steady_clock::now() >= give_up) throw;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+    }
+}
+
+bool dump_file(const char* path, const std::string& body) {
+    std::FILE* f = std::fopen(path, "wb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return false;
+    }
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    net::ClientOptions copt;
+    const char* asset = nullptr;
+    const char* out_path = nullptr;
+    const char* metrics_json = nullptr;
+    bool want_metrics = false;
+    bool stream = false;
+    bool verify = false;
+    u32 parallelism = 8;
+    std::optional<std::pair<u64, u64>> range;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--host") == 0) {
+            copt.host = need("--host");
+        } else if (std::strcmp(argv[i], "--port") == 0) {
+            copt.port = static_cast<u16>(std::atoi(need("--port")));
+        } else if (std::strcmp(argv[i], "--parallelism") == 0) {
+            parallelism = static_cast<u32>(std::atoi(need("--parallelism")));
+        } else if (std::strcmp(argv[i], "--range") == 0) {
+            const char* spec = need("--range");
+            char* colon = nullptr;
+            const u64 lo = std::strtoull(spec, &colon, 10);
+            if (colon == nullptr || *colon != ':') {
+                std::fprintf(stderr, "--range wants LO:HI\n");
+                return 2;
+            }
+            const u64 hi = std::strtoull(colon + 1, nullptr, 10);
+            range = {{lo, hi}};
+        } else if (std::strcmp(argv[i], "--stream") == 0) {
+            stream = true;
+        } else if (std::strcmp(argv[i], "--verify") == 0) {
+            verify = true;
+        } else if (std::strcmp(argv[i], "--out") == 0) {
+            out_path = need("--out");
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            want_metrics = true;
+        } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+            metrics_json = need("--metrics-json");
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        } else {
+            asset = argv[i];
+        }
+    }
+    if (copt.port == 0) {
+        std::fprintf(stderr, "--port is required\n");
+        return usage();
+    }
+    if (asset == nullptr && !want_metrics && metrics_json == nullptr)
+        return usage();
+
+    try {
+        net::Client client =
+            connect_retrying(copt, std::chrono::milliseconds(10'000));
+
+        if (asset != nullptr) {
+            serve::ServeRequest req{asset, parallelism, range,
+                                    serve::kAcceptAll |
+                                        serve::kAcceptMetrics};
+            serve::ServeResult v1;
+            if (!stream || verify) v1 = client.request(req);
+            serve::ServeResult v2;
+            u64 frames = 0;
+            if (stream || verify)
+                v2 = client.request_streamed(
+                    req, [&](std::span<const u8>) { ++frames; });
+            const serve::ServeResult& res = stream ? v2 : v1;
+            if (!res.ok()) {
+                std::fprintf(stderr, "serve failed [%s]: %s\n",
+                             serve::error_name(res.code), res.detail.c_str());
+                return 1;
+            }
+            if (verify) {
+                const bool exact = v1.ok() && v2.ok() && v1.wire && v2.wire &&
+                                   *v1.wire == *v2.wire;
+                std::printf("verify %s: v1 %zu B, v2 %llu frames -> %s\n",
+                            asset, v1.wire ? v1.wire->size() : 0,
+                            static_cast<unsigned long long>(frames),
+                            exact ? "bit-exact" : "MISMATCH");
+                if (!exact) return 1;
+            } else {
+                std::printf("%s: %llu wire bytes [%s]%s%s\n", asset,
+                            static_cast<unsigned long long>(
+                                res.stats.wire_bytes),
+                            serve::payload_name(res.payload),
+                            res.stats.cache_hit ? ", cache hit" : "",
+                            stream ? ", streamed" : "");
+            }
+            if (out_path != nullptr && res.wire &&
+                !dump_file(out_path, std::string(res.wire->begin(),
+                                                 res.wire->end())))
+                return 1;
+        }
+
+        if (want_metrics) std::fputs(client.fetch_metrics(false).c_str(),
+                                     stdout);
+        if (metrics_json != nullptr &&
+            !dump_file(metrics_json, client.fetch_metrics(true)))
+            return 1;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "recoil_client: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

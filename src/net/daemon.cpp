@@ -1,0 +1,560 @@
+#include "net/daemon.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#ifdef __linux__
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace recoil::net {
+
+struct Daemon::AtomicStats {
+    std::atomic<u64> accepted{0};
+    std::atomic<u64> refused{0};
+    std::atomic<u64> requests{0};
+    std::atomic<u64> streamed{0};
+    std::atomic<u64> idle_closed{0};
+    std::atomic<u64> protocol_errors{0};
+    std::atomic<u64> drains{0};
+    std::atomic<u64> connections{0};
+    std::atomic<u64> peak_connections{0};
+    std::atomic<u64> conn_buffer_peak{0};
+
+    void note_peak_buffer(u64 owned) noexcept {
+        u64 cur = conn_buffer_peak.load(std::memory_order_relaxed);
+        while (owned > cur &&
+               !conn_buffer_peak.compare_exchange_weak(
+                   cur, owned, std::memory_order_relaxed)) {
+        }
+    }
+};
+
+Daemon::Stats Daemon::stats() const noexcept {
+    const AtomicStats& s = *stats_;
+    Stats out;
+    out.accepted = s.accepted.load(std::memory_order_relaxed);
+    out.refused = s.refused.load(std::memory_order_relaxed);
+    out.requests = s.requests.load(std::memory_order_relaxed);
+    out.streamed = s.streamed.load(std::memory_order_relaxed);
+    out.idle_closed = s.idle_closed.load(std::memory_order_relaxed);
+    out.protocol_errors = s.protocol_errors.load(std::memory_order_relaxed);
+    out.drains = s.drains.load(std::memory_order_relaxed);
+    out.connections = s.connections.load(std::memory_order_relaxed);
+    out.peak_connections = s.peak_connections.load(std::memory_order_relaxed);
+    out.conn_buffer_peak_bytes =
+        s.conn_buffer_peak.load(std::memory_order_relaxed);
+    return out;
+}
+
+#ifdef __linux__
+
+namespace detail {
+
+/// Per-connection state machine. Owned memory is the outbound buffer (at
+/// most one transport-framed response/stream frame), the FrameReader's
+/// partial inbound frame, and queued complete request frames — each piece
+/// individually bounded, and reads stop while any response is in flight,
+/// so the total stays O(max_frame).
+struct Conn {
+    Fd fd;
+    FrameReader reader;
+    std::vector<u8> out;
+    std::size_t out_off = 0;
+    std::deque<std::vector<u8>> pending;
+    std::size_t pending_bytes = 0;
+    std::optional<serve::ServeStream> stream;
+    bool readable = false;
+    bool writable = true;  ///< fresh sockets are writable until EAGAIN says not
+    bool rd_eof = false;
+    u32 lt_mask = 0;  ///< currently registered epoll interest (LT mode)
+    std::chrono::steady_clock::time_point last_activity;
+
+    explicit Conn(Fd f, u32 max_frame)
+        : fd(std::move(f)),
+          reader(max_frame),
+          last_activity(std::chrono::steady_clock::now()) {}
+
+    bool out_pending() const noexcept { return out_off < out.size(); }
+    bool quiesced() const noexcept {
+        return !out_pending() && !stream && pending.empty();
+    }
+    u64 owned_bytes() const noexcept {
+        return static_cast<u64>(out.size() - out_off) +
+               reader.buffered_bytes() + pending_bytes;
+    }
+};
+
+}  // namespace detail
+
+using detail::Conn;
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Queued-but-undispatched request frames per connection before the loop
+/// stops reading (pipelining bound; reads resume as the queue drains).
+constexpr std::size_t kMaxPendingRequests = 64;
+
+std::string errno_str(const char* op) {
+    return std::string(op) + ": " + std::strerror(errno);
+}
+
+[[noreturn]] void daemon_fail(const char* op) {
+    net_fail(NetErrorCode::daemon_error, errno_str(op));
+}
+
+}  // namespace
+
+Daemon::Daemon(serve::ContentServer& server, DaemonOptions opt)
+    : server_(server),
+      opt_(std::move(opt)),
+      last_idle_sweep_(std::chrono::steady_clock::now()),
+      stats_(std::make_shared<AtomicStats>()) {
+    // Listener.
+    struct addrinfo hints {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    struct addrinfo* res = nullptr;
+    const std::string port_str = std::to_string(opt_.port);
+    int rc = ::getaddrinfo(opt_.bind_address.c_str(), port_str.c_str(), &hints,
+                           &res);
+    if (rc != 0)
+        net_fail(NetErrorCode::daemon_error,
+                 "resolve " + opt_.bind_address + ": " + ::gai_strerror(rc));
+    for (struct addrinfo* ai = res; ai; ai = ai->ai_next) {
+        Fd fd(::socket(ai->ai_family,
+                       ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                       ai->ai_protocol));
+        if (!fd.valid()) continue;
+        int one = 1;
+        ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) continue;
+        if (::listen(fd.get(), opt_.listen_backlog) != 0) continue;
+        listen_fd_ = std::move(fd);
+        break;
+    }
+    ::freeaddrinfo(res);
+    if (!listen_fd_.valid())
+        net_fail(NetErrorCode::daemon_error,
+                 "cannot bind/listen on " + opt_.bind_address + ":" + port_str);
+    // Resolve the actual port (opt.port == 0 picks an ephemeral one).
+    struct sockaddr_storage ss {};
+    socklen_t slen = sizeof(ss);
+    if (::getsockname(listen_fd_.get(),
+                      reinterpret_cast<struct sockaddr*>(&ss), &slen) != 0)
+        daemon_fail("getsockname");
+    if (ss.ss_family == AF_INET)
+        port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&ss)->sin_port);
+    else if (ss.ss_family == AF_INET6)
+        port_ = ntohs(reinterpret_cast<struct sockaddr_in6*>(&ss)->sin6_port);
+
+    epoll_fd_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+    if (!epoll_fd_.valid()) daemon_fail("epoll_create1");
+    drain_fd_ = Fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+    if (!drain_fd_.valid()) daemon_fail("eventfd");
+
+    struct epoll_event ev {};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_.get();
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) != 0)
+        daemon_fail("epoll_ctl(listener)");
+    ev.data.fd = drain_fd_.get();
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, drain_fd_.get(), &ev) != 0)
+        daemon_fail("epoll_ctl(eventfd)");
+
+    // daemon_* metrics poll the shared stats block — callbacks stay valid
+    // even if the registry outlives this daemon.
+    auto& m = server_.metrics();
+    auto s = stats_;
+    using obs::MetricKind;
+    m.register_callback("daemon_accepted_total", MetricKind::counter,
+                        [s] { return s->accepted.load(); });
+    m.register_callback("daemon_refused_total", MetricKind::counter,
+                        [s] { return s->refused.load(); });
+    m.register_callback("daemon_requests_total", MetricKind::counter,
+                        [s] { return s->requests.load(); });
+    m.register_callback("daemon_streamed_total", MetricKind::counter,
+                        [s] { return s->streamed.load(); });
+    m.register_callback("daemon_idle_closed_total", MetricKind::counter,
+                        [s] { return s->idle_closed.load(); });
+    m.register_callback("daemon_protocol_errors_total", MetricKind::counter,
+                        [s] { return s->protocol_errors.load(); });
+    m.register_callback("daemon_drains_total", MetricKind::counter,
+                        [s] { return s->drains.load(); });
+    m.register_callback("daemon_connections", MetricKind::gauge,
+                        [s] { return s->connections.load(); });
+    m.register_callback("daemon_peak_connections", MetricKind::gauge,
+                        [s] { return s->peak_connections.load(); });
+    m.register_callback("daemon_conn_buffer_peak_bytes", MetricKind::gauge,
+                        [s] { return s->conn_buffer_peak.load(); });
+}
+
+Daemon::~Daemon() = default;
+
+void Daemon::begin_drain() noexcept {
+    const u64 one = 1;
+    // write() to an eventfd is async-signal-safe; the result only matters
+    // insofar as a full counter means a drain is already pending.
+    [[maybe_unused]] ssize_t rc =
+        ::write(drain_fd_.get(), &one, sizeof(one));
+}
+
+void Daemon::start_drain() {
+    if (draining_) return;
+    draining_ = true;
+    stats_->drains.fetch_add(1, std::memory_order_relaxed);
+    if (listen_fd_.valid()) {
+        ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
+        listen_fd_.reset();  // new connects now refused by the kernel
+    }
+    // Quiesced connections (nothing received, nothing in flight) close
+    // now; the rest finish their streams/queued requests and flush.
+    std::vector<int> fds;
+    fds.reserve(conns_.size());
+    for (auto& [fd, c] : conns_) fds.push_back(fd);
+    for (int fd : fds) {
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) service(*it->second);
+    }
+}
+
+void Daemon::accept_ready() {
+    for (;;) {
+        int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            break;  // EAGAIN, or transient (ECONNABORTED, EMFILE, ...)
+        }
+        if (opt_.max_connections != 0 &&
+            conns_.size() >= opt_.max_connections) {
+            stats_->refused.fetch_add(1, std::memory_order_relaxed);
+            ::close(fd);  // deterministic EOF for the peer
+            continue;
+        }
+        set_nodelay(fd);
+        auto conn = std::make_unique<Conn>(Fd(fd), opt_.max_request_frame);
+        struct epoll_event ev {};
+        ev.data.fd = fd;
+        if (opt_.edge_triggered) {
+            ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+        } else {
+            ev.events = EPOLLIN;
+            conn->lt_mask = EPOLLIN;
+        }
+        if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+            continue;  // conn closes via Fd dtor
+        }
+        conns_.emplace(fd, std::move(conn));
+        stats_->accepted.fetch_add(1, std::memory_order_relaxed);
+        const u64 open = conns_.size();
+        stats_->connections.store(open, std::memory_order_relaxed);
+        u64 peak = stats_->peak_connections.load(std::memory_order_relaxed);
+        if (open > peak)
+            stats_->peak_connections.store(open, std::memory_order_relaxed);
+    }
+}
+
+void Daemon::close_conn(int fd) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+    stalled_.erase(fd);
+    conns_.erase(it);
+    stats_->connections.store(conns_.size(), std::memory_order_relaxed);
+}
+
+bool Daemon::flush_out(Conn& c) {
+    while (c.out_pending() && c.writable) {
+        ssize_t n = ::send(c.fd.get(), c.out.data() + c.out_off,
+                           c.out.size() - c.out_off, MSG_NOSIGNAL);
+        if (n > 0) {
+            c.out_off += static_cast<std::size_t>(n);
+            c.last_activity = std::chrono::steady_clock::now();
+            if (!c.out_pending()) {
+                c.out.clear();
+                c.out_off = 0;
+            }
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            c.writable = false;
+            return true;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        close_conn(c.fd.get());  // EPIPE/ECONNRESET/anything else
+        return false;
+    }
+    return true;
+}
+
+bool Daemon::read_ready(Conn& c) {
+    u8 buf[kReadChunk];
+    const bool willing = !draining_ && !c.rd_eof && !c.out_pending() &&
+                         !c.stream && c.pending.size() < kMaxPendingRequests;
+    while (willing && c.readable) {
+        ssize_t n = ::recv(c.fd.get(), buf, sizeof(buf), 0);
+        if (n > 0) {
+            c.last_activity = std::chrono::steady_clock::now();
+            try {
+                c.reader.feed(std::span<const u8>(buf,
+                                                  static_cast<std::size_t>(n)));
+            } catch (const NetError&) {
+                stats_->protocol_errors.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                close_conn(c.fd.get());
+                return false;
+            }
+            while (auto frame = c.reader.next()) {
+                c.pending_bytes += frame->size();
+                c.pending.push_back(std::move(*frame));
+            }
+            stats_->note_peak_buffer(c.owned_bytes());
+            // Stop pulling more off the wire once enough work is queued;
+            // the kernel buffers, readable stays set, reads resume later.
+            if (c.pending.size() >= kMaxPendingRequests) break;
+            continue;
+        }
+        if (n == 0) {
+            c.rd_eof = true;
+            return true;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            c.readable = false;
+            return true;
+        }
+        if (errno == EINTR) continue;
+        close_conn(c.fd.get());
+        return false;
+    }
+    return true;
+}
+
+void Daemon::dispatch(Conn& c, std::vector<u8> frame) {
+    stats_->requests.fetch_add(1, std::memory_order_relaxed);
+    // Route to the streamed path when this is a well-formed-looking v1
+    // request frame whose accept byte carries kAcceptStreamed and whose
+    // asset is real store content ('!' introspection names materialize
+    // through serve_frame). Anything else — including a request that
+    // fails to decode — goes through serve_frame, whose job is exactly
+    // to turn defects into typed v1 error frames.
+    const bool looks_v1_request =
+        frame.size() >= 8 && frame[0] == 'R' && frame[1] == 'C' &&
+        frame[2] == 'R' && frame[3] == 'Q' &&
+        frame[4] == serve::kProtocolVersion;
+    if (looks_v1_request && (frame[6] & serve::kAcceptStreamed) != 0) {
+        try {
+            serve::ServeRequest req = serve::decode_request(frame);
+            if (!req.asset.empty() && req.asset[0] != '!') {
+                c.stream.emplace(server_.serve_stream(req, opt_.stream));
+                stats_->streamed.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+        } catch (const serve::ProtocolError&) {
+            // fall through: serve_frame re-parses and answers with the
+            // typed error frame the client expects
+        }
+    }
+    std::vector<u8> resp = server_.serve_frame(frame);
+    append_net_frame(c.out, resp);
+    stats_->note_peak_buffer(c.owned_bytes());
+}
+
+bool Daemon::pump_output(Conn& c) {
+    // Only generate into an empty outbound buffer: one frame in flight per
+    // connection is the memory bound AND the backpressure (a stream's next
+    // frame is not even produced until the previous one fully flushed).
+    while (!c.out_pending()) {
+        if (c.stream) {
+            bool would_block = false;
+            auto frame = c.stream->try_next_frame(would_block);
+            if (frame) {
+                append_net_frame(c.out, *frame);
+                stats_->note_peak_buffer(c.owned_bytes());
+                return true;
+            }
+            if (would_block) return false;  // producer not ready: park
+            c.stream.reset();               // stream complete
+            continue;
+        }
+        if (!c.pending.empty()) {
+            std::vector<u8> frame = std::move(c.pending.front());
+            c.pending.pop_front();
+            c.pending_bytes -= frame.size();
+            dispatch(c, std::move(frame));
+            continue;
+        }
+        return true;  // nothing to do
+    }
+    return true;
+}
+
+void Daemon::update_interest(Conn& c) {
+    if (opt_.edge_triggered) return;  // static mask
+    u32 want = 0;
+    const bool want_read = !draining_ && !c.rd_eof && !c.out_pending() &&
+                           !c.stream &&
+                           c.pending.size() < kMaxPendingRequests;
+    if (want_read) want |= EPOLLIN;
+    if (c.out_pending()) want |= EPOLLOUT;
+    if (want == c.lt_mask) return;
+    struct epoll_event ev {};
+    ev.events = want;
+    ev.data.fd = c.fd.get();
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, c.fd.get(), &ev) == 0)
+        c.lt_mask = want;
+}
+
+void Daemon::service(Conn& c) {
+    const int fd = c.fd.get();
+    for (;;) {
+        if (!flush_out(c)) return;  // c is gone
+        if (!c.out_pending()) {
+            if (!pump_output(c)) {  // stalled on the stream producer
+                stalled_.insert(fd);
+                update_interest(c);
+                return;
+            }
+            if (c.out_pending()) continue;  // new frame: try to flush it
+        }
+        if (!read_ready(c)) return;  // c is gone
+        // Progress is possible only if a queued request can dispatch into
+        // the now-empty buffer or fresh bytes arrived; both looped above.
+        if (c.out_pending() || c.stream || !c.pending.empty()) {
+            if (c.out_pending() && !c.writable) break;  // wait for EPOLLOUT
+            if (!c.out_pending() && !c.stream && !c.pending.empty())
+                continue;  // dispatch next queued request
+            if (c.stream && !c.out_pending()) continue;  // pull next frame
+            break;
+        }
+        // Fully quiesced.
+        if (c.rd_eof || draining_) {
+            close_conn(fd);
+            return;
+        }
+        if (!c.readable) break;  // wait for bytes
+        // readable but unwilling can't happen here (quiesced => willing),
+        // so looping again makes progress; but guard against surprises.
+        break;
+    }
+    stats_->note_peak_buffer(c.owned_bytes());
+    update_interest(c);
+}
+
+void Daemon::sweep_idle() {
+    if (opt_.idle_timeout.count() <= 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_idle_sweep_ < opt_.idle_timeout / 4) return;
+    last_idle_sweep_ = now;
+    std::vector<int> victims;
+    for (auto& [fd, c] : conns_) {
+        if (now - c->last_activity >= opt_.idle_timeout) victims.push_back(fd);
+    }
+    for (int fd : victims) {
+        stats_->idle_closed.fetch_add(1, std::memory_order_relaxed);
+        close_conn(fd);
+    }
+}
+
+int Daemon::loop_timeout_ms() const {
+    if (!stalled_.empty()) return 2;  // stream-producer retry cadence
+    if (opt_.idle_timeout.count() > 0) {
+        auto quarter = opt_.idle_timeout.count() / 4;
+        return static_cast<int>(std::clamp<long long>(quarter, 10, 200));
+    }
+    return 500;
+}
+
+void Daemon::run() {
+    std::array<struct epoll_event, 256> events;
+    while (!draining_ || !conns_.empty()) {
+        int n = ::epoll_wait(epoll_fd_.get(), events.data(),
+                             static_cast<int>(events.size()),
+                             loop_timeout_ms());
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            daemon_fail("epoll_wait");
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            const u32 ev = events[i].events;
+            if (listen_fd_.valid() && fd == listen_fd_.get()) {
+                accept_ready();
+                continue;
+            }
+            if (fd == drain_fd_.get()) {
+                u64 tick = 0;
+                while (::read(drain_fd_.get(), &tick, sizeof(tick)) > 0) {
+                }
+                start_drain();
+                continue;
+            }
+            auto it = conns_.find(fd);
+            if (it == conns_.end()) continue;
+            Conn& c = *it->second;
+            if (ev & (EPOLLERR | EPOLLHUP)) {
+                // Peer is gone for good (HUP = both directions). A
+                // half-close shows up as EPOLLIN + recv()==0 instead and
+                // keeps flowing through the normal path.
+                close_conn(fd);
+                continue;
+            }
+            if (ev & EPOLLIN) c.readable = true;
+            if (ev & EPOLLOUT) c.writable = true;
+            service(c);
+        }
+        // Retry connections parked on a not-yet-ready stream producer.
+        if (!stalled_.empty()) {
+            std::vector<int> retry(stalled_.begin(), stalled_.end());
+            stalled_.clear();
+            for (int fd : retry) {
+                auto it = conns_.find(fd);
+                if (it != conns_.end()) service(*it->second);
+            }
+        }
+        sweep_idle();
+    }
+}
+
+#else  // !__linux__
+
+namespace detail {
+struct Conn {};
+}
+
+Daemon::Daemon(serve::ContentServer& server, DaemonOptions opt)
+    : server_(server), opt_(std::move(opt)), stats_(std::make_shared<AtomicStats>()) {
+    net_fail(NetErrorCode::daemon_error,
+             "recoil_served requires Linux (epoll)");
+}
+Daemon::~Daemon() = default;
+void Daemon::run() {}
+void Daemon::begin_drain() noexcept {}
+void Daemon::accept_ready() {}
+void Daemon::service(detail::Conn&) {}
+bool Daemon::flush_out(detail::Conn&) { return false; }
+bool Daemon::read_ready(detail::Conn&) { return false; }
+bool Daemon::pump_output(detail::Conn&) { return false; }
+void Daemon::dispatch(detail::Conn&, std::vector<u8>) {}
+void Daemon::update_interest(detail::Conn&) {}
+void Daemon::close_conn(int) {}
+void Daemon::start_drain() {}
+void Daemon::sweep_idle() {}
+int Daemon::loop_timeout_ms() const { return 0; }
+
+#endif
+
+}  // namespace recoil::net

@@ -1,0 +1,151 @@
+#pragma once
+// `recoil_served`'s engine: a single-threaded nonblocking epoll event loop
+// that speaks the length-prefixed transport framing (net/framing.hpp) over
+// TCP and dispatches into a ContentServer.
+//
+// Shape of the loop:
+//   - one listener, accept4(SOCK_NONBLOCK) drained per readiness event;
+//     over-limit connections are accepted and immediately closed (counted
+//     as refused) so the peer sees a deterministic EOF, not a SYN backlog
+//     stall.
+//   - per-connection state machine: a FrameReader reassembles request
+//     frames from arbitrary partial reads; complete frames queue and are
+//     dispatched one at a time (pipelining works, ordering is preserved).
+//     v1 requests go through ContentServer::serve_frame() (which also
+//     answers "!metrics"); requests with kAcceptStreamed become a
+//     ServeStream whose frames are pulled ONLY when the outbound buffer
+//     has fully flushed — the socket's writability is the backpressure,
+//     so per-connection owned memory stays O(max_frame) regardless of
+//     asset size or reader speed. A pull that would block on the producer
+//     parks the connection on a short-retry list instead of stalling the
+//     loop.
+//   - readiness modes: level-triggered (default) keeps the epoll interest
+//     mask in sync with what the connection can currently use (EPOLLIN
+//     only while we are willing to read — a backlogged connection is
+//     unsubscribed so the kernel buffers and the loop never spins);
+//     edge-triggered registers EPOLLIN|EPOLLOUT|EPOLLET once and tracks
+//     readable/writable flags, clearing them on EAGAIN.
+//   - graceful drain: begin_drain() is async-signal-safe (it writes one
+//     u64 to an eventfd), so SIGTERM/SIGINT handlers can call it
+//     directly. The loop then closes the listener (new connects are
+//     refused by the kernel), stops reading new bytes, finishes every
+//     in-flight stream and already-received request, flushes, closes, and
+//     run() returns — the daemon main exits 0.
+//
+// Counters/gauges register into the server's MetricsRegistry under
+// daemon_* names via callbacks over a shared stats block, so a scrape
+// through "!metrics" (over this very socket) sees the daemon alongside
+// the serve subsystems — and a registry outliving the daemon polls the
+// shared block, never freed memory.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/error.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "serve/server.hpp"
+
+namespace recoil::net {
+
+struct DaemonOptions {
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via port()).
+    u16 port = 0;
+    int listen_backlog = 256;
+    /// Simultaneous connections; one past the limit is accepted and
+    /// immediately closed (counted in refused). 0 = unlimited.
+    u32 max_connections = 0;
+    /// Close connections with no read/write activity for this long.
+    /// 0 = never.
+    std::chrono::milliseconds idle_timeout{0};
+    /// Edge-triggered epoll instead of the default level-triggered.
+    bool edge_triggered = false;
+    /// Inbound transport-frame cap (request frames are small; this only
+    /// bounds what a hostile peer can make us buffer).
+    u32 max_request_frame = 1u << 20;
+    /// Streamed-response knobs forwarded to serve_stream(); the daemon
+    /// pins producer-side memory through window_bytes and its own
+    /// outbound buffering through max_frame_bytes.
+    serve::StreamOptions stream;
+};
+
+namespace detail {
+struct Conn;
+}
+
+class Daemon {
+public:
+    /// Binds + listens + sets up epoll and the drain eventfd; registers
+    /// daemon_* metrics in server.metrics(). Throws NetError{daemon_error}
+    /// if any of that fails. The server must outlive the daemon.
+    Daemon(serve::ContentServer& server, DaemonOptions opt = {});
+    ~Daemon();
+    Daemon(const Daemon&) = delete;
+    Daemon& operator=(const Daemon&) = delete;
+
+    /// The port actually bound (resolves opt.port == 0).
+    u16 port() const noexcept { return port_; }
+
+    /// Run the event loop until a drain completes. Call from the thread
+    /// that owns the daemon; everything else may only call begin_drain().
+    void run();
+
+    /// Request a graceful drain. Async-signal-safe (a single write() to an
+    /// eventfd) and callable from any thread; idempotent.
+    void begin_drain() noexcept;
+
+    /// Point-in-time copy of the daemon's own counters (the same values
+    /// the daemon_* registry metrics expose).
+    struct Stats {
+        u64 accepted = 0;
+        u64 refused = 0;
+        u64 requests = 0;   ///< frames dispatched (v1 and v2 alike)
+        u64 streamed = 0;   ///< of which answered as a v2 stream
+        u64 idle_closed = 0;
+        u64 protocol_errors = 0;
+        u64 drains = 0;
+        u64 connections = 0;       ///< currently open
+        u64 peak_connections = 0;
+        /// High-water mark of one connection's owned bytes (outbound
+        /// buffer + reader buffer + queued request frames) — the number
+        /// the slow-reader test holds against O(max_frame).
+        u64 conn_buffer_peak_bytes = 0;
+    };
+    Stats stats() const noexcept;
+
+private:
+    struct AtomicStats;
+
+    void accept_ready();
+    void service(detail::Conn& c);
+    bool flush_out(detail::Conn& c);      ///< false: connection died
+    bool read_ready(detail::Conn& c);     ///< false: connection died
+    bool pump_output(detail::Conn& c);    ///< stream pull / dispatch; false: stalled
+    void dispatch(detail::Conn& c, std::vector<u8> frame);
+    void update_interest(detail::Conn& c);
+    void close_conn(int fd);
+    void start_drain();
+    void sweep_idle();
+    int loop_timeout_ms() const;
+
+    serve::ContentServer& server_;
+    DaemonOptions opt_;
+    u16 port_ = 0;
+    Fd listen_fd_;
+    Fd epoll_fd_;
+    Fd drain_fd_;  ///< eventfd; begin_drain() writes, the loop reads
+    bool draining_ = false;
+    std::unordered_map<int, std::unique_ptr<detail::Conn>> conns_;
+    /// Connections whose stream pull would have blocked on the producer;
+    /// retried every loop iteration under a short epoll timeout.
+    std::unordered_set<int> stalled_;
+    std::chrono::steady_clock::time_point last_idle_sweep_;
+    std::shared_ptr<AtomicStats> stats_;
+};
+
+}  // namespace recoil::net

@@ -1,0 +1,40 @@
+#pragma once
+// Typed failure taxonomy of the network layer, alongside (not replacing)
+// the serve protocol's ProtocolError: NetError is about moving bytes —
+// connecting, timing out, a peer going away — while ProtocolError is about
+// what the bytes mean. A client call can throw either; `code()` is
+// authoritative for dispatch, what() elaborates for humans and logs.
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/ints.hpp"
+
+namespace recoil::net {
+
+enum class NetErrorCode : u8 {
+    connect_failed = 1,  ///< could not resolve/reach/handshake the peer
+    timeout = 2,         ///< connect/read/write deadline expired
+    closed = 3,          ///< peer closed the connection mid-exchange
+    io_error = 4,        ///< socket syscall failed (errno in the detail)
+    frame_too_large = 5, ///< transport frame exceeds the receiver's bound
+    daemon_error = 6,    ///< daemon could not set up (bind/listen/epoll)
+};
+
+const char* net_error_name(NetErrorCode code) noexcept;
+
+class NetError : public Error {
+public:
+    NetError(NetErrorCode code, const std::string& what)
+        : Error(what), code_(code) {}
+    NetErrorCode code() const noexcept { return code_; }
+
+private:
+    NetErrorCode code_;
+};
+
+[[noreturn]] inline void net_fail(NetErrorCode code, const std::string& what) {
+    throw NetError(code, what);
+}
+
+}  // namespace recoil::net

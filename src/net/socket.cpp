@@ -1,0 +1,165 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace recoil::net {
+
+namespace {
+
+std::string errno_str(const char* op) {
+    return std::string(op) + ": " + std::strerror(errno);
+}
+
+void set_blocking(int fd, bool blocking) {
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) return;
+    if (blocking)
+        ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    else
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// poll() one fd for `events`, honouring the deadline and retrying EINTR.
+/// Returns the revents, or throws NetError{timeout}.
+short poll_wait(int fd, short events, Deadline deadline, const char* what) {
+    for (;;) {
+        struct pollfd pfd{fd, events, 0};
+        int rc = ::poll(&pfd, 1, deadline.remaining_ms());
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            net_fail(NetErrorCode::io_error, errno_str("poll"));
+        }
+        if (rc == 0)
+            net_fail(NetErrorCode::timeout, std::string(what) + " timed out");
+        return pfd.revents;
+    }
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+}
+
+int Deadline::remaining_ms() const {
+    if (!at_) return -1;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        *at_ - std::chrono::steady_clock::now());
+    return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+Fd connect_tcp(const std::string& host, u16 port, Deadline deadline) {
+    struct addrinfo hints {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    const std::string port_str = std::to_string(port);
+    int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+    if (rc != 0)
+        net_fail(NetErrorCode::connect_failed,
+                 "resolve " + host + ": " + ::gai_strerror(rc));
+
+    std::string last_err = "no addresses";
+    for (struct addrinfo* ai = res; ai; ai = ai->ai_next) {
+        Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!fd.valid()) {
+            last_err = errno_str("socket");
+            continue;
+        }
+        // Nonblocking connect so the deadline applies to the handshake.
+        set_blocking(fd.get(), false);
+        rc = ::connect(fd.get(), ai->ai_addr, ai->ai_addrlen);
+        if (rc != 0 && errno != EINPROGRESS) {
+            last_err = errno_str("connect");
+            continue;
+        }
+        if (rc != 0) {
+            short revents;
+            try {
+                revents = poll_wait(fd.get(), POLLOUT, deadline, "connect");
+            } catch (const NetError& e) {
+                if (e.code() == NetErrorCode::timeout) {
+                    ::freeaddrinfo(res);
+                    throw;
+                }
+                last_err = e.what();
+                continue;
+            }
+            (void)revents;
+            int soerr = 0;
+            socklen_t len = sizeof(soerr);
+            ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len);
+            if (soerr != 0) {
+                last_err = std::string("connect: ") + std::strerror(soerr);
+                continue;
+            }
+        }
+        set_blocking(fd.get(), true);
+        set_nodelay(fd.get());
+        ::freeaddrinfo(res);
+        return fd;
+    }
+    ::freeaddrinfo(res);
+    net_fail(NetErrorCode::connect_failed,
+             "connect " + host + ":" + port_str + ": " + last_err);
+}
+
+void send_all(int fd, std::span<const u8> bytes, Deadline deadline) {
+    // Poll before each send so the deadline holds even on a blocking fd.
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        poll_wait(fd, POLLOUT, deadline, "send");
+        ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+            continue;
+        if (n < 0 && (errno == EPIPE || errno == ECONNRESET))
+            net_fail(NetErrorCode::closed, "peer closed connection mid-send");
+        net_fail(NetErrorCode::io_error, errno_str("send"));
+    }
+}
+
+std::size_t recv_some(int fd, std::span<u8> buf, Deadline deadline) {
+    for (;;) {
+        poll_wait(fd, POLLIN, deadline, "recv");
+        ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+        if (n >= 0) return static_cast<std::size_t>(n);
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+        if (errno == ECONNRESET)
+            net_fail(NetErrorCode::closed, "peer reset connection");
+        net_fail(NetErrorCode::io_error, errno_str("recv"));
+    }
+}
+
+void set_nodelay(int fd) noexcept {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+const char* net_error_name(NetErrorCode code) noexcept {
+    switch (code) {
+        case NetErrorCode::connect_failed: return "connect_failed";
+        case NetErrorCode::timeout: return "timeout";
+        case NetErrorCode::closed: return "closed";
+        case NetErrorCode::io_error: return "io_error";
+        case NetErrorCode::frame_too_large: return "frame_too_large";
+        case NetErrorCode::daemon_error: return "daemon_error";
+    }
+    return "unknown";
+}
+
+}  // namespace recoil::net

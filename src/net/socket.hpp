@@ -1,0 +1,84 @@
+#pragma once
+// Thin POSIX socket utilities shared by the daemon and the client: an RAII
+// fd, a monotonic deadline, and blocking helpers (connect with timeout,
+// send-all, recv-some) that hide EINTR/poll plumbing. Everything here is
+// deliberately synchronous — the daemon's epoll loop uses raw nonblocking
+// syscalls directly and only borrows Fd from this header.
+
+#include <chrono>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/error.hpp"
+#include "util/ints.hpp"
+
+namespace recoil::net {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+public:
+    Fd() = default;
+    explicit Fd(int fd) noexcept : fd_(fd) {}
+    Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+    Fd& operator=(Fd&& other) noexcept {
+        if (this != &other) {
+            reset();
+            fd_ = std::exchange(other.fd_, -1);
+        }
+        return *this;
+    }
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+    ~Fd() { reset(); }
+
+    int get() const noexcept { return fd_; }
+    bool valid() const noexcept { return fd_ >= 0; }
+    int release() noexcept { return std::exchange(fd_, -1); }
+    void reset() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// Monotonic deadline. A zero/negative timeout means "no deadline".
+class Deadline {
+public:
+    static Deadline after(std::chrono::milliseconds timeout) {
+        Deadline d;
+        if (timeout.count() > 0)
+            d.at_ = std::chrono::steady_clock::now() + timeout;
+        return d;
+    }
+    static Deadline none() { return Deadline{}; }
+
+    bool expired() const {
+        return at_ && std::chrono::steady_clock::now() >= *at_;
+    }
+    /// Milliseconds left, clamped to >= 0; -1 (poll's "infinite") if none.
+    int remaining_ms() const;
+
+private:
+    std::optional<std::chrono::steady_clock::time_point> at_;
+};
+
+/// Resolve + connect a TCP socket to host:port, observing the deadline.
+/// The returned fd is in *blocking* mode. Throws NetError{connect_failed}
+/// or NetError{timeout}.
+Fd connect_tcp(const std::string& host, u16 port, Deadline deadline);
+
+/// Write the whole span, looping over partial sends, EINTR and EAGAIN
+/// (polling for writability under the deadline). MSG_NOSIGNAL — a dead
+/// peer yields NetError{closed}, never SIGPIPE.
+void send_all(int fd, std::span<const u8> bytes, Deadline deadline);
+
+/// Read up to `buf.size()` bytes, blocking (via poll) under the deadline.
+/// Returns 0 on orderly EOF. Throws NetError{timeout} / {io_error}.
+std::size_t recv_some(int fd, std::span<u8> buf, Deadline deadline);
+
+/// Disable Nagle; best effort (loopback tests don't care if it fails).
+void set_nodelay(int fd) noexcept;
+
+}  // namespace recoil::net

@@ -9,6 +9,12 @@
 // untrusted bytes and throw ProtocolError (a typed recoil::Error), never
 // crash: frames are FNV-checksummed and every length field is bounds-checked
 // through the shared wire_io cursor.
+//
+// Frames are NOT self-delimiting: decode_request/decode_response and the
+// StreamReassembler expect a span holding exactly one complete frame. A
+// byte-stream transport must delimit frames itself — the TCP layer in
+// src/net/ prepends a u32 LE length to every frame (net/framing.hpp) and
+// reassembles complete frames from partial reads before handing them here.
 
 #include <memory>
 #include <optional>

@@ -405,6 +405,17 @@ u64 ServeStream::peak_staged_bytes() const noexcept {
 }
 
 std::optional<std::vector<u8>> ServeStream::next_frame() {
+    bool would_block = false;
+    return frame_impl(/*allow_block=*/true, would_block);
+}
+
+std::optional<std::vector<u8>> ServeStream::try_next_frame(bool& would_block) {
+    would_block = false;
+    return frame_impl(/*allow_block=*/false, would_block);
+}
+
+std::optional<std::vector<u8>> ServeStream::frame_impl(bool allow_block,
+                                                       bool& would_block) {
     using Phase = detail::StreamState::Phase;
     detail::StreamState& st = *st_;
     // Per-frame production latency: how long the consumer waited for THIS
@@ -446,7 +457,8 @@ std::optional<std::vector<u8>> ServeStream::next_frame() {
         bool end = false;
         while (payload.size() < target()) {
             if (st.pending_off >= st.pending.size()) {
-                auto piece = st.pull_piece(/*block=*/payload.empty(), end);
+                auto piece =
+                    st.pull_piece(/*block=*/allow_block && payload.empty(), end);
                 if (!piece.has_value()) break;
                 st.pending = std::move(*piece);
                 st.pending_off = 0;
@@ -478,6 +490,13 @@ std::optional<std::vector<u8>> ServeStream::next_frame() {
             }
             ++st.frames;
             return emit(encode_stream_body(st.seq++, payload, max_frame));
+        }
+        if (!end) {
+            // Non-blocking pull with nothing staged yet: the producer (or
+            // the leader being replayed) has not caught up. Phase is
+            // unchanged — the caller retries when its transport drains.
+            would_block = true;
+            return std::nullopt;
         }
         st.phase = Phase::fin;  // exhausted: fall through to the FIN
     }

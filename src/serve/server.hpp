@@ -130,6 +130,14 @@ public:
     /// The next protocol frame, or nullopt once the stream is complete. An
     /// error response is a single header frame.
     std::optional<std::vector<u8>> next_frame();
+    /// Non-blocking next_frame for event-loop transports (the epoll daemon
+    /// pulls a frame only when its socket is writable): a frame when one can
+    /// be built without waiting on the producer/leader, else nullopt with
+    /// `would_block` distinguishing "not ready yet" (true) from "stream
+    /// complete" (false). Frame boundaries may differ from a fully blocking
+    /// pull (pace decides where partial frames flush); the reassembled wire
+    /// is identical either way.
+    std::optional<std::vector<u8>> try_next_frame(bool& would_block);
     bool done() const noexcept;
     u64 frames_emitted() const noexcept;
     /// High-water mark of owned bytes the producer pipeline held at once
@@ -144,6 +152,8 @@ public:
 private:
     friend class ContentServer;
     explicit ServeStream(std::shared_ptr<detail::StreamState> st);
+    std::optional<std::vector<u8>> frame_impl(bool allow_block,
+                                              bool& would_block);
     std::shared_ptr<detail::StreamState> st_;
 };
 

@@ -1,0 +1,527 @@
+// Tests for the network subsystem: the length-prefixed transport framing,
+// the epoll daemon, and the client library — over real loopback sockets.
+// Anchors: (1) every response that crosses the socket is bit-exact with the
+// in-process serve() result, for v1 materialized, v2 streamed, and range
+// requests, under 1000+ concurrent connections; (2) a slow reader cannot
+// make the daemon buffer more than O(max_frame) per connection (the
+// pull-when-writable backpressure holds over a real socket); (3) a drain
+// started mid-stream finishes the stream bit-exactly, refuses new
+// connects, and lets run() return; (4) frame reassembly survives arbitrary
+// read fragmentation — a TCP segment boundary anywhere, including inside
+// the length prefix, must never surface as a protocol error.
+
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/client.hpp"
+#include "net/daemon.hpp"
+#include "serve/store.hpp"
+#include "workload/datasets.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define RECOIL_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RECOIL_TSAN 1
+#endif
+#endif
+
+namespace recoil::net {
+namespace {
+
+using serve::ContentServer;
+using serve::ServeRequest;
+using serve::ServeResult;
+
+// The load test holds >2000 sockets open at once (client + daemon ends);
+// GitHub runners default the soft RLIMIT_NOFILE to 1024.
+struct RaiseNofile {
+    RaiseNofile() {
+        struct rlimit rl {};
+        if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < 65536) {
+            rl.rlim_cur = rl.rlim_max < 65536 ? rl.rlim_max : 65536;
+            ::setrlimit(RLIMIT_NOFILE, &rl);
+        }
+    }
+};
+const RaiseNofile raise_nofile_once;
+
+/// Daemon on a background thread; joins (after a drain) on destruction.
+struct DaemonRunner {
+    Daemon daemon;
+    std::thread th;
+
+    DaemonRunner(ContentServer& server, DaemonOptions opt)
+        : daemon(server, std::move(opt)), th([this] { daemon.run(); }) {}
+    ~DaemonRunner() { drain_and_join(); }
+
+    void drain_and_join() {
+        if (th.joinable()) {
+            daemon.begin_drain();
+            th.join();
+        }
+    }
+};
+
+constexpr u64 kAssetBytes = 200'000;
+
+struct NetFixture : ::testing::Test {
+    ContentServer server;
+    std::vector<u8> data;
+
+    NetFixture() : data(workload::gen_text(kAssetBytes, 424242)) {
+        server.store().encode_bytes("asset", data, 64);
+    }
+
+    ServeResult in_process(const ServeRequest& req) {
+        ServeResult res = server.serve(req);
+        EXPECT_TRUE(res.ok()) << res.detail;
+        return res;
+    }
+};
+
+// ---- transport framing ----
+
+TEST(FrameReader, ByteAtATimeFeedNeverMisparses) {
+    // Frames of awkward sizes, including empty — delivered one byte at a
+    // time, every frame must pop exactly at its boundary, never early.
+    const std::vector<std::vector<u8>> frames = {
+        {},
+        {0xab},
+        std::vector<u8>(3, 0x01),
+        std::vector<u8>(259, 0x7f),
+        std::vector<u8>(65537, 0x55),
+    };
+    std::vector<u8> wire;
+    for (const auto& f : frames) append_net_frame(wire, f);
+
+    FrameReader reader;
+    std::size_t popped = 0;
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        reader.feed(std::span<const u8>(&wire[i], 1));
+        while (auto f = reader.next()) {
+            ASSERT_LT(popped, frames.size());
+            EXPECT_EQ(*f, frames[popped]) << "frame " << popped;
+            ++popped;
+        }
+    }
+    EXPECT_EQ(popped, frames.size());
+    EXPECT_TRUE(reader.empty());
+}
+
+TEST(FrameReader, ChunkedFeedsOfEveryGranularityAgree) {
+    std::vector<u8> payload(10'000);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<u8>(i * 31);
+    std::vector<u8> wire;
+    append_net_frame(wire, payload);
+    append_net_frame(wire, payload);
+    for (std::size_t chunk : {1u, 2u, 3u, 5u, 7u, 4096u, 100'000u}) {
+        FrameReader reader;
+        std::size_t popped = 0;
+        for (std::size_t off = 0; off < wire.size(); off += chunk) {
+            const std::size_t n = std::min(chunk, wire.size() - off);
+            reader.feed(std::span<const u8>(wire.data() + off, n));
+            while (auto f = reader.next()) {
+                EXPECT_EQ(*f, payload);
+                ++popped;
+            }
+        }
+        EXPECT_EQ(popped, 2u) << "chunk " << chunk;
+    }
+}
+
+TEST(FrameReader, OversizedAnnouncementRejectedAtPrefixTime) {
+    FrameReader reader(1024);
+    // 4-byte prefix announcing 1 MiB: must throw the moment the prefix is
+    // complete, before any payload arrives.
+    const u8 prefix[4] = {0x00, 0x00, 0x10, 0x00};
+    reader.feed(std::span<const u8>(prefix, 3));
+    EXPECT_THROW(reader.feed(std::span<const u8>(prefix + 3, 1)), NetError);
+}
+
+TEST_F(NetFixture, StreamedFramesSurviveByteAtATimeTransport) {
+    // End-to-end fragmentation torture: a full v2 stream's transport bytes
+    // fed one byte at a time must reassemble bit-exactly with v1.
+    serve::StreamOptions sopt;
+    sopt.max_frame_bytes = 4096;
+    auto stream = server.serve_stream(
+        ServeRequest{"asset", 8, {}, serve::kAcceptAll | serve::kAcceptStreamed},
+        sopt);
+    std::vector<u8> wire;
+    while (auto f = stream.next_frame()) append_net_frame(wire, *f);
+
+    FrameReader reader;
+    serve::StreamReassembler reasm;
+    bool done = false;
+    for (u8 b : wire) {
+        reader.feed(std::span<const u8>(&b, 1));
+        while (auto f = reader.next()) {
+            ASSERT_FALSE(done) << "frames after FIN";
+            done = reasm.feed(*f);
+        }
+    }
+    ASSERT_TRUE(done);
+    auto v1 = in_process(ServeRequest{"asset", 8, {}});
+    EXPECT_EQ(*reasm.result().wire, *v1.wire);
+}
+
+// ---- loopback load ----
+
+#ifdef RECOIL_TSAN
+constexpr u32 kLoadThreads = 8;
+constexpr u32 kLoadConnsPerThread = 8;
+#else
+constexpr u32 kLoadThreads = 32;
+constexpr u32 kLoadConnsPerThread = 32;
+#endif
+constexpr u32 kLoadConns = kLoadThreads * kLoadConnsPerThread;
+
+TEST_F(NetFixture, LoadThousandConcurrentConnectionsMixedBitExact) {
+    DaemonOptions dopt;
+    dopt.listen_backlog = 1024;
+    DaemonRunner runner(server, dopt);
+    const u16 port = runner.daemon.port();
+
+    // In-process references for every request shape the load issues.
+    const u32 kPar[] = {2, 8, 16};
+    std::vector<ServeResult> full_ref;
+    for (u32 p : kPar) full_ref.push_back(in_process(ServeRequest{"asset", p, {}}));
+    const std::pair<u64, u64> kRanges[] = {
+        {0, 10'000}, {50'000, 50'100}, {kAssetBytes - 4096, kAssetBytes}};
+    std::vector<ServeResult> range_ref;
+    for (auto r : kRanges)
+        range_ref.push_back(in_process(ServeRequest{"asset", 4, {r}}));
+
+    // Phase 1: every thread opens all its connections, then waits at a
+    // barrier — so all kLoadConns sockets are provably open at once.
+    std::atomic<u32> connected{0};
+    std::atomic<bool> go{false};
+    std::atomic<u32> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kLoadThreads);
+    for (u32 t = 0; t < kLoadThreads; ++t) {
+        threads.emplace_back([&, t] {
+            std::vector<Client> clients;
+            clients.reserve(kLoadConnsPerThread);
+            ClientOptions copt;
+            copt.port = port;
+            copt.io_timeout = std::chrono::milliseconds(120'000);
+            for (u32 i = 0; i < kLoadConnsPerThread; ++i)
+                clients.emplace_back(copt);
+            connected.fetch_add(kLoadConnsPerThread);
+            while (!go.load()) std::this_thread::yield();
+            for (u32 i = 0; i < kLoadConnsPerThread; ++i) {
+                const u32 id = t * kLoadConnsPerThread + i;
+                try {
+                    switch (id % 3) {
+                        case 0: {  // v1 materialized
+                            const u32 pi = id % 3u == 0 ? (id / 3) % 3 : 0;
+                            auto res = clients[i].request(
+                                ServeRequest{"asset", kPar[pi], {}});
+                            if (!res.ok() || *res.wire != *full_ref[pi].wire)
+                                failures.fetch_add(1);
+                            break;
+                        }
+                        case 1: {  // v1 range
+                            const u32 ri = (id / 3) % 3;
+                            auto res = clients[i].request(
+                                ServeRequest{"asset", 4, {kRanges[ri]}});
+                            if (!res.ok() || *res.wire != *range_ref[ri].wire)
+                                failures.fetch_add(1);
+                            break;
+                        }
+                        case 2: {  // v2 streamed
+                            const u32 pi = (id / 3) % 3;
+                            auto res = clients[i].request_streamed(
+                                ServeRequest{"asset", kPar[pi], {}});
+                            if (!res.ok() || *res.wire != *full_ref[pi].wire)
+                                failures.fetch_add(1);
+                            break;
+                        }
+                    }
+                } catch (const Error& e) {
+                    ADD_FAILURE() << "conn " << id << ": " << e.what();
+                    failures.fetch_add(1);
+                }
+            }
+        });
+    }
+    while (connected.load() < kLoadConns) std::this_thread::yield();
+    // The kernel completes handshakes before the daemon accept4()s them:
+    // wait until every connection is accepted, then assert concurrency.
+    const auto accept_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (runner.daemon.stats().connections < kLoadConns &&
+           std::chrono::steady_clock::now() < accept_deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // All connections open simultaneously — the acceptance bar.
+    EXPECT_GE(runner.daemon.stats().connections, kLoadConns);
+    go.store(true);
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(failures.load(), 0u);
+
+    const auto s = runner.daemon.stats();
+    EXPECT_GE(s.peak_connections, kLoadConns);
+    EXPECT_GE(s.accepted, kLoadConns);
+    EXPECT_GE(s.requests, kLoadConns);
+    EXPECT_GT(s.streamed, 0u);
+}
+
+TEST_F(NetFixture, EdgeTriggeredModeServesIdentically) {
+    DaemonOptions dopt;
+    dopt.edge_triggered = true;
+    DaemonRunner runner(server, dopt);
+    ClientOptions copt;
+    copt.port = runner.daemon.port();
+    auto v1_ref = in_process(ServeRequest{"asset", 8, {}});
+    auto range_ref = in_process(ServeRequest{"asset", 4, {{100, 9'000}}});
+    for (int i = 0; i < 8; ++i) {
+        Client c(copt);
+        auto v1 = c.request(ServeRequest{"asset", 8, {}});
+        ASSERT_TRUE(v1.ok()) << v1.detail;
+        EXPECT_EQ(*v1.wire, *v1_ref.wire);
+        auto v2 = c.request_streamed(ServeRequest{"asset", 8, {}});
+        ASSERT_TRUE(v2.ok()) << v2.detail;
+        EXPECT_EQ(*v2.wire, *v1_ref.wire);
+        auto rr = c.request(ServeRequest{"asset", 4, {{100, 9'000}}});
+        ASSERT_TRUE(rr.ok()) << rr.detail;
+        EXPECT_EQ(*rr.wire, *range_ref.wire);
+    }
+}
+
+// ---- backpressure / per-connection memory ----
+
+TEST_F(NetFixture, SlowReaderKeepsConnBufferAtMaxFrame) {
+    // Dedicated daemon with an 8 KiB stream frame budget serving a 200 KB
+    // wire: a reader draining a trickle at a time must never make the
+    // daemon buffer more than ~one transport-framed protocol frame.
+    constexpr u64 kMaxFrame = 8 * 1024;
+    DaemonOptions dopt;
+    dopt.stream.max_frame_bytes = kMaxFrame;
+    DaemonRunner runner(server, dopt);
+
+    Fd sock = connect_tcp("127.0.0.1", runner.daemon.port(), Deadline::none());
+    std::vector<u8> framed;
+    append_net_frame(framed,
+                     serve::encode_request(ServeRequest{
+                         "asset", 8, {}, serve::kAcceptAll |
+                                             serve::kAcceptStreamed}));
+    send_all(sock.get(), framed, Deadline::none());
+
+    FrameReader reader;
+    serve::StreamReassembler reasm;
+    bool done = false;
+    u8 buf[2048];  // small reads + a pause: a genuinely slow consumer
+    while (!done) {
+        const std::size_t n = recv_some(
+            sock.get(), buf, Deadline::after(std::chrono::seconds(30)));
+        ASSERT_GT(n, 0u) << "server closed mid-stream";
+        reader.feed(std::span<const u8>(buf, n));
+        while (auto f = reader.next()) {
+            ASSERT_FALSE(done);
+            done = reasm.feed(*f);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    auto v1 = in_process(ServeRequest{"asset", 8, {}});
+    EXPECT_EQ(*reasm.result().wire, *v1.wire);
+    ASSERT_GT(v1.wire->size(), 8 * kMaxFrame) << "asset too small to prove the bound";
+
+    // O(max_frame), not O(wire): one stream frame (payload + protocol
+    // header/trailer) + the 4-byte transport prefix + the tiny request.
+    const u64 peak = runner.daemon.stats().conn_buffer_peak_bytes;
+    EXPECT_LE(peak, kMaxFrame + 4096);
+    EXPECT_LT(peak, v1.wire->size() / 4);
+}
+
+// ---- graceful drain ----
+
+TEST_F(NetFixture, DrainMidStreamCompletesBitExactRefusesNewAndExits) {
+    serve::StreamOptions sopt;
+    DaemonOptions dopt;
+    dopt.stream.max_frame_bytes = 16 * 1024;  // many frames => drain lands mid-stream
+    DaemonRunner runner(server, dopt);
+    const u16 port = runner.daemon.port();
+
+    Fd sock = connect_tcp("127.0.0.1", port, Deadline::none());
+    std::vector<u8> framed;
+    append_net_frame(framed,
+                     serve::encode_request(ServeRequest{
+                         "asset", 8, {}, serve::kAcceptAll |
+                                             serve::kAcceptStreamed}));
+    send_all(sock.get(), framed, Deadline::none());
+
+    // Read just the first transport frame (the stream header), then drain.
+    FrameReader reader;
+    serve::StreamReassembler reasm;
+    bool done = false;
+    u8 buf[1024];
+    while (!reader.buffered_bytes() && reader.empty()) {
+        const std::size_t n = recv_some(
+            sock.get(), buf, Deadline::after(std::chrono::seconds(30)));
+        ASSERT_GT(n, 0u);
+        reader.feed(std::span<const u8>(buf, n));
+        break;
+    }
+    while (auto f = reader.next()) done = reasm.feed(*f);
+    ASSERT_FALSE(done) << "stream finished before the drain could land";
+
+    runner.daemon.begin_drain();
+    // Give the loop time to process the drain and close the listener.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_THROW(
+        connect_tcp("127.0.0.1", port,
+                    Deadline::after(std::chrono::seconds(2))),
+        NetError)
+        << "new connections must be refused during drain";
+
+    // The in-flight stream still completes, bit-exactly.
+    while (!done) {
+        const std::size_t n = recv_some(
+            sock.get(), buf, Deadline::after(std::chrono::seconds(30)));
+        ASSERT_GT(n, 0u) << "server cut the in-flight stream during drain";
+        reader.feed(std::span<const u8>(buf, n));
+        while (auto f = reader.next()) {
+            ASSERT_FALSE(done);
+            done = reasm.feed(*f);
+        }
+    }
+    auto v1 = in_process(ServeRequest{"asset", 8, {}});
+    EXPECT_EQ(*reasm.result().wire, *v1.wire);
+
+    // With the stream flushed, the loop closes the connection and exits.
+    runner.drain_and_join();
+    const auto s = runner.daemon.stats();
+    EXPECT_EQ(s.drains, 1u);
+    EXPECT_EQ(s.connections, 0u);
+}
+
+// ---- limits & hygiene ----
+
+TEST_F(NetFixture, ConnectionLimitRefusesDeterministically) {
+    DaemonOptions dopt;
+    dopt.max_connections = 4;
+    DaemonRunner runner(server, dopt);
+    ClientOptions copt;
+    copt.port = runner.daemon.port();
+
+    std::vector<Client> keep;
+    for (int i = 0; i < 4; ++i) keep.emplace_back(copt);
+    // Over-limit connections are accepted then closed: the request sees a
+    // clean EOF (typed closed), not a hang.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    u32 refused = 0;
+    for (int i = 0; i < 4; ++i) {
+        try {
+            Client extra(copt);
+            extra.request(ServeRequest{"asset", 2, {}});
+        } catch (const NetError& e) {
+            EXPECT_EQ(e.code(), NetErrorCode::closed);
+            ++refused;
+        }
+    }
+    EXPECT_GT(refused, 0u);
+    EXPECT_GE(runner.daemon.stats().refused, refused);
+    // The in-limit connections still work.
+    auto res = keep[0].request(ServeRequest{"asset", 2, {}});
+    EXPECT_TRUE(res.ok()) << res.detail;
+}
+
+TEST_F(NetFixture, IdleConnectionsAreClosed) {
+    DaemonOptions dopt;
+    dopt.idle_timeout = std::chrono::milliseconds(100);
+    DaemonRunner runner(server, dopt);
+
+    Fd sock = connect_tcp("127.0.0.1", runner.daemon.port(), Deadline::none());
+    u8 buf[64];
+    // recv_some returns 0 on orderly EOF — the idle sweep's close.
+    const std::size_t n =
+        recv_some(sock.get(), buf, Deadline::after(std::chrono::seconds(10)));
+    EXPECT_EQ(n, 0u);
+    EXPECT_GE(runner.daemon.stats().idle_closed, 1u);
+}
+
+TEST_F(NetFixture, HostileTransportFrameClosesConnection) {
+    DaemonOptions dopt;
+    DaemonRunner runner(server, dopt);
+    Fd sock = connect_tcp("127.0.0.1", runner.daemon.port(), Deadline::none());
+    // Announce a 2 GiB frame: the daemon must reject at prefix time and
+    // close, not allocate.
+    const u8 prefix[4] = {0x00, 0x00, 0x00, 0x80};
+    send_all(sock.get(), prefix, Deadline::none());
+    u8 buf[64];
+    const std::size_t n =
+        recv_some(sock.get(), buf, Deadline::after(std::chrono::seconds(10)));
+    EXPECT_EQ(n, 0u);
+    EXPECT_GE(runner.daemon.stats().protocol_errors, 1u);
+}
+
+TEST_F(NetFixture, MalformedProtocolFrameGetsTypedErrorResponse) {
+    DaemonRunner runner(server, {});
+    ClientOptions copt;
+    copt.port = runner.daemon.port();
+    Client c(copt);
+    // A well-delimited transport frame holding garbage: serve_frame turns
+    // it into a typed v1 error response — the connection survives.
+    const std::vector<u8> garbage = {'n', 'o', 'p', 'e'};
+    auto resp = c.roundtrip_frame(garbage);
+    auto res = serve::decode_response(resp);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.code, serve::ErrorCode::malformed_frame);
+    // Same connection, real request: still served.
+    auto ok = c.request(ServeRequest{"asset", 2, {}});
+    EXPECT_TRUE(ok.ok()) << ok.detail;
+}
+
+TEST_F(NetFixture, MetricsScrapeOverRealSocket) {
+    DaemonRunner runner(server, {});
+    ClientOptions copt;
+    copt.port = runner.daemon.port();
+    Client c(copt);
+    c.request(ServeRequest{"asset", 2, {}});
+    const std::string text = c.fetch_metrics(false);
+    // Daemon counters and serve-stack counters share one exposition.
+    EXPECT_NE(text.find("daemon_accepted_total"), std::string::npos);
+    EXPECT_NE(text.find("daemon_requests_total"), std::string::npos);
+    EXPECT_NE(text.find("serve_requests_total"), std::string::npos);
+    const std::string json = c.fetch_metrics(true);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("daemon_connections"), std::string::npos);
+}
+
+TEST_F(NetFixture, PipelinedRequestsAnswerInOrder) {
+    DaemonRunner runner(server, {});
+    Fd sock = connect_tcp("127.0.0.1", runner.daemon.port(), Deadline::none());
+    // Three requests in one write; responses must come back in order on
+    // the same connection.
+    const u32 pars[] = {2, 8, 16};
+    std::vector<u8> burst;
+    for (u32 p : pars)
+        append_net_frame(burst, serve::encode_request(ServeRequest{"asset", p, {}}));
+    send_all(sock.get(), burst, Deadline::none());
+    FrameReader reader;
+    u32 got = 0;
+    u8 buf[64 * 1024];
+    while (got < 3) {
+        const std::size_t n = recv_some(
+            sock.get(), buf, Deadline::after(std::chrono::seconds(30)));
+        ASSERT_GT(n, 0u);
+        reader.feed(std::span<const u8>(buf, n));
+        while (auto f = reader.next()) {
+            auto res = serve::decode_response(*f);
+            ASSERT_TRUE(res.ok()) << res.detail;
+            auto ref = in_process(ServeRequest{"asset", pars[got], {}});
+            EXPECT_EQ(*res.wire, *ref.wire) << "response " << got;
+            ++got;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace recoil::net
