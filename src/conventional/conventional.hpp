@@ -106,12 +106,12 @@ ConventionalEncoded<Cfg, NLanes> conventional_encode(std::span<const TSym> syms,
         for (u64 pi = 0; pi < bounds.size(); ++pi) encode_one(pi);
     } else {
         std::exception_ptr first_error;
-        std::mutex err_mu;
+        util::Mutex err_mu;
         pool->parallel_for(bounds.size(), [&](u64 pi) {
             try {
                 encode_one(pi);
             } catch (...) {
-                std::scoped_lock lk(err_mu);
+                util::MutexLock lk(err_mu);
                 if (!first_error) first_error = std::current_exception();
             }
         });
@@ -182,12 +182,12 @@ void conventional_decode_into(const ConventionalEncoded<Cfg, NLanes>& enc,
         for (u64 pi = 0; pi < enc.partitions.size(); ++pi) run_one(pi);
     } else {
         std::exception_ptr first_error;
-        std::mutex err_mu;
+        util::Mutex err_mu;
         pool->parallel_for(enc.partitions.size(), [&](u64 pi) {
             try {
                 run_one(pi);
             } catch (...) {
-                std::scoped_lock lk(err_mu);
+                util::MutexLock lk(err_mu);
                 if (!first_error) first_error = std::current_exception();
             }
         });

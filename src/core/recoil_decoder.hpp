@@ -17,7 +17,6 @@
 // per-symbol loop.
 
 #include <exception>
-#include <mutex>
 #include <span>
 #include <vector>
 

@@ -142,21 +142,21 @@ std::string MetricsSnapshot::to_json() const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     auto& slot = counters_[name];
     if (slot == nullptr) slot = std::make_unique<Counter>();
     return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     auto& slot = gauges_[name];
     if (slot == nullptr) slot = std::make_unique<Gauge>();
     return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     auto& slot = histograms_[name];
     if (slot == nullptr) slot = std::make_unique<Histogram>();
     return *slot;
@@ -164,13 +164,13 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::register_callback(const std::string& name,
                                         MetricKind kind, Callback fn) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     callbacks_[name] = {kind, std::move(fn)};
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
     MetricsSnapshot snap;
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     snap.counters.reserve(counters_.size());
     for (const auto& [name, c] : counters_)
         snap.counters.emplace_back(name, c->value());

@@ -26,12 +26,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/ints.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace recoil::obs {
 
@@ -163,22 +163,30 @@ struct MetricsSnapshot {
 /// names).
 class MetricsRegistry {
 public:
-    Counter& counter(const std::string& name);
-    Gauge& gauge(const std::string& name);
-    Histogram& histogram(const std::string& name);
+    Counter& counter(const std::string& name) RECOIL_EXCLUDES(mu_);
+    Gauge& gauge(const std::string& name) RECOIL_EXCLUDES(mu_);
+    Histogram& histogram(const std::string& name) RECOIL_EXCLUDES(mu_);
 
     using Callback = std::function<u64()>;
     void register_callback(const std::string& name, MetricKind kind,
-                           Callback fn);
+                           Callback fn) RECOIL_EXCLUDES(mu_);
 
-    MetricsSnapshot snapshot() const;
+    MetricsSnapshot snapshot() const RECOIL_EXCLUDES(mu_);
 
 private:
-    mutable std::mutex mu_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-    std::map<std::string, std::pair<MetricKind, Callback>> callbacks_;
+    // mu_ guards the name->metric directory only. The metric objects
+    // themselves (Counter/Gauge/Histogram) are relaxed atomics recorded
+    // against via stable pointers — the documented lock-free escape that
+    // keeps the serve hot path from ever taking this mutex.
+    mutable util::Mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        RECOIL_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        RECOIL_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        RECOIL_GUARDED_BY(mu_);
+    std::map<std::string, std::pair<MetricKind, Callback>> callbacks_
+        RECOIL_GUARDED_BY(mu_);
 };
 
 }  // namespace recoil::obs

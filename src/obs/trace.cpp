@@ -11,7 +11,7 @@ u64 next_trace_id() noexcept {
 }
 
 void SlowRequestLog::record(TraceRecord rec) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     rec.sequence = ++seq_;
     recorded_.fetch_add(1, std::memory_order_relaxed);
     if (rec.failed && failed_slots_ != 0) {
@@ -43,7 +43,7 @@ void SlowRequestLog::record(TraceRecord rec) {
 }
 
 std::vector<TraceRecord> SlowRequestLog::slowest() const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     std::vector<TraceRecord> out = slow_;
     std::sort(out.begin(), out.end(),
               [](const TraceRecord& a, const TraceRecord& b) {
@@ -53,7 +53,7 @@ std::vector<TraceRecord> SlowRequestLog::slowest() const {
 }
 
 std::vector<TraceRecord> SlowRequestLog::recent_failures() const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     return {failed_.rbegin(), failed_.rend()};
 }
 

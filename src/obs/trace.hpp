@@ -19,13 +19,13 @@
 
 #include <atomic>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/ints.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace recoil::obs {
 
@@ -159,31 +159,34 @@ public:
                floor_ns == 0;
     }
 
-    void record(TraceRecord rec);
+    void record(TraceRecord rec) RECOIL_EXCLUDES(mu_);
 
     /// The retained slowest requests, slowest first.
-    std::vector<TraceRecord> slowest() const;
+    std::vector<TraceRecord> slowest() const RECOIL_EXCLUDES(mu_);
     /// The retained failed requests, most recent first.
-    std::vector<TraceRecord> recent_failures() const;
+    std::vector<TraceRecord> recent_failures() const RECOIL_EXCLUDES(mu_);
 
     u64 recorded() const noexcept {
         return recorded_.load(std::memory_order_relaxed);
     }
 
     /// {"slowest": [...], "failures": [...]} with spans inline.
-    std::string to_json() const;
+    std::string to_json() const RECOIL_EXCLUDES(mu_);
 
 private:
     std::size_t slow_slots_;
     std::size_t failed_slots_;
-    mutable std::mutex mu_;
-    std::vector<TraceRecord> slow_;   ///< unordered; min replaced on insert
-    std::deque<TraceRecord> failed_;  ///< push_back new, pop_front old
+    mutable util::Mutex mu_;
+    std::vector<TraceRecord> slow_
+        RECOIL_GUARDED_BY(mu_);  ///< unordered; min replaced on insert
+    std::deque<TraceRecord> failed_
+        RECOIL_GUARDED_BY(mu_);  ///< push_back new, pop_front old
     /// Duration floor of the slow set once full (0 = not full yet): the
-    /// lock-free gate behind interesting().
+    /// lock-free gate behind interesting() — a documented escape, read
+    /// without mu_ on the hot path and published under it by record().
     std::atomic<u64> slow_floor_ns_{0};
     std::atomic<u64> recorded_{0};
-    u64 seq_ = 0;
+    u64 seq_ RECOIL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace recoil::obs

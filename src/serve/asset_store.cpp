@@ -52,7 +52,7 @@ void AssetStore::publish_locked(std::shared_ptr<const Asset> ptr) {
 std::shared_ptr<const Asset> AssetStore::insert(std::shared_ptr<Asset> a) {
     {
         // Memory-only store: publish directly, no write-through ordering.
-        std::unique_lock lk(mu_);
+        util::WriterMutexLock lk(mu_);
         if (disk_ == nullptr) {
             a->uid_ = next_uid_++;
             std::shared_ptr<const Asset> ptr = std::move(a);
@@ -63,10 +63,10 @@ std::shared_ptr<const Asset> AssetStore::insert(std::shared_ptr<Asset> a) {
     // disk_mu_ orders write-throughs: two concurrent adds of one name reach
     // disk and memory in the same order, so a restart never resurrects the
     // losing generation.
-    std::scoped_lock dl(disk_mu_);
+    util::MutexLock dl(disk_mu_);
     std::shared_ptr<DiskStore> disk;
     {
-        std::unique_lock lk(mu_);
+        util::WriterMutexLock lk(mu_);
         a->uid_ = next_uid_++;
         disk = disk_;
     }
@@ -80,7 +80,7 @@ std::shared_ptr<const Asset> AssetStore::insert(std::shared_ptr<Asset> a) {
     }
     std::shared_ptr<const Asset> ptr = std::move(a);
     {
-        std::unique_lock lk(mu_);
+        util::WriterMutexLock lk(mu_);
         publish_locked(ptr);
     }
     return ptr;
@@ -107,16 +107,20 @@ std::shared_ptr<const Asset> AssetStore::encode_bytes(std::string name,
 }
 
 void AssetStore::attach_backing(std::shared_ptr<DiskStore> disk) {
-    std::scoped_lock dl(disk_mu_);
+    util::MutexLock dl(disk_mu_);
+    // Keep a local handle: disk_ itself is guarded by mu_, and the metrics
+    // rebinding below runs after mu_ is dropped (reading disk_ there was a
+    // lock-discipline hole the thread-safety analysis rejects).
+    const std::shared_ptr<DiskStore> attached = std::move(disk);
     {
-        std::unique_lock lk(mu_);
-        disk_ = std::move(disk);
-        if (disk_ != nullptr)
-            next_uid_ = std::max(next_uid_, disk_->next_generation());
+        util::WriterMutexLock lk(mu_);
+        disk_ = attached;
+        if (attached != nullptr)
+            next_uid_ = std::max(next_uid_, attached->next_generation());
     }
     // A registry bound before the backing existed picks the disk up now.
-    if (metrics_ != nullptr && disk_ != nullptr)
-        bind_disk_weak(metrics_, disk_);
+    if (metrics_ != nullptr && attached != nullptr)
+        bind_disk_weak(metrics_, attached);
 }
 
 void AssetStore::bind_metrics(obs::MetricsRegistry* reg) {
@@ -126,18 +130,25 @@ void AssetStore::bind_metrics(obs::MetricsRegistry* reg) {
                            [this] { return resident_bytes(); });
     reg->register_callback("store_assets", MetricKind::gauge,
                            [this] { return static_cast<u64>(size()); });
-    std::scoped_lock dl(disk_mu_);
+    util::MutexLock dl(disk_mu_);
     metrics_ = reg;
-    if (disk_ != nullptr) bind_disk_weak(reg, disk_);
+    // disk_ lives under mu_; snapshot it there (disk_mu_ alone serializes
+    // attaches, but the analysis — rightly — wants the guarding lock).
+    std::shared_ptr<DiskStore> disk;
+    {
+        util::ReaderMutexLock lk(mu_);
+        disk = disk_;
+    }
+    if (disk != nullptr) bind_disk_weak(reg, disk);
 }
 
 std::shared_ptr<DiskStore> AssetStore::backing() const {
-    std::shared_lock lk(mu_);
+    util::ReaderMutexLock lk(mu_);
     return disk_;
 }
 
 std::shared_ptr<const Asset> AssetStore::find(const std::string& name) const {
-    std::shared_lock lk(mu_);
+    util::ReaderMutexLock lk(mu_);
     auto it = assets_.find(name);
     return it == assets_.end() ? nullptr : it->second;
 }
@@ -147,18 +158,18 @@ std::shared_ptr<const Asset> AssetStore::resolve(const std::string& name) {
     // Nothing to demand-load without a backing store — and unknown-name
     // traffic must not contend on the load mutex.
     if (backing() == nullptr) return nullptr;
-    std::scoped_lock dl(disk_mu_);
+    util::MutexLock dl(disk_mu_);
     if (auto a = find(name)) return a;  // raced with another loader
     std::shared_ptr<DiskStore> disk;
     {
-        std::shared_lock lk(mu_);
+        util::ReaderMutexLock lk(mu_);
         disk = disk_;
     }
     if (disk == nullptr) return nullptr;
     auto loaded = disk->load(name);
     if (!loaded) return nullptr;
     std::shared_ptr<Asset> a = asset_from_mapped(*loaded);
-    std::unique_lock lk(mu_);
+    util::WriterMutexLock lk(mu_);
     // The persisted generation IS the uid: cache keys derived before an
     // unload stay valid, and fresh inserts continue strictly above it.
     a->uid_ = loaded->info.generation;
@@ -180,7 +191,7 @@ std::size_t AssetStore::preload() {
 bool AssetStore::is_current(const Asset& a) const {
     std::shared_ptr<DiskStore> disk;
     {
-        std::shared_lock lk(mu_);
+        util::ReaderMutexLock lk(mu_);
         auto it = assets_.find(a.name());
         if (it != assets_.end()) return it->second->uid() == a.uid();
         disk = disk_;
@@ -191,7 +202,7 @@ bool AssetStore::is_current(const Asset& a) const {
 }
 
 bool AssetStore::unload(const std::string& name) {
-    std::unique_lock lk(mu_);
+    util::WriterMutexLock lk(mu_);
     auto it = assets_.find(name);
     if (it == assets_.end()) return false;
     resident_bytes_.fetch_sub(it->second->master_bytes(),
@@ -202,11 +213,11 @@ bool AssetStore::unload(const std::string& name) {
 
 bool AssetStore::erase(const std::string& name) {
     if (backing() == nullptr) return unload(name);  // memory-only store
-    std::scoped_lock dl(disk_mu_);
+    util::MutexLock dl(disk_mu_);
     std::shared_ptr<DiskStore> disk;
     bool had = false;
     {
-        std::unique_lock lk(mu_);
+        util::WriterMutexLock lk(mu_);
         auto it = assets_.find(name);
         if (it != assets_.end()) {
             resident_bytes_.fetch_sub(it->second->master_bytes(),
@@ -224,7 +235,7 @@ std::vector<AssetStore::ResidentAsset> AssetStore::residency() const {
     std::vector<ResidentAsset> out;
     std::shared_ptr<DiskStore> disk;
     {
-        std::shared_lock lk(mu_);
+        util::ReaderMutexLock lk(mu_);
         out.reserve(assets_.size());
         for (const auto& [name, asset] : assets_)
             // use_count samples holders beyond the store's own reference —
@@ -240,7 +251,7 @@ std::vector<AssetStore::ResidentAsset> AssetStore::residency() const {
 }
 
 std::vector<std::string> AssetStore::names() const {
-    std::shared_lock lk(mu_);
+    util::ReaderMutexLock lk(mu_);
     std::vector<std::string> out;
     out.reserve(assets_.size());
     for (const auto& [name, _] : assets_) out.push_back(name);
@@ -248,7 +259,7 @@ std::vector<std::string> AssetStore::names() const {
 }
 
 std::size_t AssetStore::size() const {
-    std::shared_lock lk(mu_);
+    util::ReaderMutexLock lk(mu_);
     return assets_.size();
 }
 

@@ -9,19 +9,19 @@
 namespace recoil::serve {
 
 void ResourceGovernor::pin(const std::string& name) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     pinned_.insert(name);
     futile_usage_.store(0, std::memory_order_relaxed);  // eligibility changed
 }
 
 void ResourceGovernor::unpin(const std::string& name) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     pinned_.erase(name);
     futile_usage_.store(0, std::memory_order_relaxed);  // eligibility changed
 }
 
 bool ResourceGovernor::pinned(const std::string& name) const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     return pinned_.contains(name);
 }
 
@@ -30,8 +30,8 @@ void ResourceGovernor::note_access(const std::string& name) {
     const u64 tick = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
     // Never stall a request behind a running enforce() pass: recency is a
     // heuristic, so a dropped update is cheaper than a blocked serve.
-    std::unique_lock lk(mu_, std::try_to_lock);
-    if (!lk.owns_lock()) return;
+    if (!mu_.try_lock()) return;
+    util::MutexLock lk(mu_, util::adopt_lock);
     // Hard cap against unbounded growth from churning asset names when no
     // pressure pass (which prunes against residency) ever runs. Resetting
     // the whole clock is crude but self-correcting: live assets are
@@ -42,7 +42,7 @@ void ResourceGovernor::note_access(const std::string& name) {
 
 u64 ResourceGovernor::enforce() {
     if (!enabled()) return 0;
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     const u64 budget = opt_.budget_bytes;
     if (cache_.current_bytes() + store_.resident_bytes() <= budget) {
         futile_usage_.store(0, std::memory_order_relaxed);
@@ -65,18 +65,23 @@ u64 ResourceGovernor::enforce() {
             it = live.contains(it->first) ? std::next(it)
                                           : last_access_.erase(it);
     }
-    std::stable_sort(residents.begin(), residents.end(),
-                     [&](const auto& a, const auto& b) {
-                         auto tick = [&](const std::string& n) {
-                             auto it = last_access_.find(n);
-                             return it == last_access_.end() ? u64{0}
-                                                             : it->second;
-                         };
-                         return tick(a.name) < tick(b.name);
+    // Ticks are looked up here, not in the sort comparator: the thread
+    // safety analysis checks lambda bodies as standalone functions, so a
+    // comparator touching last_access_ (guarded by mu_) would not pass.
+    std::vector<std::pair<u64, std::size_t>> order;
+    order.reserve(residents.size());
+    for (std::size_t i = 0; i < residents.size(); ++i) {
+        auto it = last_access_.find(residents[i].name);
+        order.emplace_back(it == last_access_.end() ? u64{0} : it->second, i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
                      });
 
     u64 released = 0;
-    for (const auto& r : residents) {
+    for (const auto& ranked : order) {
+        const AssetStore::ResidentAsset& r = residents[ranked.second];
         if (cache_.current_bytes() + store_.resident_bytes() <= budget) break;
         if (pinned_.contains(r.name)) {
             ++stats_.skipped_pinned;
@@ -118,7 +123,7 @@ u64 ResourceGovernor::enforce() {
 }
 
 GovernorStats ResourceGovernor::stats() const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     GovernorStats s = stats_;
     s.budget_bytes = opt_.budget_bytes;
     s.cache_bytes = cache_.current_bytes();

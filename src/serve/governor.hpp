@@ -22,7 +22,6 @@
 //     the cost of losing that race is one re-mmap, never corruption.
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,6 +29,7 @@
 #include "serve/asset_store.hpp"
 #include "serve/metadata_cache.hpp"
 #include "util/ints.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace recoil::obs {
 class MetricsRegistry;
@@ -71,14 +71,14 @@ public:
     /// Pinned assets are never unloaded by enforce(), however cold. The
     /// per-class protection knob: pin the assets a fleet's hot classes
     /// depend on and let the long tail absorb the pressure.
-    void pin(const std::string& name);
-    void unpin(const std::string& name);
-    bool pinned(const std::string& name) const;
+    void pin(const std::string& name) RECOIL_EXCLUDES(mu_);
+    void unpin(const std::string& name) RECOIL_EXCLUDES(mu_);
+    bool pinned(const std::string& name) const RECOIL_EXCLUDES(mu_);
 
     /// Recency signal: the server reports every request's asset here; the
     /// enforce() pass ranks unload candidates coldest-first by this clock.
     /// Assets never reported (preloaded, idle) rank coldest of all.
-    void note_access(const std::string& name);
+    void note_access(const std::string& name) RECOIL_EXCLUDES(mu_);
 
     /// Cheap pressure probe (two relaxed atomic loads) for the hot path.
     bool over_budget() const noexcept {
@@ -113,9 +113,9 @@ public:
     /// the store alone could not get there — shrink the cache to whatever
     /// share of the budget the remaining residents leave. Serialized
     /// internally; concurrent callers queue. Returns bytes released.
-    u64 enforce();
+    u64 enforce() RECOIL_EXCLUDES(mu_);
 
-    GovernorStats stats() const;
+    GovernorStats stats() const RECOIL_EXCLUDES(mu_);
 
     /// Publish this governor through `reg` as polled governor_* metrics;
     /// callbacks read the same counters stats() reports.
@@ -125,16 +125,19 @@ private:
     AssetStore& store_;
     MetadataCache& cache_;
     GovernorOptions opt_;
-    mutable std::mutex mu_;
-    std::unordered_map<std::string, u64> last_access_;
-    std::unordered_set<std::string> pinned_;
+    mutable util::Mutex mu_;
+    std::unordered_map<std::string, u64> last_access_ RECOIL_GUARDED_BY(mu_);
+    std::unordered_set<std::string> pinned_ RECOIL_GUARDED_BY(mu_);
+    /// clock_/futile_usage_/latched_probes_ are the documented lock-free
+    /// escapes: over_budget()/pressure_actionable() run on the serve hot
+    /// path and must never contend with a running enforce() pass.
     std::atomic<u64> clock_{0};
     /// Usage level a pass ended at while still over budget (0 = none):
     /// the futility latch behind pressure_actionable().
     std::atomic<u64> futile_usage_{0};
     static constexpr u64 kLatchedRetryPeriod = 64;
     mutable std::atomic<u64> latched_probes_{0};
-    GovernorStats stats_;
+    GovernorStats stats_ RECOIL_GUARDED_BY(mu_);
 };
 
 }  // namespace recoil::serve

@@ -15,7 +15,7 @@ MetadataCache::MetadataCache(u64 capacity_bytes, CachePolicyConfig policy)
 
 WireBytes MetadataCache::get(const std::string& asset_key, u32 parallelism,
                              u32* splits_out, bool record_access) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     const Key key{asset_key, parallelism};
     if (record_access) admission_->record(KeyHash{}(key));
     auto it = map_.find(key);
@@ -33,7 +33,7 @@ WireBytes MetadataCache::get(const std::string& asset_key, u32 parallelism,
 void MetadataCache::put(const std::string& asset_key, u32 parallelism,
                         WireBytes wire, u32 splits) {
     RECOIL_CHECK(wire != nullptr, "cache put: null payload");
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     const Key key{asset_key, parallelism};
     auto it = map_.find(key);
     if (wire->size() > capacity_) {  // would evict everything for nothing
@@ -99,7 +99,7 @@ void MetadataCache::evict_until_locked(u64 target_bytes) {
 }
 
 void MetadataCache::erase_asset(const std::string& asset_key) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     for (auto it = map_.begin(); it != map_.end();) {
         const std::string& a = it->first.asset;
         const bool derived = a.size() > asset_key.size() &&
@@ -118,12 +118,12 @@ void MetadataCache::erase_asset(const std::string& asset_key) {
 }
 
 void MetadataCache::shrink_to(u64 target_bytes) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     evict_until_locked(target_bytes);
 }
 
 void MetadataCache::clear() {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     map_.clear();
     by_id_.clear();
     policy_->clear();
@@ -132,7 +132,7 @@ void MetadataCache::clear() {
 }
 
 CacheStats MetadataCache::stats() const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     return stats_;
 }
 

@@ -16,7 +16,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "serve/cache_policy.hpp"
 #include "serve/protocol.hpp"
 #include "util/ints.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace recoil::obs {
 class MetricsRegistry;
@@ -72,7 +72,8 @@ public:
     /// every cold key was seen twice, silently disarming the one-hit-
     /// wonder gate.
     WireBytes get(const std::string& asset_key, u32 parallelism,
-                  u32* splits_out = nullptr, bool record_access = true);
+                  u32* splits_out = nullptr, bool record_access = true)
+        RECOIL_EXCLUDES(mu_);
 
     /// Insert (or refresh) an entry, evicting policy-chosen victims past
     /// capacity. Payloads larger than the whole cache are never cached —
@@ -83,18 +84,18 @@ public:
     /// capacity is admitted (it fits — alone). `splits` is the work-item
     /// count the response carries, echoed back by get().
     void put(const std::string& asset_key, u32 parallelism, WireBytes wire,
-             u32 splits = 0);
+             u32 splits = 0) RECOIL_EXCLUDES(mu_);
 
     /// Drop every entry for `asset_key` (all parallelisms, and derived keys
     /// of the form "asset_key\n..." such as range responses). Not an
     /// eviction: the evictions counter is untouched.
-    void erase_asset(const std::string& asset_key);
+    void erase_asset(const std::string& asset_key) RECOIL_EXCLUDES(mu_);
 
     /// Evict policy-chosen victims until current bytes <= `target_bytes`
     /// (counted as evictions — this is capacity pressure, from the resource
     /// governor rather than from an insertion). The configured capacity is
     /// unchanged: the cache may grow back.
-    void shrink_to(u64 target_bytes);
+    void shrink_to(u64 target_bytes) RECOIL_EXCLUDES(mu_);
 
     /// Drop every entry. Resets the current-size fields (`bytes`,
     /// `entries`) only; cumulative counters (hits/misses/insertions/
@@ -102,8 +103,8 @@ public:
     /// across a clear() is not lost. Dropped entries do not count as
     /// evictions. The admission sketch also survives: it models the access
     /// stream, which a contents clear does not rewrite.
-    void clear();
-    CacheStats stats() const;
+    void clear() RECOIL_EXCLUDES(mu_);
+    CacheStats stats() const RECOIL_EXCLUDES(mu_);
     /// Publish this cache through `reg` as polled cache_* metrics (see
     /// docs/observability.md for the name catalogue). The callbacks read the
     /// same counters stats() reports, so both views are bit-identical.
@@ -141,21 +142,24 @@ private:
 
     /// Remove one entry (found via the by-id index) and report it to the
     /// policy; the caller decides whether it counts as an eviction.
-    void erase_entry_locked(EntryId id);
-    void evict_until_locked(u64 target_bytes);
-    void set_bytes_locked(u64 bytes);
+    void erase_entry_locked(EntryId id) RECOIL_REQUIRES(mu_);
+    void evict_until_locked(u64 target_bytes) RECOIL_REQUIRES(mu_);
+    void set_bytes_locked(u64 bytes) RECOIL_REQUIRES(mu_);
 
-    mutable std::mutex mu_;
-    u64 capacity_;
-    CachePolicyConfig policy_cfg_;
-    std::unique_ptr<EvictionPolicy> policy_;
-    std::unique_ptr<AdmissionPolicy> admission_;
-    std::unordered_map<Key, Entry, KeyHash> map_;
+    mutable util::Mutex mu_;
+    u64 capacity_;           ///< immutable after construction
+    CachePolicyConfig policy_cfg_;  ///< immutable after construction
+    std::unique_ptr<EvictionPolicy> policy_ RECOIL_GUARDED_BY(mu_);
+    std::unique_ptr<AdmissionPolicy> admission_ RECOIL_GUARDED_BY(mu_);
+    std::unordered_map<Key, Entry, KeyHash> map_ RECOIL_GUARDED_BY(mu_);
     /// Victim lookup: policy ids -> the map key holding that entry. Points
     /// into map_ nodes (stable under rehash for node-based containers).
-    std::unordered_map<EntryId, const Key*> by_id_;
-    EntryId next_id_ = 1;
-    CacheStats stats_;
+    std::unordered_map<EntryId, const Key*> by_id_ RECOIL_GUARDED_BY(mu_);
+    EntryId next_id_ RECOIL_GUARDED_BY(mu_) = 1;
+    CacheStats stats_ RECOIL_GUARDED_BY(mu_);
+    /// Lock-free mirror of stats_.bytes (documented escape): written only
+    /// by set_bytes_locked() under mu_, read without it by current_bytes()
+    /// so the governor's pressure probe never contends with the cache.
     std::atomic<u64> bytes_now_{0};
 };
 

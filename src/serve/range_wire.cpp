@@ -197,7 +197,10 @@ ParsedSegment parse_segment(Cursor& c) {
     const u64 unit_count = c.get_u64();
     auto units = c.get_unit_bytes(unit_count);
     p.units.resize(unit_count);
-    std::memcpy(p.units.data(), units.data(), unit_count * 2);
+    // A boundary-only slice can carry zero units; memcpy from the (then
+    // null) slice pointer is UB even at size 0.
+    if (unit_count != 0)
+        std::memcpy(p.units.data(), units.data(), unit_count * 2);
     if (p.meta.num_units != unit_count)
         raise("range wire: metadata/slice length mismatch");
     info.unit_count = unit_count;

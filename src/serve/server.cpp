@@ -65,27 +65,33 @@ struct StreamState {
     u32 known_splits = 0;  ///< splits known at header time (cache hits)
 
     // ---- producer/consumer queue (leader and solo streams) ----
-    std::mutex mu;
-    std::condition_variable cv_space;  ///< producer: window space freed
-    std::condition_variable cv_data;   ///< consumer: pieces or completion
-    std::deque<format::ByteBuffer> queue;
-    u64 staged_bytes = 0;  ///< produced-not-consumed (the in-flight window)
-    u64 staged_owned = 0;  ///< owned (non-view) subset of staged_bytes
-    u64 peak_staged = 0;
-    u64 peak_owned = 0;
-    u64 produced_bytes = 0;
-    bool producer_done = false;
-    bool cancelled = false;  ///< solo stream abandoned: stop producing
-    bool draining = false;   ///< leader abandoned: finish assembly, skip queue
-    u32 produced_splits = 0;
-    ErrorCode producer_code = ErrorCode::ok;
-    std::string producer_detail;
+    util::Mutex mu;
+    util::CondVar cv_space;  ///< producer: window space freed
+    util::CondVar cv_data;   ///< consumer: pieces or completion
+    std::deque<format::ByteBuffer> queue RECOIL_GUARDED_BY(mu);
+    /// Produced-not-consumed (the in-flight window).
+    u64 staged_bytes RECOIL_GUARDED_BY(mu) = 0;
+    /// Owned (non-view) subset of staged_bytes.
+    u64 staged_owned RECOIL_GUARDED_BY(mu) = 0;
+    u64 peak_staged RECOIL_GUARDED_BY(mu) = 0;
+    u64 peak_owned RECOIL_GUARDED_BY(mu) = 0;
+    u64 produced_bytes RECOIL_GUARDED_BY(mu) = 0;
+    bool producer_done RECOIL_GUARDED_BY(mu) = false;
+    /// Solo stream abandoned: stop producing.
+    bool cancelled RECOIL_GUARDED_BY(mu) = false;
+    /// Leader abandoned: finish assembly, skip queue.
+    bool draining RECOIL_GUARDED_BY(mu) = false;
+    u32 produced_splits RECOIL_GUARDED_BY(mu) = 0;
+    ErrorCode producer_code RECOIL_GUARDED_BY(mu) = ErrorCode::ok;
+    std::string producer_detail RECOIL_GUARDED_BY(mu);
+    /// Joined by ~StreamState or detached by an abandoning ~ServeStream —
+    /// both consumer-side acts; the producer thread never touches it.
     std::thread producer;
     /// Set (under mu) by an abandoning destructor after detaching the
     /// producer thread: hands the still-running producer ownership of this
     /// state, so the drain completes in the background instead of blocking
     /// the abandoning thread. The producer drops it as its last act.
-    std::shared_ptr<StreamState> self_keep;
+    std::shared_ptr<StreamState> self_keep RECOIL_GUARDED_BY(mu);
 
     // ---- consumer state (single consumer: the ServeStream) ----
     enum class Phase : u8 { header, body, fin, finished };
@@ -113,9 +119,10 @@ struct StreamState {
         if (producer.joinable()) producer.join();
     }
 
-    void producer_main();
-    void fail_producer(ErrorCode code, std::string detail);
-    std::optional<format::ByteBuffer> pull_piece(bool block, bool& end);
+    void producer_main() RECOIL_EXCLUDES(mu);
+    void fail_producer(ErrorCode code, std::string detail) RECOIL_EXCLUDES(mu);
+    std::optional<format::ByteBuffer> pull_piece(bool block, bool& end)
+        RECOIL_EXCLUDES(mu);
 };
 
 namespace {
@@ -147,24 +154,23 @@ private:
             // observe the queue ahead of the assembly they replay from.
             Flight& f = *st_.flight;
             {
-                std::scoped_lock lk(f.mu);
+                util::MutexLock lk(f.mu);
                 f.assembling->insert(f.assembling->end(), sub.begin(),
                                      sub.end());
                 f.committed = f.assembling->size();
             }
             f.cv.notify_all();
         }
-        std::unique_lock lk(st_.mu);
+        util::MutexLock lk(st_.mu);
         if (st_.cancelled) throw StreamCancel{};
         st_.produced_bytes += sub.size();
         if (st_.draining) return;  // consumer gone; assembly above suffices
         // The in-flight window: block until the consumer frees space. A
         // piece larger than the window (impossible after frame-splitting,
         // kept for safety) passes when the queue is empty.
-        st_.cv_space.wait(lk, [&] {
-            return st_.cancelled || st_.draining || st_.staged_bytes == 0 ||
-                   st_.staged_bytes + sub.size() <= st_.opt.window_bytes;
-        });
+        while (!(st_.cancelled || st_.draining || st_.staged_bytes == 0 ||
+                 st_.staged_bytes + sub.size() <= st_.opt.window_bytes))
+            st_.cv_space.wait(st_.mu);
         if (st_.cancelled) throw StreamCancel{};
         if (st_.draining) return;
         st_.staged_bytes += sub.size();
@@ -192,7 +198,7 @@ void StreamState::producer_main() {
         if (leader && flight != nullptr) {
             ServedWire wire;
             {
-                std::scoped_lock lk(flight->mu);
+                util::MutexLock lk(flight->mu);
                 // The assembly never mutates again: alias it as the shared
                 // wire without copying.
                 wire.wire = WireBytes(flight->assembling);
@@ -206,7 +212,7 @@ void StreamState::producer_main() {
         }
         u64 total = 0;
         {
-            std::scoped_lock lk(mu);
+            util::MutexLock lk(mu);
             produced_splits = splits;
             producer_done = true;
             total = produced_bytes;
@@ -214,7 +220,7 @@ void StreamState::producer_main() {
         srv.wire_bytes_.fetch_add(total, std::memory_order_relaxed);
         cv_data.notify_all();
     } catch (const StreamCancel&) {
-        std::scoped_lock lk(mu);
+        util::MutexLock lk(mu);
         producer_done = true;  // solo stream abandoned; nobody consumes
     } catch (const ProtocolError& e) {
         fail_producer(e.code(), e.what());
@@ -235,14 +241,14 @@ void StreamState::producer_main() {
     // thread first, so ~StreamState has nothing to join.
     std::shared_ptr<StreamState> self;
     {
-        std::scoped_lock lk(mu);
+        util::MutexLock lk(mu);
         self = std::move(self_keep);
     }
     {
         // Notify UNDER the lock: ~ContentServer destroys the cv as soon as
         // the count hits zero and it reacquires the mutex, so an unlocked
         // notify could touch a dead condition variable.
-        std::scoped_lock lk(srv.streams_mu_);
+        util::MutexLock lk(srv.streams_mu_);
         --srv.active_stream_producers_;
         srv.streams_cv_.notify_all();
     }
@@ -253,7 +259,7 @@ void StreamState::fail_producer(ErrorCode code, std::string detail) {
         server->retire_flight(flight_key, flight, nullptr, code, detail);
     server->failures_.fetch_add(1, std::memory_order_relaxed);
     {
-        std::scoped_lock lk(mu);
+        util::MutexLock lk(mu);
         producer_code = code;
         producer_detail = std::move(detail);
         producer_done = true;
@@ -286,14 +292,13 @@ std::optional<format::ByteBuffer> StreamState::pull_piece(bool block,
 
     if (flight != nullptr && !leader) {  // follower: replay the leader
         Flight& f = *flight;
-        std::unique_lock lk(f.mu);
-        const auto ready = [&] {
-            return f.done || (f.streaming && f.committed > replay_offset);
-        };
-        if (block)
-            f.cv.wait(lk, ready);
-        else if (!ready())
+        util::MutexLock lk(f.mu);
+        if (block) {
+            while (!f.done && !(f.streaming && f.committed > replay_offset))
+                f.cv.wait(f.mu);
+        } else if (!f.done && !(f.streaming && f.committed > replay_offset)) {
             return std::nullopt;
+        }
         if (f.failed) {
             fin_code = f.error_code;
             fin_detail = f.error_detail;
@@ -327,9 +332,9 @@ std::optional<format::ByteBuffer> StreamState::pull_piece(bool block,
     }
 
     // Producer-backed source (leader or solo).
-    std::unique_lock lk(mu);
+    util::MutexLock lk(mu);
     if (block)
-        cv_data.wait(lk, [&] { return !queue.empty() || producer_done; });
+        while (queue.empty() && !producer_done) cv_data.wait(mu);
     if (queue.empty()) {
         if (!producer_done) return std::nullopt;
         if (producer_code != ErrorCode::ok) {
@@ -372,7 +377,7 @@ ServeStream::~ServeStream() {
     // so the drain genuinely finishes in the background.
     bool hand_off = false;
     {
-        std::scoped_lock lk(st_->mu);
+        util::MutexLock lk(st_->mu);
         if (st_->leader)
             st_->draining = true;
         else
@@ -395,12 +400,12 @@ bool ServeStream::done() const noexcept {
 u64 ServeStream::frames_emitted() const noexcept { return st_->frames; }
 
 u64 ServeStream::peak_owned_bytes() const noexcept {
-    std::scoped_lock lk(st_->mu);
+    util::MutexLock lk(st_->mu);
     return st_->peak_owned;
 }
 
 u64 ServeStream::peak_staged_bytes() const noexcept {
-    std::scoped_lock lk(st_->mu);
+    util::MutexLock lk(st_->mu);
     return st_->peak_staged;
 }
 
@@ -482,7 +487,7 @@ std::optional<std::vector<u8>> ServeStream::frame_impl(bool allow_block,
             st.digest = format::fnv1a(payload, st.digest);
             st.emitted_payload += payload.size();
             {
-                std::scoped_lock lk(st.mu);
+                util::MutexLock lk(st.mu);
                 const u64 held =
                     st.staged_owned + payload.size() +
                     (st.pending.borrowed() ? 0 : st.pending.size());
@@ -536,8 +541,8 @@ ContentServer::ContentServer(ServerOptions opt)
 }
 
 ContentServer::~ContentServer() {
-    std::unique_lock lk(streams_mu_);
-    streams_cv_.wait(lk, [&] { return active_stream_producers_ == 0; });
+    util::MutexLock lk(streams_mu_);
+    while (active_stream_producers_ != 0) streams_cv_.wait(streams_mu_);
 }
 
 void ContentServer::init_telemetry() {
@@ -790,14 +795,10 @@ ServeResult ContentServer::serve_impl(const ServeRequest& req,
 bool ContentServer::acquire_flight(const std::string& flight_key,
                                    std::shared_ptr<Flight>& flight,
                                    bool streaming) {
-    std::scoped_lock lk(flights_mu_);
+    util::MutexLock lk(flights_mu_);
     auto& slot = flights_[flight_key];
     if (slot == nullptr) {
-        slot = std::make_shared<Flight>();
-        if (streaming) {
-            slot->streaming = true;
-            slot->assembling = std::make_shared<std::vector<u8>>();
-        }
+        slot = std::make_shared<Flight>(streaming);
         flight = slot;
         return true;
     }
@@ -828,8 +829,8 @@ ServedWire ContentServer::serve_shared(const Prepared& p, ServeStats& stats,
     if (!leader) {
         obs::TraceContext::Scoped span(trace, "coalesce_wait", nullptr);
         waiters_.fetch_add(1, std::memory_order_relaxed);
-        std::unique_lock lk(flight->mu);
-        flight->cv.wait(lk, [&] { return flight->done; });
+        util::MutexLock lk(flight->mu);
+        while (!flight->done) flight->cv.wait(flight->mu);
         waiters_.fetch_sub(1, std::memory_order_relaxed);
         // A fresh exception per follower; the flight's fields are immutable
         // once done, so concurrent reads need no further synchronization.
@@ -901,11 +902,11 @@ void ContentServer::retire_flight(const std::string& flight_key,
                                   const ServedWire* wire, ErrorCode error_code,
                                   std::string error_detail) {
     {
-        std::scoped_lock lk(flights_mu_);
+        util::MutexLock lk(flights_mu_);
         flights_.erase(flight_key);
     }
     {
-        std::scoped_lock fl(flight->mu);
+        util::MutexLock fl(flight->mu);
         if (wire != nullptr) {
             flight->wire = *wire;
         } else {
@@ -1003,7 +1004,7 @@ ServeStream ContentServer::serve_stream(const ServeRequest& req,
         st->adaptive = opt.adaptive_frames;
         if (opt_.combine_hook) opt_.combine_hook(st->prep.key);
         {
-            std::scoped_lock lk(streams_mu_);
+            util::MutexLock lk(streams_mu_);
             ++active_stream_producers_;
         }
         try {
@@ -1011,7 +1012,7 @@ ServeStream ContentServer::serve_stream(const ServeRequest& req,
                                        st.get());
         } catch (...) {
             {
-                std::scoped_lock lk(streams_mu_);
+                util::MutexLock lk(streams_mu_);
                 --active_stream_producers_;
             }
             throw;

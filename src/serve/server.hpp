@@ -17,11 +17,9 @@
 // implementation, two framings.
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -35,6 +33,7 @@
 #include "serve/governor.hpp"
 #include "serve/metadata_cache.hpp"
 #include "serve/protocol.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace recoil::serve {
 
@@ -172,17 +171,29 @@ namespace detail {
 /// producing, instead of parking until the end. On completion `assembling`
 /// becomes the shared wire without copying (it never mutates again).
 struct Flight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    ServedWire wire;
-    bool failed = false;
-    ErrorCode error_code = ErrorCode::internal;
-    std::string error_detail;
-    // Streaming-leader incremental assembly.
-    bool streaming = false;
-    std::shared_ptr<std::vector<u8>> assembling;
-    u64 committed = 0;
+    /// The streaming mode (and with it the assembly buffer) is fixed at
+    /// construction, BEFORE the flight is published through the flights_
+    /// map — followers read `streaming` under mu, and a post-publication
+    /// write would be exactly the discipline hole the analysis exists to
+    /// reject.
+    explicit Flight(bool is_streaming)
+        : streaming(is_streaming),
+          assembling(is_streaming ? std::make_shared<std::vector<u8>>()
+                                  : nullptr) {}
+
+    util::Mutex mu;
+    util::CondVar cv;
+    bool done RECOIL_GUARDED_BY(mu) = false;
+    ServedWire wire RECOIL_GUARDED_BY(mu);
+    bool failed RECOIL_GUARDED_BY(mu) = false;
+    ErrorCode error_code RECOIL_GUARDED_BY(mu) = ErrorCode::internal;
+    std::string error_detail RECOIL_GUARDED_BY(mu);
+    // Streaming-leader incremental assembly. The pointer is immutable; the
+    // pointed-to vector grows only under mu (bytes [0, committed) are
+    // stable and readable under mu).
+    const bool streaming;
+    const std::shared_ptr<std::vector<u8>> assembling;
+    u64 committed RECOIL_GUARDED_BY(mu) = 0;
 };
 
 }  // namespace detail
@@ -194,7 +205,7 @@ public:
     /// including detached drains from abandoned leader streams — so a
     /// background producer can never touch a dead server. ServeStream
     /// objects themselves must still not be *used* past this point.
-    ~ContentServer();
+    ~ContentServer() RECOIL_EXCLUDES(streams_mu_);
 
     AssetStore& store() noexcept { return store_; }
     MetadataCache& cache() noexcept { return cache_; }
@@ -299,7 +310,8 @@ private:
     /// Insert-or-join the flight for `flight_key`. True when this caller
     /// is the leader (it must eventually retire the flight).
     bool acquire_flight(const std::string& flight_key,
-                        std::shared_ptr<Flight>& flight, bool streaming);
+                        std::shared_ptr<Flight>& flight, bool streaming)
+        RECOIL_EXCLUDES(flights_mu_);
     /// Remove the flight from the map, publish its outcome (wire when
     /// non-null, else the typed failure) and wake every parked follower.
     /// Every leader exit path must end here, or followers block forever on
@@ -307,7 +319,7 @@ private:
     void retire_flight(const std::string& flight_key,
                        const std::shared_ptr<Flight>& flight,
                        const ServedWire* wire, ErrorCode error_code,
-                       std::string error_detail);
+                       std::string error_detail) RECOIL_EXCLUDES(flights_mu_);
     /// Run a governance pass if the global budget is exceeded. Called at
     /// the end of every serve and stream production — the moments usage
     /// can have grown (demand-load, cache put).
@@ -343,13 +355,17 @@ private:
     AssetStore store_;
     MetadataCache cache_;
     ResourceGovernor governor_;
-    std::mutex flights_mu_;
-    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
-    /// Outstanding serve_stream producer threads (guarded by streams_mu_);
-    /// the destructor waits for zero.
-    std::mutex streams_mu_;
-    std::condition_variable streams_cv_;
-    u64 active_stream_producers_ = 0;
+    util::Mutex flights_mu_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
+        RECOIL_GUARDED_BY(flights_mu_);
+    /// Outstanding serve_stream producer threads; the destructor waits for
+    /// zero.
+    util::Mutex streams_mu_;
+    util::CondVar streams_cv_;
+    u64 active_stream_producers_ RECOIL_GUARDED_BY(streams_mu_) = 0;
+    /// The totals block below is all relaxed atomics — the documented
+    /// lock-free escape for the serve hot path (totals()/sampling/metrics
+    /// callbacks read them without any lock).
     std::atomic<u64> waiters_{0};
     std::atomic<u64> requests_{0};
     std::atomic<u64> failures_{0};

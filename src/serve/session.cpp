@@ -19,7 +19,7 @@ Session::Session(ContentServer& server, Options opt)
 
 Session::~Session() {
     {
-        std::scoped_lock lk(mu_);
+        util::MutexLock lk(mu_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -30,7 +30,7 @@ std::shared_future<ServeResult> Session::submit(ServeRequest req, Callback cb) {
     std::promise<ServeResult> promise;
     std::shared_future<ServeResult> fut = promise.get_future().share();
     {
-        std::scoped_lock lk(mu_);
+        util::MutexLock lk(mu_);
         RECOIL_CHECK(!stopping_, "Session::submit after shutdown began");
         queue_.push_back(Task{std::move(req), std::move(promise), std::move(cb)});
         ++stats_.submitted;
@@ -50,7 +50,7 @@ std::shared_future<ServeResult> Session::submit_stream(ServeRequest req,
     task.frame_cb = std::move(on_frame);
     task.stream_opt = opt;
     {
-        std::scoped_lock lk(mu_);
+        util::MutexLock lk(mu_);
         RECOIL_CHECK(!stopping_, "Session::submit_stream after shutdown began");
         queue_.push_back(std::move(task));
         ++stats_.submitted;
@@ -61,17 +61,17 @@ std::shared_future<ServeResult> Session::submit_stream(ServeRequest req,
 }
 
 void Session::wait_idle() {
-    std::unique_lock lk(mu_);
-    idle_cv_.wait(lk, [&] { return queue_.empty() && active_ == 0; });
+    util::MutexLock lk(mu_);
+    while (!(queue_.empty() && active_ == 0)) idle_cv_.wait(mu_);
 }
 
 std::size_t Session::in_flight() const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     return queue_.size() + active_;
 }
 
 Session::Stats Session::stats() const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     return stats_;
 }
 
@@ -79,8 +79,8 @@ void Session::worker_loop() {
     for (;;) {
         Task task;
         {
-            std::unique_lock lk(mu_);
-            cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+            util::MutexLock lk(mu_);
+            while (!stopping_ && queue_.empty()) cv_.wait(mu_);
             if (queue_.empty()) return;  // stopping, and fully drained
             task = std::move(queue_.front());
             queue_.pop_front();
@@ -120,7 +120,7 @@ void Session::worker_loop() {
         if (task.streamed) c_streamed_.inc();
         c_frames_.inc(frames);
         {
-            std::scoped_lock lk(mu_);
+            util::MutexLock lk(mu_);
             --active_;
             ++stats_.completed;
             if (!ok) ++stats_.failed;

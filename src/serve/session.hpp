@@ -7,15 +7,14 @@
 // the same response — submitting the same cold key from many workers costs
 // one combine, and everyone shares the wire.
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "serve/server.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace recoil::serve {
 
@@ -33,7 +32,7 @@ public:
     explicit Session(ContentServer& server) : Session(server, Options()) {}
     Session(ContentServer& server, Options opt);
     /// Drains outstanding requests (every future becomes ready), then joins.
-    ~Session();
+    ~Session() RECOIL_EXCLUDES(mu_);
     Session(const Session&) = delete;
     Session& operator=(const Session&) = delete;
 
@@ -45,7 +44,8 @@ public:
 
     /// Queue a request; the shared future is also safe to drop (fire and
     /// forget) or to copy to multiple consumers.
-    std::shared_future<ServeResult> submit(ServeRequest req, Callback cb = {});
+    std::shared_future<ServeResult> submit(ServeRequest req, Callback cb = {})
+        RECOIL_EXCLUDES(mu_);
 
     /// Queue a request served through ContentServer::serve_stream: frames
     /// are delivered to `on_frame` as the worker pulls them (the worker's
@@ -54,13 +54,14 @@ public:
     /// carries stats but never a wire — the frames were the payload.
     std::shared_future<ServeResult> submit_stream(ServeRequest req,
                                                   FrameCallback on_frame,
-                                                  StreamOptions opt = {});
+                                                  StreamOptions opt = {})
+        RECOIL_EXCLUDES(mu_);
 
     /// Block until every submitted request has completed.
-    void wait_idle();
+    void wait_idle() RECOIL_EXCLUDES(mu_);
 
     /// Requests submitted but not yet completed.
-    std::size_t in_flight() const;
+    std::size_t in_flight() const RECOIL_EXCLUDES(mu_);
 
     /// Cumulative session-side counters (the server's totals() aggregate
     /// every session; these isolate one). Counters only — the API is
@@ -72,7 +73,7 @@ public:
         u64 streamed = 0;   ///< completed via submit_stream
         u64 frames_delivered = 0;  ///< frames handed to frame callbacks
     };
-    Stats stats() const;
+    Stats stats() const RECOIL_EXCLUDES(mu_);
 
 private:
     struct Task {
@@ -84,7 +85,7 @@ private:
         StreamOptions stream_opt;
     };
 
-    void worker_loop();
+    void worker_loop() RECOIL_EXCLUDES(mu_);
 
     ContentServer& server_;
     // Fleet-wide session_* counters in the server's registry, shared across
@@ -96,13 +97,13 @@ private:
     obs::Counter& c_failed_;
     obs::Counter& c_streamed_;
     obs::Counter& c_frames_;
-    mutable std::mutex mu_;
-    std::condition_variable cv_;       ///< workers: work available / stopping
-    std::condition_variable idle_cv_;  ///< wait_idle: everything completed
-    std::deque<Task> queue_;
-    std::size_t active_ = 0;  ///< tasks currently being served
-    bool stopping_ = false;
-    Stats stats_;  ///< guarded by mu_
+    mutable util::Mutex mu_;
+    util::CondVar cv_;       ///< workers: work available / stopping
+    util::CondVar idle_cv_;  ///< wait_idle: everything completed
+    std::deque<Task> queue_ RECOIL_GUARDED_BY(mu_);
+    std::size_t active_ RECOIL_GUARDED_BY(mu_) = 0;  ///< tasks being served
+    bool stopping_ RECOIL_GUARDED_BY(mu_) = false;
+    Stats stats_ RECOIL_GUARDED_BY(mu_);
     std::vector<std::thread> workers_;
 };
 

@@ -227,7 +227,7 @@ std::filesystem::path DiskStore::manifest_path(const std::string& name) const {
 }
 
 std::vector<StoredAssetInfo> DiskStore::list() const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     std::vector<StoredAssetInfo> out;
     out.reserve(index_.size());
     for (const auto& [_, info] : index_) out.push_back(info);
@@ -235,19 +235,19 @@ std::vector<StoredAssetInfo> DiskStore::list() const {
 }
 
 std::optional<StoredAssetInfo> DiskStore::info(const std::string& name) const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     auto it = index_.find(name);
     if (it == index_.end()) return std::nullopt;
     return it->second;
 }
 
 std::size_t DiskStore::size() const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     return index_.size();
 }
 
 u64 DiskStore::next_generation() const {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     u64 next = 1;
     for (const auto& [_, info] : index_)
         next = std::max(next, info.generation + 1);
@@ -264,7 +264,7 @@ void DiskStore::put(const std::string& name, AssetKind kind,
     info.checksum = format::fnv1a(container);
     const std::vector<u8> manifest = serialize_manifest(info);
 
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     // Containers are generation-suffixed, so writing the new one never
     // touches the live one; the manifest rename is the atomic commit. A
     // crash before it leaves the old asset fully intact plus an orphan
@@ -290,7 +290,7 @@ std::optional<DiskStore::Loaded> DiskStore::load(const std::string& name) const 
     for (int attempt = 0;; ++attempt) {
         StoredAssetInfo info;
         {
-            std::scoped_lock lk(mu_);
+            util::MutexLock lk(mu_);
             auto it = index_.find(name);
             if (it == index_.end()) return std::nullopt;
             info = it->second;
@@ -317,7 +317,7 @@ std::optional<DiskStore::Loaded> DiskStore::load(const std::string& name) const 
             // this generation's container) between the index read and the
             // map. If so, retry against the new generation; otherwise it is
             // genuine corruption.
-            std::scoped_lock lk(mu_);
+            util::MutexLock lk(mu_);
             auto it = index_.find(name);
             if (attempt == 0 && it != index_.end() &&
                 it->second.generation != info.generation)
@@ -330,7 +330,7 @@ std::optional<DiskStore::Loaded> DiskStore::load(const std::string& name) const 
 DiskStore::VerifyReport DiskStore::verify() const {
     std::vector<StoredAssetInfo> assets;
     {
-        std::scoped_lock lk(mu_);
+        util::MutexLock lk(mu_);
         assets.reserve(index_.size());
         for (const auto& [_, info] : index_) assets.push_back(info);
     }
@@ -364,7 +364,7 @@ DiskStore::VerifyReport DiskStore::verify() const {
 }
 
 bool DiskStore::remove(const std::string& name) {
-    std::scoped_lock lk(mu_);
+    util::MutexLock lk(mu_);
     auto it = index_.find(name);
     if (it == index_.end()) return false;
     // Manifest first: a crash mid-remove leaves an orphan container (ignored

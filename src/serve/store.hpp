@@ -18,7 +18,6 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -27,6 +26,7 @@
 #include "serve/asset.hpp"
 #include "util/error.hpp"
 #include "util/ints.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace recoil::obs {
 class MetricsRegistry;
@@ -102,12 +102,13 @@ public:
     explicit DiskStore(std::filesystem::path dir, DiskStoreOptions opt = {});
 
     const std::filesystem::path& dir() const noexcept { return dir_; }
-    std::vector<StoredAssetInfo> list() const;
-    std::optional<StoredAssetInfo> info(const std::string& name) const;
-    std::size_t size() const;
+    std::vector<StoredAssetInfo> list() const RECOIL_EXCLUDES(mu_);
+    std::optional<StoredAssetInfo> info(const std::string& name) const
+        RECOIL_EXCLUDES(mu_);
+    std::size_t size() const RECOIL_EXCLUDES(mu_);
     /// Smallest generation strictly above every stored asset's, so a
     /// reopened AssetStore continues the uid sequence instead of reusing one.
-    u64 next_generation() const;
+    u64 next_generation() const RECOIL_EXCLUDES(mu_);
 
     /// Durably write `container` under `name` with the atomic-rename
     /// protocol: the generation-suffixed container file lands first (never
@@ -115,7 +116,8 @@ public:
     /// replacement — a crash at any point leaves either the old asset or
     /// the new one, plus at worst an orphan container ignored at open.
     void put(const std::string& name, AssetKind kind,
-             std::span<const u8> container, u64 generation);
+             std::span<const u8> container, u64 generation)
+        RECOIL_EXCLUDES(mu_);
 
     struct Loaded {
         StoredAssetInfo info;
@@ -126,7 +128,8 @@ public:
     };
     /// mmap an asset's container. nullopt when the name is not stored;
     /// StoreError when it is stored but unreadable or corrupt.
-    std::optional<Loaded> load(const std::string& name) const;
+    std::optional<Loaded> load(const std::string& name) const
+        RECOIL_EXCLUDES(mu_);
 
     /// One corrupt (or unreadable) stored asset found by verify().
     struct VerifyIssue {
@@ -145,11 +148,11 @@ public:
     /// throw on the first defect — the boot-time scrub a server runs so a
     /// bad asset surfaces before its first demand-load does. Healthy assets
     /// are untouched in memory terms: mappings are dropped on return.
-    VerifyReport verify() const;
+    VerifyReport verify() const RECOIL_EXCLUDES(mu_);
 
     /// Remove an asset's container and manifest. Existing mappings stay
     /// valid. False when the name is not stored.
-    bool remove(const std::string& name);
+    bool remove(const std::string& name) RECOIL_EXCLUDES(mu_);
 
     /// Cumulative disk-traffic counters over this store handle's lifetime
     /// (successful operations only; a failed put/load counts nothing).
@@ -179,8 +182,11 @@ private:
 
     std::filesystem::path dir_;
     DiskStoreOptions opt_;
-    mutable std::mutex mu_;
-    std::map<std::string, StoredAssetInfo> index_;
+    // mu_ guards the manifest index AND frames the on-disk commit protocol
+    // (put/remove mutate files under it). The traffic counters below are
+    // relaxed atomics — the documented escape that keeps stats() lock-free.
+    mutable util::Mutex mu_;
+    std::map<std::string, StoredAssetInfo> index_ RECOIL_GUARDED_BY(mu_);
     std::atomic<u64> puts_{0};
     std::atomic<u64> put_bytes_{0};
     mutable std::atomic<u64> loads_{0};  ///< load() is logically const

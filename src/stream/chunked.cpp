@@ -2,7 +2,6 @@
 
 #include <cstring>
 #include <exception>
-#include <mutex>
 
 #include "core/metadata_codec.hpp"
 #include "core/recoil_decoder.hpp"

@@ -5,14 +5,13 @@
 // parallel paths free of per-task allocation.
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/ints.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace recoil {
 
@@ -29,9 +28,9 @@ public:
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    ~ThreadPool() {
+    ~ThreadPool() RECOIL_EXCLUDES(mu_) {
         {
-            std::scoped_lock lk(mu_);
+            util::MutexLock lk(mu_);
             stopping_ = true;
         }
         cv_.notify_all();
@@ -42,7 +41,8 @@ public:
 
     /// Run body(i) for i in [0, count) across the pool; blocks until done.
     /// The calling thread participates, so a pool of size T uses T+1 lanes.
-    void parallel_for(u64 count, const std::function<void(u64)>& body) {
+    void parallel_for(u64 count, const std::function<void(u64)>& body)
+        RECOIL_EXCLUDES(mu_) {
         if (count == 0) return;
         if (count == 1 || workers_.empty()) {
             for (u64 i = 0; i < count; ++i) body(i);
@@ -54,17 +54,22 @@ public:
         // that straggler raced parallel_for's rewrite — caught by TSan).
         auto job = std::make_shared<Job>(&body, count);
         {
-            std::scoped_lock lk(mu_);
+            util::MutexLock lk(mu_);
             job_ = job;
             ++generation_;
         }
         cv_.notify_all();
         drain(*job);  // caller helps
-        std::unique_lock lk(mu_);
-        done_cv_.wait(lk, [&] {
-            return job->pending.load(std::memory_order_acquire) == 0;
-        });
-        job_ = nullptr;
+        {
+            util::MutexLock lk(mu_);
+            // Job::pending is atomic; the mutex only frames the sleep so a
+            // worker's done_cv_ notify (taken under mu_) cannot slip between
+            // the check and the wait.
+            while (job->pending.load(std::memory_order_acquire) != 0) {
+                done_cv_.wait(mu_);
+            }
+            job_ = nullptr;
+        }
         // `body` may now be destroyed: no thread will claim another index
         // (next >= count), and stragglers keep the Job itself alive.
     }
@@ -79,25 +84,25 @@ private:
         std::atomic<u64> pending;
     };
 
-    void drain(Job& job) {
+    void drain(Job& job) RECOIL_EXCLUDES(mu_) {
         for (;;) {
             const u64 i = job.next.fetch_add(1, std::memory_order_relaxed);
             if (i >= job.count) return;
             (*job.body)(i);
             if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                std::scoped_lock lk(mu_);
+                util::MutexLock lk(mu_);
                 done_cv_.notify_all();
             }
         }
     }
 
-    void worker_loop() {
+    void worker_loop() RECOIL_EXCLUDES(mu_) {
         u64 seen = 0;
         for (;;) {
             std::shared_ptr<Job> job;
             {
-                std::unique_lock lk(mu_);
-                cv_.wait(lk, [&] { return stopping_ || generation_ != seen; });
+                util::MutexLock lk(mu_);
+                while (!stopping_ && generation_ == seen) cv_.wait(mu_);
                 if (stopping_) return;
                 seen = generation_;
                 job = job_;
@@ -107,12 +112,12 @@ private:
     }
 
     std::vector<std::thread> workers_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::condition_variable done_cv_;
-    std::shared_ptr<Job> job_;  ///< guarded by mu_
-    u64 generation_ = 0;
-    bool stopping_ = false;
+    util::Mutex mu_;
+    util::CondVar cv_;
+    util::CondVar done_cv_;
+    std::shared_ptr<Job> job_ RECOIL_GUARDED_BY(mu_);
+    u64 generation_ RECOIL_GUARDED_BY(mu_) = 0;
+    bool stopping_ RECOIL_GUARDED_BY(mu_) = false;
 };
 
 /// Process-wide pool used by decode paths when the caller does not supply one.
@@ -128,12 +133,12 @@ inline void for_each_index(ThreadPool* pool, u64 count,
         return;
     }
     std::exception_ptr first_error;
-    std::mutex err_mu;
+    util::Mutex err_mu;
     pool->parallel_for(count, [&](u64 i) {
         try {
             body(i);
         } catch (...) {
-            std::scoped_lock lk(err_mu);
+            util::MutexLock lk(err_mu);
             if (!first_error) first_error = std::current_exception();
         }
     });

@@ -1,0 +1,17 @@
+// Negative-compile case: writes a RECOIL_GUARDED_BY field without holding
+// its mutex. Under -Werror=thread-safety this must FAIL to compile; the
+// ctest entry is WILL_FAIL, so if this ever builds, the annotations have
+// gone dead and the gate fires.
+#include "util/thread_annotations.hpp"
+
+class Counter {
+public:
+    // BUG (deliberate): mu_ is not held across the write.
+    void bump_unlocked() { ++value_; }
+
+private:
+    recoil::util::Mutex mu_;
+    long value_ RECOIL_GUARDED_BY(mu_) = 0;
+};
+
+void drive(Counter& c) { c.bump_unlocked(); }

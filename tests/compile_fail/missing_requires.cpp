@@ -1,0 +1,19 @@
+// Negative-compile case: calls a RECOIL_REQUIRES(mu_) helper without
+// holding mu_. Under -Werror=thread-safety this must FAIL to compile; the
+// ctest entry is WILL_FAIL, so if this ever builds, the annotations have
+// gone dead and the gate fires.
+#include "util/thread_annotations.hpp"
+
+class Table {
+public:
+    // BUG (deliberate): the _locked helper is entered without the lock.
+    void rebalance() { compact_locked(); }
+
+private:
+    void compact_locked() RECOIL_REQUIRES(mu_) { ++compactions_; }
+
+    recoil::util::Mutex mu_;
+    long compactions_ RECOIL_GUARDED_BY(mu_) = 0;
+};
+
+void drive(Table& t) { t.rebalance(); }

@@ -1,0 +1,26 @@
+// Positive control for the negative-compile harness: the same shapes as
+// the WILL_FAIL cases, locked correctly. Must ALWAYS compile (with or
+// without -Werror=thread-safety) — if it stops compiling, the harness is
+// rejecting good code, not catching bad code.
+#include "util/thread_annotations.hpp"
+
+class Counter {
+public:
+    void bump() RECOIL_EXCLUDES(mu_) {
+        recoil::util::MutexLock lk(mu_);
+        bump_locked();
+    }
+
+    long value() const RECOIL_EXCLUDES(mu_) {
+        recoil::util::MutexLock lk(mu_);
+        return value_;
+    }
+
+private:
+    void bump_locked() RECOIL_REQUIRES(mu_) { ++value_; }
+
+    mutable recoil::util::Mutex mu_;
+    long value_ RECOIL_GUARDED_BY(mu_) = 0;
+};
+
+void drive(Counter& c) { c.bump(); }

@@ -1,0 +1,5 @@
+// Fixture source: registers every frozen name, no naked locking.
+void register_all(Registry& reg) {
+    reg.counter("demo_requests_total");
+    reg.counter("demo_bytes_total");
+}

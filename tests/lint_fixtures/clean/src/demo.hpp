@@ -1,0 +1,7 @@
+#pragma once
+// Fixture header: starts with pragma once, uses the annotated wrapper.
+#include "util/thread_annotations.hpp"
+
+struct Demo {
+    util::Mutex mu_;
+};

@@ -1,0 +1,9 @@
+// Fixture source: locks with the raw std primitives instead of the
+// annotated util:: wrappers — both gates must fire.
+#include <mutex>
+
+void register_all(Registry& reg) {
+    static std::mutex mu;
+    std::scoped_lock lk(mu);
+    reg.counter("demo_requests_total");
+}

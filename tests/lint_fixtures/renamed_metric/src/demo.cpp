@@ -1,0 +1,4 @@
+// Fixture source: the registration drifted from the frozen catalogue.
+void register_all(Registry& reg) {
+    reg.counter("demo_renamed_total");
+}

@@ -1,0 +1,141 @@
+// Regression tests for the lock-discipline holes surfaced by wiring Clang
+// Thread Safety Analysis through the serve stack (src/util/
+// thread_annotations.hpp). Each test hammers the exact seam that was fixed
+// so the CI TSan job (which builds this file) sees any reintroduction:
+//
+//  1. AssetStore::attach_backing used to read disk_ (guarded by mu_) after
+//     dropping mu_ when rebinding disk_* metrics. The fix snapshots the
+//     handle while locked; this test races attach/rebind against readers
+//     resolving through the store and polling the registry.
+//
+//  2. ContentServer's Flight used to publish into the flights_ map first
+//     and set streaming/assembling afterwards. Both are now fixed at
+//     construction (const members); this test forces a streamed leader with
+//     a pack of mid-flight followers so any post-publication write to
+//     either field would be a follower-visible race.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "test_util.hpp"
+
+namespace recoil::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr u8 kAcceptStream = kAcceptAll | kAcceptStreamed;
+
+std::vector<u8> asset_bytes(u64 n, u64 seed) {
+    return test::geometric_symbols<u8>(n, 0.6, 256, seed);
+}
+
+/// Fresh store directory per test; removed on destruction.
+struct TempDir {
+    fs::path path;
+    explicit TempDir(const char* tag)
+        : path(fs::temp_directory_path() /
+               (std::string("recoil_tsa_") + tag)) {
+        fs::remove_all(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(ThreadSafety, AttachBackingRacesReadersAndMetricsPolls) {
+    TempDir dir("attach");
+    AssetStore seeded;
+    seeded.attach_backing(std::make_shared<DiskStore>(dir.path));
+    seeded.encode_bytes("a", asset_bytes(20000, 7), 8);
+    seeded.encode_bytes("b", asset_bytes(20000, 11), 8);
+
+    AssetStore store;
+    obs::MetricsRegistry reg;
+    store.bind_metrics(&reg);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    // Readers exercise every disk_-adjacent path: demand-load, the backing
+    // accessor, currency checks, and registry snapshots (which poll the
+    // disk_* callbacks attach_backing rebinds).
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&store, &reg, &stop, t] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                auto a = store.resolve(t % 2 == 0 ? "a" : "b");
+                if (a != nullptr) (void)store.is_current(*a);
+                (void)store.backing();
+                (void)store.residency();
+                (void)reg.snapshot();
+            }
+        });
+    }
+    // Re-attach the same corpus repeatedly: each attach swaps disk_ under
+    // mu_ and rebinds the disk_* callbacks under disk_mu_.
+    for (int i = 0; i < 50; ++i) {
+        store.attach_backing(std::make_shared<DiskStore>(dir.path));
+        store.unload("a");
+        store.unload("b");
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& r : readers) r.join();
+
+    ASSERT_NE(store.resolve("a"), nullptr);
+    ASSERT_NE(store.resolve("b"), nullptr);
+    const auto snap = reg.snapshot().to_json();
+    EXPECT_NE(snap.find("disk_assets"), std::string::npos);
+}
+
+TEST(ThreadSafety, StreamingFlightFieldsAreFixedBeforePublication) {
+    std::atomic<int> combines{0};
+    ServerOptions opt;
+    opt.combine_hook = [&](const std::string&) { ++combines; };
+    ContentServer server(opt);
+    server.store().encode_bytes("asset", asset_bytes(60000, 13), 16);
+
+    // A tiny flow-control window stalls the leader's producer almost
+    // immediately (the consumer has not pulled yet), keeping the flight
+    // open while the followers attach — each follower reads
+    // flight->streaming/assembling through its replay path mid-flight.
+    StreamOptions sopt;
+    sopt.max_frame_bytes = 2048;
+    sopt.window_bytes = 2048;
+    constexpr unsigned kFollowers = 6;
+    ServeStream leader =
+        server.serve_stream({"asset", 4, std::nullopt, kAcceptStream}, sopt);
+    ASSERT_TRUE(leader.head().ok()) << leader.head().detail;
+
+    std::vector<std::thread> pullers;
+    std::vector<u64> framed(kFollowers, 0);
+    std::vector<bool> ok(kFollowers, false);
+    for (unsigned i = 0; i < kFollowers; ++i) {
+        pullers.emplace_back([&server, &sopt, &framed, &ok, i] {
+            ServeStream s = server.serve_stream(
+                {"asset", 4, std::nullopt, kAcceptStream}, sopt);
+            u64 n = 0;
+            while (auto frame = s.next_frame()) ++n;
+            framed[i] = n;
+            ok[i] = s.head().ok() && s.done();
+        });
+    }
+    // Drive the leader only after every follower is parked on the flight:
+    // the followers' pulls gate on the assembly the leader commits.
+    u64 leader_frames = 0;
+    while (auto frame = leader.next_frame()) ++leader_frames;
+    for (auto& p : pullers) p.join();
+
+    EXPECT_EQ(combines.load(), 1);  // one producer; everyone else replayed
+    EXPECT_GE(leader_frames, 3u);   // header + >=1 body + fin
+    for (unsigned i = 0; i < kFollowers; ++i) {
+        EXPECT_TRUE(ok[i]) << "follower " << i;
+        EXPECT_GE(framed[i], 3u) << "follower " << i;
+    }
+}
+
+}  // namespace
+}  // namespace recoil::serve
