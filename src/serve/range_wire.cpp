@@ -274,7 +274,7 @@ ParsedRange parse_range_wire(std::span<const u8> bytes) {
 
 template <typename TSym>
 std::vector<TSym> decode_range_impl(std::span<const u8> bytes,
-                                    ThreadPool* pool) {
+                                    ThreadPool* pool, simd::Backend backend) {
     ParsedRange p = parse_range_wire(bytes);
     if (p.info.sym_width != sizeof(TSym))
         raise("range wire: symbol width mismatch");
@@ -292,18 +292,25 @@ std::vector<TSym> decode_range_impl(std::span<const u8> bytes,
             DecodeTables t = set.tables();
             // The slice's ids[0] is position ids_lo; rebase so the decoder's
             // absolute indexing lands on it (integer arithmetic to stay
-            // clear of out-of-bounds pointer UB). Scalar range fn: the SIMD
-            // kernels gather ids in full lane groups, which can reach
-            // outside the shipped slice at the coverage edges.
+            // clear of out-of-bounds pointer UB). The guarded range fn keeps
+            // SIMD for the slice interior while every id access near the
+            // shipped slice's edges goes through the scalar per-symbol loop
+            // — the full-group gathers can never reach outside
+            // [ids_lo, ids_lo + ids.size()).
             t.ids = reinterpret_cast<const u8*>(
                 reinterpret_cast<std::uintptr_t>(t.ids) -
                 static_cast<std::uintptr_t>(seg.ids_lo));
+            simd::GuardedSimdRangeFn<TSym> range_fn;
+            range_fn.backend = simd::clamp_backend(backend);
+            range_fn.valid_lo = seg.ids_lo;
+            range_fn.valid_hi = seg.ids_lo + seg.ids.size();
             cover = recoil_decode_cover<Rans32, 32, TSym>(
                 std::span<const u16>(seg.units), seg.meta, t, seg.j0, seg.j1,
-                info.cover_lo, info.cover_hi, pool);
+                info.cover_lo, info.cover_hi, pool, range_fn);
         } else {
             StaticModel model(std::span<const u32>(seg.freqs[0]), seg.prob_bits, 0);
             simd::SimdRangeFn<TSym> range_fn;
+            range_fn.backend = simd::clamp_backend(backend);
             cover = recoil_decode_cover<Rans32, 32, TSym>(
                 std::span<const u16>(seg.units), seg.meta, model.tables(), seg.j0,
                 seg.j1, info.cover_lo, info.cover_hi, pool, range_fn);
@@ -374,13 +381,15 @@ RangeWireInfo inspect_range_wire(std::span<const u8> bytes) {
     return parse_range_wire(bytes).info;
 }
 
-std::vector<u8> decode_range_wire(std::span<const u8> bytes, ThreadPool* pool) {
-    return decode_range_impl<u8>(bytes, pool);
+std::vector<u8> decode_range_wire(std::span<const u8> bytes, ThreadPool* pool,
+                                  simd::Backend backend) {
+    return decode_range_impl<u8>(bytes, pool, backend);
 }
 
 std::vector<u16> decode_range_wire_u16(std::span<const u8> bytes,
-                                       ThreadPool* pool) {
-    return decode_range_impl<u16>(bytes, pool);
+                                       ThreadPool* pool,
+                                       simd::Backend backend) {
+    return decode_range_impl<u16>(bytes, pool, backend);
 }
 
 }  // namespace recoil::serve

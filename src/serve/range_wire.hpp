@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "format/container.hpp"
+#include "simd/dispatch.hpp"
 #include "stream/chunked.hpp"
 #include "util/thread_pool.hpp"
 
@@ -79,10 +80,16 @@ u32 range_wire_into(const stream::ChunkedStream& s, u64 lo, u64 hi,
 RangeWireInfo inspect_range_wire(std::span<const u8> bytes);
 
 /// Client side: parse, validate and decode, returning exactly the [lo, hi)
-/// symbols. The u8/u16 variant must match the wire's sym_width.
+/// symbols. The u8/u16 variant must match the wire's sym_width. `backend`
+/// selects the range-decode kernel (clamped to what this build/CPU has):
+/// the default is the best available; tests and benches pass
+/// simd::Backend::Scalar to pin the reference path and prove the vector
+/// body bit-exact against it.
 std::vector<u8> decode_range_wire(std::span<const u8> bytes,
-                                  ThreadPool* pool = nullptr);
+                                  ThreadPool* pool = nullptr,
+                                  simd::Backend backend = simd::pick_backend());
 std::vector<u16> decode_range_wire_u16(std::span<const u8> bytes,
-                                       ThreadPool* pool = nullptr);
+                                       ThreadPool* pool = nullptr,
+                                       simd::Backend backend = simd::pick_backend());
 
 }  // namespace recoil::serve

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "simd/dispatch.hpp"
 #include "util/error.hpp"
+#include "util/executor.hpp"
 #include "util/stopwatch.hpp"
 
 namespace recoil::serve {
@@ -39,14 +41,36 @@ WireBytes share(std::vector<u8> bytes) {
 /// the next sink write instead of running to completion.
 struct StreamCancel {};
 
+/// Unwinds the producer when the flow-control window is full: an executor
+/// task must never park its worker waiting on a consumer, so instead of
+/// blocking (what the dedicated-thread producer did) the task records its
+/// cursors, yields, and re-runs the deterministic serializer on resume.
+struct WindowFull {};
+
 }  // namespace
 
 namespace detail {
 
+/// Signals that a stream's producer task released its reference to the
+/// StreamState (and with it the Prepared's asset pin). Lives in its own
+/// shared allocation because the signal fires strictly AFTER the task
+/// dropped the state — the dedicated-thread design made "stream destroyed
+/// ⟹ asset unpinned" true by joining the producer in ~StreamState, and
+/// the governor's in-use skip relies on it (see
+/// Governor.StreamPinsItsAssetAcrossAPressurePass).
+struct ProducerSignal {
+    util::Mutex mu;
+    util::CondVar cv;
+    bool released RECOIL_GUARDED_BY(mu) = false;
+};
+
 /// Shared state behind one ServeStream: the validated request, the piece
-/// queue between the producer thread and the pulling consumer (with the
+/// queue between the producer task and the pulling consumer (with the
 /// flow-control window), and the consumer's framing cursor. Exactly one
-/// consumer (the ServeStream) and at most one producer thread touch it.
+/// consumer (the ServeStream) and at most one producer task execution touch
+/// it at a time; the task runs on the process-wide work-stealing executor
+/// (util::global_executor), so a server's streams cost state machines, not
+/// dedicated threads.
 struct StreamState {
     // ---- immutable after serve_stream() returns ----
     ContentServer* server = nullptr;
@@ -63,11 +87,18 @@ struct StreamState {
     bool leader = false;
     bool put_to_cache = false;
     u32 known_splits = 0;  ///< splits known at header time (cache hits)
+    /// A producer task backs this stream (leader or solo; cache hits and
+    /// followers replay without one).
+    bool producer_backed = false;
+    /// Set once the producer task finished AND dropped its state reference;
+    /// the finished-stream destructor waits on it so "stream destroyed ⟹
+    /// asset unpinned" holds exactly as it did when ~StreamState joined the
+    /// producer thread. Null until serve_stream arms a producer.
+    std::shared_ptr<ProducerSignal> sig;
 
     // ---- producer/consumer queue (leader and solo streams) ----
     util::Mutex mu;
-    util::CondVar cv_space;  ///< producer: window space freed
-    util::CondVar cv_data;   ///< consumer: pieces or completion
+    util::CondVar cv_data;  ///< consumer: pieces or completion
     std::deque<format::ByteBuffer> queue RECOIL_GUARDED_BY(mu);
     /// Produced-not-consumed (the in-flight window).
     u64 staged_bytes RECOIL_GUARDED_BY(mu) = 0;
@@ -84,14 +115,33 @@ struct StreamState {
     u32 produced_splits RECOIL_GUARDED_BY(mu) = 0;
     ErrorCode producer_code RECOIL_GUARDED_BY(mu) = ErrorCode::ok;
     std::string producer_detail RECOIL_GUARDED_BY(mu);
-    /// Joined by ~StreamState or detached by an abandoning ~ServeStream —
-    /// both consumer-side acts; the producer thread never touches it.
-    std::thread producer;
-    /// Set (under mu) by an abandoning destructor after detaching the
-    /// producer thread: hands the still-running producer ownership of this
-    /// state, so the drain completes in the background instead of blocking
-    /// the abandoning thread. The producer drops it as its last act.
-    std::shared_ptr<StreamState> self_keep RECOIL_GUARDED_BY(mu);
+
+    // ---- resumable producer task ----
+    /// Where the producer task stands in its run/yield/resume cycle.
+    /// Transitions happen under mu, so the yield decision (task side) and
+    /// the re-enqueue decision (consumer pull / abandoning destructor)
+    /// linearize: exactly one side resubmits, or the task sees the freed
+    /// window itself. `idle` means no task exists (cache-hit and follower
+    /// streams); only yielded→queued transitions trigger a resubmit.
+    enum class TaskState : u8 { idle, queued, running, yielded, done };
+    TaskState task_state RECOIL_GUARDED_BY(mu) = TaskState::idle;
+    /// Wire bytes admitted to the consumer queue so far (high-water across
+    /// task runs). Production restarts from byte zero on every resume — the
+    /// serializers are deterministic — and the sink fast-skips everything
+    /// below this cursor, so nothing is staged twice. produced_bytes plays
+    /// the same role for flight publication (bytes the followers can see).
+    u64 staged_cursor RECOIL_GUARDED_BY(mu) = 0;
+    /// The staged_bytes level at or below which the chunk that hit
+    /// WindowFull fits. Written by the sink as it throws; read by the yield
+    /// decision and the consumer pop so a resume is scheduled exactly when
+    /// it can make progress (resuming earlier would re-run the serializer
+    /// only to hit the same wall).
+    u64 resume_need RECOIL_GUARDED_BY(mu) = 0;
+    /// Serializer seconds across all task runs (restarts re-pay the skipped
+    /// prefix; the histogram reports what was actually spent). Only the
+    /// producer task touches this, and its runs are serialized by
+    /// task_state, so no lock is needed.
+    double produce_seconds = 0.0;
 
     // ---- consumer state (single consumer: the ServeStream) ----
     enum class Phase : u8 { header, body, fin, finished };
@@ -115,86 +165,178 @@ struct StreamState {
     std::string fin_detail;
     u32 fin_splits = 0;
 
-    ~StreamState() {
-        if (producer.joinable()) producer.join();
+    /// One execution of the producer task: run the serializer from byte
+    /// zero with the sink skipping below the cursors, until it completes
+    /// (finish: retire the flight, cache put — returns true) or the window
+    /// fills (yield: return the worker, returns false; whoever frees the
+    /// window resubmits). The caller (submit_stream_task's lambda) owns the
+    /// release sequence after a finish: drop the state reference, fire sig,
+    /// then sign off the server's producer count.
+    bool run_task() RECOIL_EXCLUDES(mu);
+    /// The finish-side producer-count sign-off (static: it runs after the
+    /// task lambda dropped its state reference). Notifies UNDER the lock —
+    /// ~ContentServer destroys the cv as soon as the count hits zero and it
+    /// reacquires the mutex.
+    static void sign_off(ContentServer* srv) {
+        util::MutexLock lk(srv->streams_mu_);
+        --srv->active_stream_producers_;
+        srv->streams_cv_.notify_all();
     }
-
-    void producer_main() RECOIL_EXCLUDES(mu);
     void fail_producer(ErrorCode code, std::string detail) RECOIL_EXCLUDES(mu);
-    std::optional<format::ByteBuffer> pull_piece(bool block, bool& end)
+    std::optional<format::ByteBuffer> pull_piece(
+        const std::shared_ptr<StreamState>& self, bool block, bool& end)
         RECOIL_EXCLUDES(mu);
 };
 
 namespace {
 
-/// The producer side of a stream's queue: splits every piece to the frame
-/// granularity (slices share storage — no copies) and stages it behind the
-/// flow-control window. A streaming leader also publishes each piece to the
-/// flight's incremental assembly first, so coalesced followers replay bytes
-/// the moment they are produced.
-class ProducerSink final : public format::WireSink {
+/// The producer side of a stream's queue, resumable flavor: production
+/// never blocks a worker. Every fresh piece is published to the flight's
+/// incremental assembly first (a streaming leader's coalesced followers
+/// replay bytes the moment they are produced), then admitted to the
+/// consumer queue at frame granularity behind the flow-control window.
+/// When the window is full the sink throws WindowFull instead of waiting
+/// (what the old dedicated-thread producer did): the task yields its
+/// worker, and on resume re-runs the deterministic serializer from byte
+/// zero with this sink fast-skipping everything below the cursors —
+/// published bytes are never re-published, staged bytes never re-staged.
+/// The skipped prefix costs serializer CPU, not memory (pieces are views
+/// of pinned asset storage), bounded by ceil(wire/window) passes; the
+/// window pacing itself — what keeps the flight open for followers while
+/// the consumer trickles, and peak memory at O(window) — is byte-exactly
+/// the old producer's.
+class TaskSink final : public format::WireSink {
 public:
-    explicit ProducerSink(StreamState& st) : st_(st) {}
-
-    void write(format::ByteBuffer piece) override {
-        const u64 max_frame = st_.opt.max_frame_bytes;
-        for (std::size_t off = 0; off < piece.size();) {
-            const std::size_t n = static_cast<std::size_t>(
-                std::min<u64>(max_frame, piece.size() - off));
-            push(piece.slice(off, n));
-            off += n;
-        }
+    explicit TaskSink(StreamState& st) RECOIL_EXCLUDES(st.mu) : st_(st) {
+        util::MutexLock lk(st_.mu);
+        pub_skip_ = st_.produced_bytes;
+        stage_skip_ = st_.staged_cursor;
     }
 
-private:
-    void push(format::ByteBuffer sub) {
-        if (sub.empty()) return;
-        if (st_.leader && st_.flight != nullptr) {
-            // Publish to the flight before staging: followers must never
-            // observe the queue ahead of the assembly they replay from.
+    void write(format::ByteBuffer piece) override {
+        if (piece.empty()) return;
+        const u64 abs_lo = pos_;
+        pos_ += piece.size();
+        if (st_.leader && st_.flight != nullptr && pos_ > pub_skip_) {
+            // Publish the unseen suffix to the flight before staging:
+            // followers must never observe the queue ahead of the assembly
+            // they replay from.
+            const std::size_t from =
+                abs_lo < pub_skip_
+                    ? static_cast<std::size_t>(pub_skip_ - abs_lo)
+                    : 0;
+            format::ByteBuffer fresh =
+                piece.slice(from, piece.size() - from);
             Flight& f = *st_.flight;
             {
                 util::MutexLock lk(f.mu);
-                f.assembling->insert(f.assembling->end(), sub.begin(),
-                                     sub.end());
+                f.assembling->insert(f.assembling->end(), fresh.begin(),
+                                     fresh.end());
                 f.committed = f.assembling->size();
             }
             f.cv.notify_all();
         }
         util::MutexLock lk(st_.mu);
         if (st_.cancelled) throw StreamCancel{};
-        st_.produced_bytes += sub.size();
-        if (st_.draining) return;  // consumer gone; assembly above suffices
-        // The in-flight window: block until the consumer frees space. A
-        // piece larger than the window (impossible after frame-splitting,
-        // kept for safety) passes when the queue is empty.
-        while (!(st_.cancelled || st_.draining || st_.staged_bytes == 0 ||
-                 st_.staged_bytes + sub.size() <= st_.opt.window_bytes))
-            st_.cv_space.wait(st_.mu);
-        if (st_.cancelled) throw StreamCancel{};
-        if (st_.draining) return;
-        st_.staged_bytes += sub.size();
-        if (!sub.borrowed()) st_.staged_owned += sub.size();
-        st_.peak_staged = std::max(st_.peak_staged, st_.staged_bytes);
-        st_.peak_owned = std::max(st_.peak_owned, st_.staged_owned);
-        st_.queue.push_back(std::move(sub));
-        lk.unlock();
-        st_.cv_data.notify_one();
+        st_.produced_bytes = std::max(st_.produced_bytes, pos_);
+        if (st_.draining) return;  // consumer gone; assembly suffices
+        if (pos_ <= stage_skip_) return;  // resume: already staged
+        const std::size_t from =
+            abs_lo < stage_skip_
+                ? static_cast<std::size_t>(stage_skip_ - abs_lo)
+                : 0;
+        stage_locked(piece.slice(from, piece.size() - from));
+    }
+
+private:
+    /// Admit `sub` to the consumer queue at frame granularity (slices share
+    /// storage — no copies). Throws WindowFull when the window rule blocks
+    /// the next chunk; everything admitted so far stays admitted (the
+    /// cursors record it).
+    void stage_locked(format::ByteBuffer sub) RECOIL_REQUIRES(st_.mu) {
+        const u64 max_frame = st_.opt.max_frame_bytes;
+        for (std::size_t off = 0; off < sub.size();) {
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<u64>(max_frame, sub.size() - off));
+            // The in-flight window: stop until the consumer frees space. A
+            // chunk larger than the window (impossible — max_frame is
+            // clamped to it, kept for safety) passes when the queue is
+            // empty.
+            if (!(st_.staged_bytes == 0 ||
+                  st_.staged_bytes + n <= st_.opt.window_bytes)) {
+                st_.resume_need = st_.opt.window_bytes >= n
+                                      ? st_.opt.window_bytes - n
+                                      : 0;
+                throw WindowFull{};
+            }
+            format::ByteBuffer chunk = sub.slice(off, n);
+            off += n;
+            st_.staged_bytes += n;
+            if (!chunk.borrowed()) st_.staged_owned += n;
+            st_.peak_staged = std::max(st_.peak_staged, st_.staged_bytes);
+            st_.peak_owned = std::max(st_.peak_owned, st_.staged_owned);
+            st_.queue.push_back(std::move(chunk));
+            st_.staged_cursor += n;
+            // Notify under the lock: WindowFull may unwind right after, and
+            // the admitted chunks must not wait for the next run to wake
+            // the consumer.
+            st_.cv_data.notify_one();
+        }
     }
 
     StreamState& st_;
+    u64 pos_ = 0;        ///< wire offset this run's writes have reached
+    u64 pub_skip_ = 0;   ///< bytes already published to the flight
+    u64 stage_skip_ = 0; ///< bytes already admitted to the queue
 };
 
 }  // namespace
 
-void StreamState::producer_main() {
+bool StreamState::run_task() {
     ContentServer& srv = *server;
-    try {
-        ProducerSink sink(*this);
+    {
+        util::MutexLock lk(mu);
+        task_state = TaskState::running;
+    }
+    bool produced = false;
+    u32 splits = 0;
+    for (;;) {
         Stopwatch combine;
-        const u32 splits = srv.produce(prep, sink);
+        try {
+            TaskSink sink(*this);
+            splits = srv.produce(prep, sink);
+            produce_seconds += combine.seconds();
+            produced = true;
+        } catch (const WindowFull&) {
+            produce_seconds += combine.seconds();
+            util::MutexLock lk(mu);
+            // The consumer may have drained the window (or vanished) while
+            // the throw unwound — its pops saw task_state `running` and
+            // correctly left the resume to us. Re-check under mu: yield
+            // only if the blocked chunk still does not fit, so the
+            // yielded→queued handoff (pop side) and this decision
+            // linearize and no wakeup is lost.
+            if (!cancelled && !draining && staged_bytes != 0 &&
+                staged_bytes > resume_need) {
+                task_state = TaskState::yielded;
+                return false;  // whoever frees the window resubmits
+            }
+            continue;  // space freed or drain/cancel mode: re-run now
+        } catch (const StreamCancel&) {
+            // Solo stream abandoned; nobody consumes. Finish with nothing
+            // more to account.
+        } catch (const ProtocolError& e) {
+            fail_producer(e.code(), e.what());
+        } catch (const std::exception& e) {
+            fail_producer(ErrorCode::internal, e.what());
+        } catch (...) {
+            fail_producer(ErrorCode::internal, "stream production failed");
+        }
+        break;
+    }
+    if (produced) {
         if (trace.active() && srv.h_combine_ != nullptr)
-            srv.h_combine_->observe(combine.seconds());
+            srv.h_combine_->observe(produce_seconds);
         if (leader && flight != nullptr) {
             ServedWire wire;
             {
@@ -214,57 +356,58 @@ void StreamState::producer_main() {
         {
             util::MutexLock lk(mu);
             produced_splits = splits;
-            producer_done = true;
             total = produced_bytes;
         }
         srv.wire_bytes_.fetch_add(total, std::memory_order_relaxed);
-        cv_data.notify_all();
-    } catch (const StreamCancel&) {
-        util::MutexLock lk(mu);
-        producer_done = true;  // solo stream abandoned; nobody consumes
-    } catch (const ProtocolError& e) {
-        fail_producer(e.code(), e.what());
-    } catch (const std::exception& e) {
-        fail_producer(ErrorCode::internal, e.what());
-    } catch (...) {
-        fail_producer(ErrorCode::internal, "stream production failed");
     }
+    {
+        util::MutexLock lk(mu);
+        producer_done = true;
+        task_state = TaskState::done;
+    }
+    cv_data.notify_all();
     // Stream production can demand-load and cache-assemble; relieve budget
-    // pressure now, while the server is still guaranteed alive (this runs
-    // before the sign-off below, which is the LAST server touch).
+    // pressure now, while the server is still guaranteed alive (the lambda
+    // signs off the producer count only after this returns, and
+    // ~ContentServer waits for that count).
     srv.maybe_govern();
-    // Tail, in strict order: (1) take the self-reference an abandoning
-    // destructor may have installed; (2) sign off with the server — the
-    // LAST server touch, after which ~ContentServer may return; (3) let
-    // `self` release. If it is the final reference, the state dies right
-    // here on this thread — safe, because that destructor detached the
-    // thread first, so ~StreamState has nothing to join.
-    std::shared_ptr<StreamState> self;
-    {
-        util::MutexLock lk(mu);
-        self = std::move(self_keep);
-    }
-    {
-        // Notify UNDER the lock: ~ContentServer destroys the cv as soon as
-        // the count hits zero and it reacquires the mutex, so an unlocked
-        // notify could touch a dead condition variable.
-        util::MutexLock lk(srv.streams_mu_);
-        --srv.active_stream_producers_;
-        srv.streams_cv_.notify_all();
-    }
+    return true;
+}
+
+/// Enqueue one producer task execution on the process-wide executor. The
+/// lambda owns the finish-side release sequence, in this order: drop the
+/// state reference (releasing the Prepared's asset pin — possibly the last
+/// reference, destroying the state right here; safe, there is no thread to
+/// join anymore), fire sig (so a finished-stream destructor returns only
+/// once the pin is gone), then sign off the server's producer count. The
+/// sign-off is the LAST server touch — ~ContentServer holds streams_mu_
+/// and destroys the cv as soon as the count hits zero, hence the notify
+/// happens under the lock.
+void submit_stream_task(std::shared_ptr<StreamState> st) {
+    util::global_executor().submit([self = std::move(st)]() mutable {
+        ContentServer* srv = self->server;
+        std::shared_ptr<ProducerSignal> sig = self->sig;
+        if (!self->run_task()) return;  // yielded; resubmission re-captures
+        self.reset();
+        {
+            util::MutexLock lk(sig->mu);
+            sig->released = true;
+            sig->cv.notify_all();
+        }
+        StreamState::sign_off(srv);
+    });
 }
 
 void StreamState::fail_producer(ErrorCode code, std::string detail) {
     if (leader && flight != nullptr)
         server->retire_flight(flight_key, flight, nullptr, code, detail);
     server->failures_.fetch_add(1, std::memory_order_relaxed);
-    {
-        util::MutexLock lk(mu);
-        producer_code = code;
-        producer_detail = std::move(detail);
-        producer_done = true;
-    }
-    cv_data.notify_all();
+    // producer_done and the consumer wakeup come from run_task's finish
+    // step: pieces admitted before the failure still drain, then the FIN
+    // reports the typed code.
+    util::MutexLock lk(mu);
+    producer_code = code;
+    producer_detail = std::move(detail);
 }
 
 /// Pull the next wire piece for the consumer. With `block` false, returns
@@ -272,8 +415,10 @@ void StreamState::fail_producer(ErrorCode code, std::string detail) {
 /// frame can flush instead of stalling while holding data); sets `end` once
 /// the stream's bytes are exhausted. Producer/leader failures surface as
 /// `fin_code` (the FIN frame reports the abort), never as an exception.
-std::optional<format::ByteBuffer> StreamState::pull_piece(bool block,
-                                                          bool& end) {
+/// Draining the window is what resumes a yielded producer task: the pop
+/// that frees space resubmits it (`self` rides into the task lambda).
+std::optional<format::ByteBuffer> StreamState::pull_piece(
+    const std::shared_ptr<StreamState>& self, bool block, bool& end) {
     const u64 max_frame = opt.max_frame_bytes;
 
     if (cached != nullptr) {  // cache-hit source: slice the shared wire
@@ -350,8 +495,17 @@ std::optional<format::ByteBuffer> StreamState::pull_piece(bool block,
     queue.pop_front();
     staged_bytes -= piece.size();
     if (!piece.borrowed()) staged_owned -= piece.size();
+    // The yielded→queued transition happens under mu, so it races neither
+    // the task's own yield decision (which re-checks the window under mu)
+    // nor a concurrent pop: exactly one resubmit per yield, and only once
+    // the pop actually made room for the chunk the producer is stuck on
+    // (earlier resumes would re-run the serializer into the same wall).
+    const bool resubmit =
+        task_state == TaskState::yielded &&
+        (staged_bytes == 0 || staged_bytes <= resume_need);
+    if (resubmit) task_state = TaskState::queued;
     lk.unlock();
-    cv_space.notify_one();
+    if (resubmit) submit_stream_task(self);
     return piece;
 }
 
@@ -366,29 +520,40 @@ ServeStream::ServeStream(ServeStream&&) noexcept = default;
 ServeStream& ServeStream::operator=(ServeStream&&) noexcept = default;
 
 ServeStream::~ServeStream() {
-    if (st_ == nullptr || st_->phase == detail::StreamState::Phase::finished)
+    if (st_ == nullptr) return;
+    if (st_->phase == detail::StreamState::Phase::finished) {
+        // Fully consumed. Wait for the producer task to drop its state
+        // reference (it already finished — FIN implies producer_done), so
+        // "stream destroyed ⟹ asset unpinned" holds exactly as it did
+        // when ~StreamState joined the producer thread; the governor's
+        // in-use skip relies on it.
+        if (st_->producer_backed) {
+            detail::ProducerSignal& sig = *st_->sig;
+            util::MutexLock lk(sig.mu);
+            while (!sig.released) sig.cv.wait(sig.mu);
+        }
         return;
+    }
     // Abandoned mid-stream. A leader must still complete: followers replay
-    // from (and the cache entry is) the assembly, so production switches to
-    // drain mode and runs to the end on its own thread. A solo stream's
-    // product is wanted by nobody — cancel it. Either way this destructor
-    // must not wait out the remaining production: if the producer is still
-    // running, detach it and hand it ownership of the state (self_keep),
-    // so the drain genuinely finishes in the background.
-    bool hand_off = false;
+    // from (and the cache entry is) the assembly, so its task switches to
+    // drain mode. A solo stream's product is wanted by nobody — cancel it.
+    // Either way this destructor never waits: a queued or running task sees
+    // the flag at its next feed step and finishes; a task yielded on the
+    // now-dead window is resubmitted here so it can. The task lambda's
+    // shared_ptr keeps the state alive, and the server's producer count
+    // (released only by the task's finish) keeps the server alive for it.
+    using TaskState = detail::StreamState::TaskState;
+    bool resubmit = false;
     {
         util::MutexLock lk(st_->mu);
         if (st_->leader)
             st_->draining = true;
         else
             st_->cancelled = true;
-        hand_off = st_->producer.joinable() && !st_->producer_done;
-        if (hand_off) st_->self_keep = st_;
+        resubmit = st_->task_state == TaskState::yielded;
+        if (resubmit) st_->task_state = TaskState::queued;
     }
-    st_->cv_space.notify_all();
-    if (hand_off) st_->producer.detach();
-    // Otherwise ~StreamState joins the (already finished) producer cheaply
-    // once the last reference drops.
+    if (resubmit) detail::submit_stream_task(st_);
 }
 
 const ServeResult& ServeStream::head() const noexcept { return st_->head; }
@@ -462,8 +627,8 @@ std::optional<std::vector<u8>> ServeStream::frame_impl(bool allow_block,
         bool end = false;
         while (payload.size() < target()) {
             if (st.pending_off >= st.pending.size()) {
-                auto piece =
-                    st.pull_piece(/*block=*/allow_block && payload.empty(), end);
+                auto piece = st.pull_piece(
+                    st_, /*block=*/allow_block && payload.empty(), end);
                 if (!piece.has_value()) break;
                 st.pending = std::move(*piece);
                 st.pending_off = 0;
@@ -574,6 +739,31 @@ void ContentServer::init_telemetry() {
                                poll(governance_failures_));
     metrics_.register_callback("serve_coalescing_waiters", MetricKind::gauge,
                                poll(waiters_));
+    // Execution-substrate gauges: which SIMD backend dispatch selected
+    // (0=scalar 1=avx2 2=avx512) and what the stream executor is doing.
+    // Polled from the process-wide singletons at snapshot time, so every
+    // server's /metrics reports the substrate its streams actually run on.
+    metrics_.register_callback("simd_backend", MetricKind::gauge, [] {
+        return static_cast<u64>(simd::pick_backend());
+    });
+    metrics_.register_callback("executor_workers", MetricKind::gauge, [] {
+        return static_cast<u64>(util::global_executor().worker_count());
+    });
+    metrics_.register_callback("executor_queued_tasks", MetricKind::gauge, [] {
+        return util::global_executor().stats().queued;
+    });
+    metrics_.register_callback("executor_running_tasks", MetricKind::gauge,
+                               [] {
+        return util::global_executor().stats().running;
+    });
+    metrics_.register_callback("executor_executed_tasks_total",
+                               MetricKind::counter, [] {
+        return util::global_executor().stats().executed_total;
+    });
+    metrics_.register_callback("executor_stolen_tasks_total",
+                               MetricKind::counter, [] {
+        return util::global_executor().stats().stolen_total;
+    });
     cache_.bind_metrics(&metrics_);
     governor_.bind_metrics(&metrics_);
     store_.bind_metrics(&metrics_);
@@ -995,12 +1185,13 @@ ServeStream ContentServer::serve_stream(const ServeRequest& req,
             }
         }
 
-        // Leader or solo: produce on a background thread, pull-paced by the
-        // consumer through the window. Registered with the server first, so
-        // ~ContentServer waits for it even if the stream is abandoned and
-        // the producer detached. Producer-backed streams are the only ones
-        // where adaptive frame sizing applies: the owned/borrowed shape of
-        // fresh producer pieces marks the metadata/payload boundary.
+        // Leader or solo: produce as a resumable task on the process-wide
+        // work-stealing executor, pull-paced by the consumer through the
+        // window — no dedicated thread per stream. Registered with the
+        // server first, so ~ContentServer waits for it even if the stream
+        // is abandoned. Producer-backed streams are the only ones where
+        // adaptive frame sizing applies: the owned/borrowed shape of fresh
+        // producer pieces marks the metadata/payload boundary.
         st->adaptive = opt.adaptive_frames;
         if (opt_.combine_hook) opt_.combine_hook(st->prep.key);
         {
@@ -1008,8 +1199,13 @@ ServeStream ContentServer::serve_stream(const ServeRequest& req,
             ++active_stream_producers_;
         }
         try {
-            st->producer = std::thread(&detail::StreamState::producer_main,
-                                       st.get());
+            {
+                util::MutexLock lk(st->mu);
+                st->task_state = detail::StreamState::TaskState::queued;
+            }
+            st->producer_backed = true;
+            st->sig = std::make_shared<detail::ProducerSignal>();
+            detail::submit_stream_task(st);
         } catch (...) {
             {
                 util::MutexLock lk(streams_mu_);

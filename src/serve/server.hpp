@@ -23,7 +23,6 @@
 #include <optional>
 #include <span>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -80,9 +79,10 @@ struct StreamOptions {
     /// Body-frame payload ceiling; frames over it are never produced
     /// (encode-side frame_too_large enforcement happens below this).
     u64 max_frame_bytes = kDefaultMaxFrameBytes;
-    /// Flow-control window: the producer may run at most this many wire
-    /// bytes ahead of the consumer before it blocks — bounded in-flight
-    /// bytes regardless of asset size. Clamped up to max_frame_bytes.
+    /// Flow-control window: at most this many wire bytes sit admitted-but-
+    /// unconsumed at once; past it the producer task yields until the
+    /// consumer drains — bounded in-flight bytes regardless of asset size.
+    /// Clamped up to max_frame_bytes.
     u64 window_bytes = u64{4} << 20;
     /// When false the stream never assembles a cache entry: peak producer
     /// memory stays O(max_frame), the regime for responses too large to be
@@ -201,10 +201,11 @@ struct Flight {
 class ContentServer {
 public:
     explicit ContentServer(ServerOptions opt = {});
-    /// Blocks until every outstanding stream producer has finished —
-    /// including detached drains from abandoned leader streams — so a
-    /// background producer can never touch a dead server. ServeStream
-    /// objects themselves must still not be *used* past this point.
+    /// Blocks until every outstanding stream producer task has finished —
+    /// including background drains from abandoned leader streams — so a
+    /// producer task on the executor can never touch a dead server.
+    /// ServeStream objects themselves must still not be *used* past this
+    /// point.
     ~ContentServer() RECOIL_EXCLUDES(streams_mu_);
 
     AssetStore& store() noexcept { return store_; }
@@ -358,8 +359,8 @@ private:
     util::Mutex flights_mu_;
     std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
         RECOIL_GUARDED_BY(flights_mu_);
-    /// Outstanding serve_stream producer threads; the destructor waits for
-    /// zero.
+    /// Outstanding serve_stream producer tasks (on the process-wide
+    /// executor — no dedicated threads); the destructor waits for zero.
     util::Mutex streams_mu_;
     util::CondVar streams_cv_;
     u64 active_stream_producers_ RECOIL_GUARDED_BY(streams_mu_) = 0;

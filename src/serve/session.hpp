@@ -10,10 +10,9 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <thread>
-#include <vector>
 
 #include "serve/server.hpp"
+#include "util/executor.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace recoil::serve {
@@ -104,7 +103,16 @@ private:
     std::size_t active_ RECOIL_GUARDED_BY(mu_) = 0;  ///< tasks being served
     bool stopping_ RECOIL_GUARDED_BY(mu_) = false;
     Stats stats_ RECOIL_GUARDED_BY(mu_);
-    std::vector<std::thread> workers_;
+    /// A PRIVATE executor whose only tasks are this session's N long-lived
+    /// worker loops. Those loops block (on cv_, and inside
+    /// ServeStream::next_frame), which the shared global_executor() forbids
+    /// — but on a dedicated pool whose task set is exactly the loops,
+    /// blocking starves nobody. Stream producer tasks run on the global
+    /// executor, a different pool, so a session worker parked in
+    /// next_frame() can never sit in front of the producer it waits for.
+    /// Declared last, destroyed first: the destructor's drain (which joins
+    /// the loops) runs while mu_/cv_ are still alive.
+    util::Executor exec_;
 };
 
 }  // namespace recoil::serve

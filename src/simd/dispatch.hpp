@@ -4,6 +4,7 @@
 // partition decoder (§4.4: "implementations (2) and (3) can be selected
 // based on the target platform's AVX support").
 
+#include <algorithm>
 #include <span>
 
 #include "rans/interleaved.hpp"
@@ -68,6 +69,61 @@ struct SimdRangeFn {
         if (g_lo * 32 > lo) {
             decode_positions<Rans32, 32>(cur, units, g_lo * 32 - 1, lo, t, out);
         }
+    }
+};
+
+/// SimdRangeFn for decoders whose per-symbol id stream is only valid on a
+/// window [valid_lo, valid_hi) of absolute positions — the indexed range
+/// wire ships exactly the id slice its segments cover, so a full-width id
+/// gather at the slice edge would read past the shipped bytes. The guarded
+/// tail: the vector body runs only on whole groups that stay a kGuard-byte
+/// margin clear of the window's top edge, and everything nearer an edge
+/// decodes through the scalar per-symbol loop, whose id reads are position-
+/// exact. The kernels' in-group loads are themselves position-exact (they
+/// never reach past the group's last position), so the margin is defensive
+/// depth against future kernels with wider gathers, not a correctness
+/// requirement of the current ones.
+template <typename TSym>
+struct GuardedSimdRangeFn {
+    Backend backend = pick_backend();
+    u64 valid_lo = 0;  ///< first position with a shipped id byte
+    u64 valid_hi = 0;  ///< one past the last position with a shipped id byte
+    /// Vectorized groups end at least this many id bytes before valid_hi.
+    static constexpr u64 kGuard = 32;
+
+    void operator()(LaneCursor<Rans32, 32>& cur, std::span<const u16> units,
+                    u64 hi, u64 lo, const DecodeTables& t, TSym* out) const {
+        if (hi < lo) return;
+        if (out == nullptr || backend == Backend::Scalar) {
+            decode_positions<Rans32, 32>(cur, units, hi, lo, t, out);
+            return;
+        }
+        const u64 top_aligned = (hi + 1) & ~u64{31};
+        // First whole group, clamped below the id window's bottom edge (a
+        // no-op when lo >= valid_lo, which callers guarantee; kept as the
+        // same defensive depth as the top margin).
+        const u64 g_lo = std::max((lo + 31) / 32, (valid_lo + 31) / 32);
+        const bool has_groups = top_aligned >= (g_lo + 1) * 32;
+        // Last group whose top stays kGuard id bytes clear of valid_hi:
+        // need (g+1)*32 + kGuard <= valid_hi.
+        if (!has_groups || valid_hi < kGuard + 32 ||
+            (valid_hi - kGuard) / 32 < g_lo + 1) {
+            // Every position is edge: the plain scalar loop.
+            decode_positions<Rans32, 32>(cur, units, hi, lo, t, out);
+            return;
+        }
+        const u64 g_hi =
+            std::min(top_aligned / 32 - 1, (valid_hi - kGuard) / 32 - 1);
+        // Scalar head: positions [(g_hi+1)*32, hi] (decode runs hi → lo).
+        const u64 head_lo = (g_hi + 1) * 32;
+        if (head_lo <= hi)
+            decode_positions<Rans32, 32>(cur, units, hi, head_lo, t, out);
+        scalar_group_pops(cur.x.data(), units.data(), cur.p);  // catch-up
+        group_kernel<TSym>(backend)(cur.x.data(), units.data(), units.size(),
+                                    cur.p, g_hi, g_lo, t, out);
+        // Scalar tail: positions [lo, g_lo*32 - 1].
+        if (g_lo * 32 > lo)
+            decode_positions<Rans32, 32>(cur, units, g_lo * 32 - 1, lo, t, out);
     }
 };
 

@@ -1,0 +1,217 @@
+#include "util/executor.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "util/error.hpp"
+
+namespace recoil::util {
+
+/// Linux caps thread names at 15 chars + NUL; silently truncate.
+void name_current_thread(const std::string& prefix, unsigned index) {
+#if defined(__linux__)
+    std::string name = prefix + "-" + std::to_string(index);
+    if (name.size() > 15) name.resize(15);
+    pthread_setname_np(pthread_self(), name.c_str());
+#else
+    (void)prefix;
+    (void)index;
+#endif
+}
+
+namespace {
+
+/// The worker slot the current thread occupies, when it belongs to an
+/// Executor: submit() from inside a task targets the submitting worker's own
+/// deque instead of round-robining (LIFO locality, no notify needed — this
+/// worker is by definition awake and will see its own push).
+struct WorkerSlot {
+    Executor* owner = nullptr;
+    unsigned index = 0;
+};
+thread_local WorkerSlot t_slot;
+
+}  // namespace
+
+struct Executor::Worker {
+    util::Mutex mu;
+    std::deque<Task> deque RECOIL_GUARDED_BY(mu);
+    std::thread thread;
+};
+
+Executor::Executor() : Executor(Options()) {}
+
+Executor::Executor(Options opt) : name_prefix_(opt.thread_name) {
+    unsigned n = opt.workers != 0 ? opt.workers
+                                  : std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    // Threads start only after every Worker slot exists: a worker stealing
+    // from a sibling must never observe a half-built vector.
+    for (unsigned i = 0; i < n; ++i)
+        workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+}
+
+Executor::~Executor() {
+    {
+        util::MutexLock lk(park_mu_);
+        stopping_.store(true, std::memory_order_seq_cst);
+    }
+    park_cv_.notify_all();
+    for (auto& w : workers_) w->thread.join();
+}
+
+void Executor::submit(Task task) {
+    RECOIL_CHECK(task != nullptr, "Executor::submit: empty task");
+    if (t_slot.owner == this) {
+        Worker& own = *workers_[t_slot.index];
+        {
+            util::MutexLock lk(own.mu);
+            own.deque.push_back(std::move(task));
+        }
+        pending_.fetch_add(1, std::memory_order_seq_cst);
+        // This worker runs the task itself unless a thief gets there first;
+        // still unpark a sibling so a burst of self-submits fans out.
+        if (parked_.load(std::memory_order_seq_cst) != 0) {
+            util::MutexLock lk(park_mu_);
+            park_cv_.notify_one();
+        }
+        return;
+    }
+    const u64 slot = rr_.fetch_add(1, std::memory_order_relaxed);
+    Worker& w = *workers_[slot % workers_.size()];
+    {
+        util::MutexLock lk(w.mu);
+        w.deque.push_back(std::move(task));
+    }
+    // pending_ rises BEFORE parked_ is read: a worker that incremented
+    // parked_ after our load re-checks pending_ under park_mu_ before it
+    // sleeps, so either we see it parked (and notify) or it sees our task.
+    pending_.fetch_add(1, std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_seq_cst) != 0) {
+        util::MutexLock lk(park_mu_);
+        park_cv_.notify_one();
+    }
+}
+
+std::optional<Executor::Task> Executor::next_task(unsigned index) {
+    // Own deque first, newest first: the task this worker just submitted is
+    // the one whose state is hot in its cache.
+    Worker& own = *workers_[index];
+    {
+        util::MutexLock lk(own.mu);
+        if (!own.deque.empty()) {
+            Task t = std::move(own.deque.back());
+            own.deque.pop_back();
+            return t;
+        }
+    }
+    // Steal half a victim's deque from the FIFO side: the oldest tasks have
+    // waited longest (fairness), and taking half amortizes the lock so a
+    // thundering herd of thieves does not revisit the same victim per task.
+    const unsigned n = static_cast<unsigned>(workers_.size());
+    for (unsigned hop = 1; hop < n; ++hop) {
+        Worker& victim = *workers_[(index + hop) % n];
+        std::vector<Task> loot;
+        {
+            util::MutexLock lk(victim.mu);
+            const std::size_t avail = victim.deque.size();
+            if (avail == 0) continue;
+            const std::size_t take = (avail + 1) / 2;
+            loot.reserve(take);
+            for (std::size_t i = 0; i < take; ++i) {
+                loot.push_back(std::move(victim.deque.front()));
+                victim.deque.pop_front();
+            }
+        }
+        stolen_.fetch_add(loot.size(), std::memory_order_relaxed);
+        Task first = std::move(loot.front());
+        if (loot.size() > 1) {
+            util::MutexLock lk(own.mu);
+            for (std::size_t i = 1; i < loot.size(); ++i)
+                own.deque.push_back(std::move(loot[i]));
+        }
+        return first;
+    }
+    return std::nullopt;
+}
+
+bool Executor::park_or_exit(unsigned index) {
+    (void)index;
+    util::MutexLock lk(park_mu_);
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    while (pending_.load(std::memory_order_seq_cst) == 0 &&
+           !(stopping_.load(std::memory_order_seq_cst) &&
+             running_.load(std::memory_order_seq_cst) == 0))
+        park_cv_.wait(park_mu_);
+    parked_.fetch_sub(1, std::memory_order_seq_cst);
+    if (pending_.load(std::memory_order_seq_cst) == 0 &&
+        stopping_.load(std::memory_order_seq_cst) &&
+        running_.load(std::memory_order_seq_cst) == 0) {
+        // Fully drained and stopping: release any sibling still waiting so
+        // the whole pool exits, then leave.
+        park_cv_.notify_all();
+        return false;
+    }
+    return true;
+}
+
+void Executor::worker_main(unsigned index) {
+    name_current_thread(name_prefix_, index);
+    t_slot = {this, index};
+    for (;;) {
+        std::optional<Task> task = next_task(index);
+        if (!task.has_value()) {
+            if (!park_or_exit(index)) break;
+            continue;
+        }
+        // running_ rises BEFORE pending_ falls: the pair never reads 0/0
+        // while a task is in hand, so a stopping sibling cannot conclude
+        // "drained" while this task might still submit successors.
+        running_.fetch_add(1, std::memory_order_seq_cst);
+        pending_.fetch_sub(1, std::memory_order_seq_cst);
+        try {
+            (*task)();
+        } catch (...) {
+            // A stray exception must not kill the worker (and with it every
+            // queued task); callers that care use run()'s future packaging.
+            exceptions_.fetch_add(1, std::memory_order_relaxed);
+        }
+        task.reset();  // destroy captures before the drained/parked checks
+        executed_.fetch_add(1, std::memory_order_relaxed);
+        running_.fetch_sub(1, std::memory_order_seq_cst);
+        if (stopping_.load(std::memory_order_seq_cst)) {
+            // The last running task gates its siblings' exit; wake them to
+            // re-evaluate now that running_ dropped.
+            util::MutexLock lk(park_mu_);
+            park_cv_.notify_all();
+        }
+    }
+    t_slot = {};
+}
+
+Executor::Stats Executor::stats() const {
+    Stats s;
+    s.workers = worker_count();
+    for (const auto& w : workers_) {
+        util::MutexLock lk(w->mu);
+        s.queued += w->deque.size();
+    }
+    s.running = running_.load(std::memory_order_relaxed);
+    s.executed_total = executed_.load(std::memory_order_relaxed);
+    s.stolen_total = stolen_.load(std::memory_order_relaxed);
+    s.exceptions_total = exceptions_.load(std::memory_order_relaxed);
+    return s;
+}
+
+Executor& global_executor() {
+    static Executor exec;
+    return exec;
+}
+
+}  // namespace recoil::util

@@ -1,0 +1,132 @@
+#pragma once
+// Work-stealing task executor: the thread substrate that lets 10k concurrent
+// streams cost 10k small state machines instead of 10k OS threads. Each
+// worker owns a deque; it pushes and pops its own work LIFO (cache-warm) and
+// steals the oldest half of a victim's deque when it runs dry (FIFO side, so
+// long-queued tasks cannot starve behind a busy owner). Workers that find
+// nothing to run or steal park on a condition variable and are unparked by
+// the next submit.
+//
+// Tasks must be resumable-by-design, not blocking: a task that parks a
+// worker on a condition variable owned by another *queued* task can deadlock
+// the pool (every worker blocked, the task that would unblock them never
+// scheduled). The serve_stream producer is the canonical shape — an explicit
+// state machine that RETURNS when it cannot progress (flow-control window
+// full) and is re-submitted by whichever thread unblocks it (the consumer
+// pull, the daemon's writable socket). See docs/executor.md.
+//
+// Lock discipline follows docs/static_analysis.md: every queue is guarded by
+// an annotated util::Mutex; the scheduling counters (pending/running/parked)
+// are the documented relaxed-atomic escape so submit() and the worker fast
+// path never serialize on one global lock.
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/ints.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace recoil::util {
+
+class Executor {
+public:
+    using Task = std::function<void()>;
+
+    struct Options {
+        /// Worker threads; 0 = hardware_concurrency.
+        unsigned workers = 0;
+        /// pthread name prefix for the workers ("<prefix>-N", truncated to
+        /// the kernel's 15-char limit) so profiles and slow-request logs
+        /// attribute time to subsystems.
+        const char* thread_name = "recoil-exec";
+    };
+
+    Executor();  ///< Options defaults (delegates; GCC rejects `opt = {}`
+                 ///< default args that need a nested class's NSDMIs)
+    explicit Executor(Options opt);
+    /// Shutdown drain: every task already submitted (including tasks that
+    /// running tasks submit while draining) still runs; then workers join.
+    ~Executor();
+    Executor(const Executor&) = delete;
+    Executor& operator=(const Executor&) = delete;
+
+    /// Enqueue one task. Called from a worker of this executor, the task
+    /// lands on that worker's own deque (LIFO, cache-warm); from any other
+    /// thread it round-robins across workers and unparks one if all are
+    /// asleep. Must not be called after the destructor's drain completed.
+    void submit(Task task);
+
+    /// Run `fn` on the executor with result/exception propagation through a
+    /// future — the packaging callers use when a task outcome matters to a
+    /// specific waiter (plain submit() tasks must handle their own errors;
+    /// a stray exception is counted, not propagated).
+    template <class F>
+    auto run(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto packaged =
+            std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> fut = packaged->get_future();
+        submit([packaged] { (*packaged)(); });
+        return fut;
+    }
+
+    struct Stats {
+        unsigned workers = 0;  ///< worker thread count (fixed at build)
+        u64 queued = 0;        ///< tasks waiting in deques right now
+        u64 running = 0;       ///< tasks executing right now
+        u64 executed_total = 0;   ///< tasks run to completion
+        u64 stolen_total = 0;     ///< tasks migrated by work stealing
+        u64 exceptions_total = 0; ///< stray task exceptions (caught, counted)
+    };
+    Stats stats() const;
+
+    unsigned worker_count() const noexcept {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+private:
+    struct Worker;
+
+    void worker_main(unsigned index);
+    /// Own deque (LIFO), else steal half of a victim's (FIFO). Nullopt when
+    /// the whole pool is dry.
+    std::optional<Task> next_task(unsigned index);
+    bool park_or_exit(unsigned index);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::string name_prefix_;
+
+    util::Mutex park_mu_;
+    util::CondVar park_cv_;  ///< parked workers: work arrived / stopping
+    // Scheduling counters: the documented relaxed-atomic escape. pending_
+    // counts queued-not-yet-claimed tasks, running_ counts tasks in a
+    // worker's hands (claimed before pending_ is decremented, so the pair
+    // can never read 0/0 while a task exists), parked_ gates submit()'s
+    // notify so the fast path never takes park_mu_.
+    std::atomic<u64> pending_{0};
+    std::atomic<u64> running_{0};
+    std::atomic<u64> parked_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<u64> executed_{0};
+    std::atomic<u64> stolen_{0};
+    std::atomic<u64> exceptions_{0};
+    std::atomic<u64> rr_{0};  ///< external-submit round robin cursor
+};
+
+/// Process-wide executor for resumable tasks (stream producers); sized to
+/// hardware_concurrency. Constructed on first use, lives for the process.
+Executor& global_executor();
+
+/// Name the calling thread "<prefix>-<index>" (truncated to the kernel's
+/// 15-char limit; no-op off Linux) so profiles and slow-request logs
+/// attribute time to subsystems. Used by the executor and ThreadPool.
+void name_current_thread(const std::string& prefix, unsigned index);
+
+}  // namespace recoil::util

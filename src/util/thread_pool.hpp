@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/executor.hpp"
 #include "util/ints.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -21,7 +22,10 @@ public:
         if (threads == 0) threads = 1;
         workers_.reserve(threads);
         for (unsigned t = 0; t < threads; ++t) {
-            workers_.emplace_back([this] { worker_loop(); });
+            workers_.emplace_back([this, t] {
+                util::name_current_thread("recoil-pool", t);
+                worker_loop();
+            });
         }
     }
 

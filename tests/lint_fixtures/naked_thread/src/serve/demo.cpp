@@ -1,0 +1,10 @@
+// Fixture source: spawns a dedicated producer thread inside src/serve/ —
+// the naked-thread gate must fire (twice: the include and the spawn); the
+// other gates stay clean.
+#include <thread>
+
+void register_all(Registry& reg) {
+    std::thread producer([] {});
+    producer.join();
+    reg.counter("demo_requests_total");
+}

@@ -1,0 +1,237 @@
+// Unit tests for the work-stealing executor behind stream producers: steal
+// fairness (queued work migrates off a busy worker), park/unpark (idle
+// workers sleep and wake on submit), shutdown drain (every submitted task —
+// including tasks submitted by draining tasks — runs before join),
+// exception containment (a stray throw is counted, not fatal; run()
+// propagates through its future), and the tentpole's scaling claim: 10k
+// concurrent streams cost O(workers) OS threads, not 10k.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/store.hpp"
+#include "test_util.hpp"
+#include "util/executor.hpp"
+
+namespace recoil {
+namespace {
+
+using util::Executor;
+
+TEST(Executor, RunsEverySubmittedTaskExactlyOnce) {
+    std::vector<std::atomic<int>> hits(2000);
+    {
+        Executor exec(Executor::Options{4, "recoil-test"});
+        for (int i = 0; i < 2000; ++i)
+            exec.submit([&hits, i] { hits[static_cast<std::size_t>(i)]++; });
+    }  // destructor drains
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Executor, DefaultsToHardwareConcurrency) {
+    Executor exec;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    EXPECT_EQ(exec.worker_count(), hw);
+    EXPECT_EQ(exec.stats().workers, hw);
+}
+
+TEST(Executor, ShutdownDrainRunsTasksSubmittedWhileDraining) {
+    std::atomic<int> ran{0};
+    {
+        Executor exec(Executor::Options{2, "recoil-test"});
+        // Each task submits a follow-up; the destructor must run both
+        // generations (a task submitted by a draining task still counts).
+        for (int i = 0; i < 64; ++i)
+            exec.submit([&exec, &ran] {
+                ran++;
+                exec.submit([&ran] { ran++; });
+            });
+    }
+    EXPECT_EQ(ran.load(), 128);
+}
+
+TEST(Executor, StealMigratesQueuedWorkOffABusyWorker) {
+    // Two workers. One task blocks worker A while holding a latch; the
+    // burst of follow-ups lands round-robin on both deques, and worker B
+    // must steal A's share — total throughput proves migration, and the
+    // stolen counter proves the mechanism.
+    Executor exec(Executor::Options{2, "recoil-test"});
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    exec.submit([&release] {
+        while (!release.load()) std::this_thread::yield();
+    });
+    // Give the blocker a moment to occupy its worker.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    for (int i = 0; i < 200; ++i) exec.submit([&ran] { ran++; });
+    // All 200 must complete while one worker is still pinned.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (ran.load() < 200 && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+    EXPECT_EQ(ran.load(), 200) << "queued work starved behind a busy worker";
+    release.store(true);
+    const auto stats = exec.stats();
+    EXPECT_GT(stats.stolen_total, 0u) << "no task was ever stolen";
+}
+
+TEST(Executor, ParkedWorkersWakeOnSubmit) {
+    Executor exec(Executor::Options{2, "recoil-test"});
+    // Let the workers park (nothing to do), then submit and expect prompt
+    // execution — a lost unpark would hang this test.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<bool> done{false};
+        exec.submit([&done] { done.store(true); });
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (!done.load() && std::chrono::steady_clock::now() < deadline)
+            std::this_thread::yield();
+        ASSERT_TRUE(done.load()) << "round " << round;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+TEST(Executor, StrayExceptionIsCountedNotFatal) {
+    Executor exec(Executor::Options{1, "recoil-test"});
+    std::atomic<bool> after{false};
+    exec.submit([] { throw std::runtime_error("stray"); });
+    exec.submit([&after] { after.store(true); });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!after.load() && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+    EXPECT_TRUE(after.load()) << "worker died on a stray exception";
+    EXPECT_EQ(exec.stats().exceptions_total, 1u);
+}
+
+TEST(Executor, RunPropagatesResultsAndExceptions) {
+    Executor exec(Executor::Options{2, "recoil-test"});
+    auto ok = exec.run([] { return 41 + 1; });
+    EXPECT_EQ(ok.get(), 42);
+    auto bad = exec.run([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(Executor, SubmitFromWorkerUsesOwnDeque) {
+    // A worker-local submit must not deadlock a 1-worker pool (the worker
+    // runs its own follow-ups; nothing waits on an external thread).
+    Executor exec(Executor::Options{1, "recoil-test"});
+    std::atomic<int> depth{0};
+    std::atomic<bool> done{false};
+    std::function<void(int)> recurse = [&](int d) {
+        depth.fetch_add(1);
+        if (d < 100)
+            exec.submit([&recurse, d] { recurse(d + 1); });
+        else
+            done.store(true);
+    };
+    exec.submit([&recurse] { recurse(0); });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!done.load() && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+    EXPECT_TRUE(done.load());
+    EXPECT_EQ(depth.load(), 101);
+}
+
+// ---- the scaling claim: streams are state machines, not threads ----
+
+/// Current thread count of this process, from /proc (Linux only — the CI
+/// and the container this repo targets).
+int process_thread_count() {
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("Threads:", 0) == 0) {
+            std::istringstream ss(line.substr(8));
+            int n = 0;
+            ss >> n;
+            return n;
+        }
+    }
+    return -1;
+}
+
+#ifdef RECOIL_TSAN
+constexpr int kSoakStreams = 500;  // TSan instruments every sync op; scale
+#else
+constexpr int kSoakStreams = 10000;
+#endif
+
+TEST(ExecutorSoak, TenThousandStreamsCostWorkerThreadsNotStreamThreads) {
+    using namespace serve;
+    ServerOptions opt;
+    opt.telemetry = false;
+    ContentServer server(opt);
+    std::vector<u8> data(2000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<u8>((i * 131) % 251);
+    server.store().encode_bytes("soak", data, 4);
+    const ServeResult ref = server.serve({"soak", 4, std::nullopt});
+    ASSERT_TRUE(ref.ok());
+
+    const int before = process_thread_count();
+    ASSERT_GT(before, 0);
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+
+    // Tiny window so every stream's producer yields mid-wire: at any
+    // instant most of the kSoakStreams live streams are parked state
+    // machines, which is exactly what must NOT cost a thread each.
+    StreamOptions sopt;
+    sopt.max_frame_bytes = 256;
+    sopt.window_bytes = 256;
+    sopt.use_cache = false;
+    std::vector<ServeStream> streams;
+    streams.reserve(static_cast<std::size_t>(kSoakStreams));
+    int peak_threads = before;
+    for (int i = 0; i < kSoakStreams; ++i) {
+        streams.push_back(server.serve_stream(
+            {"soak", 4, std::nullopt, kAcceptAll | kAcceptStreamed}, sopt));
+        // Pull the header + first body frame so the producer task has
+        // demonstrably started (and then yielded on the full window).
+        ASSERT_TRUE(streams.back().next_frame().has_value());
+        ASSERT_TRUE(streams.back().next_frame().has_value());
+        if (i % 256 == 0)
+            peak_threads = std::max(peak_threads, process_thread_count());
+    }
+    peak_threads = std::max(peak_threads, process_thread_count());
+    // O(workers), not O(streams): everything the process had before, plus
+    // the global executor's workers, plus slack for lazily created runtime
+    // threads — nowhere near kSoakStreams.
+    EXPECT_LE(peak_threads, before + static_cast<int>(2 * hw) + 8)
+        << "streams are costing dedicated threads again";
+
+    // Drain a sample of fresh streams fully and check bit-exactness end to
+    // end while the 10k yielded producers are still parked.
+    for (int i = 0; i < 20; ++i) {
+        StreamReassembler client(sopt.max_frame_bytes);
+        bool done = false;
+        ServeStream fresh = server.serve_stream(
+            {"soak", 4, std::nullopt, kAcceptAll | kAcceptStreamed}, sopt);
+        while (auto f = fresh.next_frame()) done = client.feed(*f);
+        ASSERT_TRUE(done);
+        const ServeResult got = client.result();
+        ASSERT_TRUE(got.ok()) << got.detail;
+        EXPECT_EQ(*got.wire, *ref.wire);
+    }
+    // Mass abandon: every yielded producer is resubmitted in cancel mode
+    // and unwinds on the executor (this path must not leak threads either).
+    streams.clear();
+
+    const int after_deadline_threads = process_thread_count();
+    EXPECT_LE(after_deadline_threads, before + static_cast<int>(2 * hw) + 8);
+}
+
+}  // namespace
+}  // namespace recoil

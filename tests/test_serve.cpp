@@ -436,6 +436,43 @@ TEST(RangeBoundary, OneSymbolAssetsServeTheirOnlyRange) {
     }
 }
 
+TEST_F(RangeBoundaryFixture, SimdRangeDecodeIsBitExactWithScalarAtEveryEdge) {
+    // The vectorized range decode (SimdRangeFn, and GuardedSimdRangeFn for
+    // the indexed id slice) against the pinned scalar path, swept across
+    // group boundaries (the kernels work in 32-symbol groups) and slice
+    // edges where the guarded tail hands over to the per-symbol loop. On a
+    // host without AVX the two decodes collapse to the same path and the
+    // sweep still pins wire-vs-source bit-exactness.
+    const simd::Backend best = simd::pick_backend();
+    const std::vector<u64> los = {0,      1,          31,         32,
+                                  33,     63,         64,         65,
+                                  kN / 2, kN / 2 + 1, kN - 33,    kN - 32,
+                                  kN - 31, kN - 1};
+    const std::vector<u64> spans = {1, 2, 31, 32, 33, 64, 100, kN};
+    for (const char* name : {"static", "chunked", "indexed"}) {
+        for (u64 lo : los) {
+            for (u64 span : spans) {
+                const u64 hi = std::min<u64>(lo + span, kN);
+                if (hi <= lo) continue;
+                auto res = server.serve(ServeRequest{name, 1, {{lo, hi}}});
+                ASSERT_TRUE(res.ok())
+                    << name << " [" << lo << ", " << hi << "): " << res.detail;
+                const auto vec =
+                    decode_range_wire(*res.wire, nullptr, best);
+                const auto sca = decode_range_wire(*res.wire, nullptr,
+                                                   simd::Backend::Scalar);
+                ASSERT_EQ(vec.size(), hi - lo) << name;
+                EXPECT_EQ(vec, sca)
+                    << name << " [" << lo << ", " << hi
+                    << "): vector and scalar range decodes diverge";
+                EXPECT_TRUE(
+                    std::equal(vec.begin(), vec.end(), data.begin() + lo))
+                    << name << " [" << lo << ", " << hi << ")";
+            }
+        }
+    }
+}
+
 TEST_F(ServeFixture, RangeResponsesAreCachedUnderTheAssetKey) {
     const ServeRequest req{"asset", 1, {{1000, 2000}}};
     auto cold = server.serve(req);

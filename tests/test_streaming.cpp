@@ -19,6 +19,7 @@
 #include "serve/session.hpp"
 #include "serve/store.hpp"
 #include "test_util.hpp"
+#include "util/executor.hpp"
 
 namespace recoil::serve {
 namespace {
@@ -451,6 +452,81 @@ TEST_F(StreamingFixture, AbandonedLeaderStillCompletesFollowersAndCache) {
     const ServeResult ref = server.serve(ServeRequest{"indexed", 4, std::nullopt});
     EXPECT_TRUE(ref.stats.cache_hit);
     EXPECT_EQ(*follower_res.wire, *ref.wire);
+}
+
+TEST_F(StreamingFixture, TinyWindowProducerYieldsAndResumesOnTheExecutor) {
+    // The producer is a resumable executor task: a window far smaller than
+    // the wire forces it through many WindowFull yield/re-submit cycles,
+    // each resume re-running the deterministic serializer and skipping the
+    // bytes already staged. Every resubmission is a fresh task execution,
+    // so the executor's executed_total must grow by well more than one —
+    // and the reassembled bytes must not show a seam at any restart point.
+    const ServeRequest req{"static", 8, std::nullopt, kAcceptStream};
+    server.cache().clear();
+    const ServeResult ref = server.serve(req);
+    ASSERT_TRUE(ref.ok());
+
+    server.cache().clear();
+    StreamOptions opt;
+    opt.max_frame_bytes = 1024;
+    opt.window_bytes = 1024;
+    // A consumer that keeps pace can ride the WindowFull handler's
+    // drained-already re-check and keep the producer inside one task
+    // execution; quiescing between pulls forces the full yield each time,
+    // so every window refill is a distinct execution.
+    const auto quiesce = [] {
+        for (;;) {
+            const auto s = util::global_executor().stats();
+            if (s.queued == 0 && s.running == 0) return;
+            std::this_thread::yield();
+        }
+    };
+    const auto ex0 = util::global_executor().stats();
+    auto stream = server.serve_stream(req, opt);
+    std::vector<std::vector<u8>> frames;
+    quiesce();
+    while (auto f = stream.next_frame()) {
+        frames.push_back(std::move(*f));
+        quiesce();
+    }
+    const auto ex1 = util::global_executor().stats();
+
+    const ServeResult got = reassemble(frames, opt.max_frame_bytes);
+    ASSERT_TRUE(got.ok()) << got.detail;
+    EXPECT_EQ(*got.wire, *ref.wire)
+        << "yield/resume restarts corrupted the stream";
+    // A 1 KiB window over a multi-KiB wire refills many times; require a
+    // conservative floor so the test proves the producer actually cycled
+    // through the executor rather than running once.
+    EXPECT_GE(ex1.executed_total - ex0.executed_total, 4u);
+}
+
+TEST_F(StreamingFixture, EraseWhileProducerIsYieldedKeepsTheStreamBitExact) {
+    // Park the producer in the yielded state (window full, no task queued
+    // or running), erase the asset underneath it, then resume draining:
+    // the stream's pinned shared_ptr must keep the asset's storage valid
+    // across every restart of the serializer.
+    const ServeRequest req{"chunked", 4, std::nullopt, kAcceptStream};
+    server.cache().clear();
+    const ServeResult ref = server.serve(ServeRequest{"chunked", 4, std::nullopt});
+    ASSERT_TRUE(ref.ok());
+
+    StreamOptions opt;
+    opt.max_frame_bytes = 512;
+    opt.window_bytes = 512;
+    opt.use_cache = false;  // solo stream: only the pin holds the asset
+    auto stream = server.serve_stream(req, opt);
+    std::vector<std::vector<u8>> frames;
+    frames.push_back(*stream.next_frame());  // header
+    frames.push_back(*stream.next_frame());  // first body: started + yielded
+
+    ASSERT_TRUE(server.store().erase("chunked"));
+    while (auto f = stream.next_frame()) frames.push_back(std::move(*f));
+
+    const ServeResult got = reassemble(frames, opt.max_frame_bytes);
+    ASSERT_TRUE(got.ok()) << got.detail;
+    EXPECT_EQ(*got.wire, *ref.wire)
+        << "resume after erase served different bytes";
 }
 
 TEST(StreamingGate, StalePutGateHoldsForStreams) {

@@ -20,6 +20,12 @@ naked-mutex     No naked std::mutex / std::shared_mutex /
                 std::condition_variable / std lock holders under src/
                 outside util/thread_annotations.hpp: all locking goes
                 through the Clang-Thread-Safety-annotated util wrappers.
+naked-thread    No std::thread / std::jthread (or #include <thread>) under
+                src/serve/ or src/net/: request-path concurrency rides the
+                work-stealing executor (util/executor.hpp) or the decode
+                ThreadPool, so a stream costs a state machine, not an OS
+                thread. The substrates themselves (util/executor.*,
+                util/thread_pool.hpp) and tests may spawn threads.
 include-hygiene No #include <mutex> / <shared_mutex> / <condition_variable>
                 under src/ outside the wrapper header, and every src header
                 starts with #pragma once.
@@ -53,6 +59,12 @@ NAKED_TOKENS = [
 ]
 
 BANNED_INCLUDES = ["<mutex>", "<shared_mutex>", "<condition_variable>"]
+
+# Directories where dedicated threads are banned outright: every producer,
+# session worker and daemon loop must run on the executor or ThreadPool.
+THREADLESS_DIRS = ("serve/", "net/")
+
+THREAD_TOKENS = ["std::thread", "std::jthread"]
 
 BACKTICK_NAME = re.compile(r"`([a-z][a-z0-9_]*)`")
 
@@ -143,6 +155,26 @@ def check_naked_mutex(repo: Path, findings):
                     f"annotated util:: wrappers from {WRAPPER}")
 
 
+def check_naked_thread(repo: Path, findings):
+    for path in source_files(repo):
+        rel = path.relative_to(repo / "src").as_posix()
+        if not rel.startswith(THREADLESS_DIRS):
+            continue
+        text = path.read_text()
+        code = strip_comments(text)
+        for token in THREAD_TOKENS:
+            for m in re.finditer(re.escape(token) + r"\b", code):
+                line = code.count("\n", 0, m.start()) + 1
+                findings.append(
+                    f"naked-thread: src/{rel}:{line}: {token} — streams and "
+                    f"sessions run on util::Executor / ThreadPool, not "
+                    f"dedicated threads")
+        if re.search(r"#\s*include\s*<thread>", text):
+            findings.append(
+                f"naked-thread: src/{rel}: #include <thread> — nothing in "
+                f"{'/'.join(THREADLESS_DIRS)} may spawn or name OS threads")
+
+
 def check_include_hygiene(repo: Path, findings):
     for path in source_files(repo):
         rel = path.relative_to(repo / "src").as_posix()
@@ -168,6 +200,7 @@ def run_checks(repo: Path, metrics_json=None, daemon_json=None,
     findings = []
     check_frozen_names(repo, findings)
     check_naked_mutex(repo, findings)
+    check_naked_thread(repo, findings)
     check_include_hygiene(repo, findings)
     if metrics_json is not None:
         check_snapshot(Path(metrics_json), frozen_registry_names(repo),
@@ -186,6 +219,7 @@ def self_test(repo: Path) -> int:
         "clean": [],
         "renamed_metric": ["frozen-names"],
         "naked_mutex": ["naked-mutex", "include-hygiene"],
+        "naked_thread": ["naked-thread"],
     }
     failures = 0
     for name, expect in sorted(expected.items()):
