@@ -6,12 +6,21 @@
 //   recoil_client --port N --verify ASSET              # v1 vs v2 bit-exact
 //   recoil_client --port N --metrics                   # "!metrics" scrape
 //   recoil_client --port N --metrics-json out.json     # JSON snapshot
+//   recoil_client --port N --bench-tenants R [ASSET]   # tenant-mix smoke
 //
 // --verify exchanges the same request over both framings and exits
 // nonzero unless the reassembled v2 wire is byte-identical to the v1
 // response — the CI smoke's end-to-end check. Connects retry for a few
 // seconds so a just-forked daemon has time to start listening.
+//
+// --bench-tenants R replays a seed-deterministic multi-tenant open-loop
+// plan (workload::traffic_plan: 3 tenants, Zipf keys, Poisson arrivals, a
+// flash crowd and a unique scan window) as R paced range requests against
+// ASSET (default "demo", which --seed-demo daemons always carry), then
+// prints client-observed p50/p99/p999 — the smoke-test cousin of
+// bench_serve's full shard-scaling harness.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +28,7 @@
 #include <thread>
 
 #include "net/client.hpp"
+#include "workload/traffic.hpp"
 
 using namespace recoil;
 
@@ -29,7 +39,8 @@ int usage() {
                  "usage: recoil_client --port N [--host H] [--parallelism P]\n"
                  "                     [--range LO:HI] [--stream] [--verify]\n"
                  "                     [--out PATH] [--metrics]\n"
-                 "                     [--metrics-json PATH] [ASSET]\n");
+                 "                     [--metrics-json PATH]\n"
+                 "                     [--bench-tenants REQUESTS] [ASSET]\n");
     return 2;
 }
 
@@ -46,6 +57,82 @@ net::Client connect_retrying(net::ClientOptions opt,
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
         }
     }
+}
+
+/// Replay a small deterministic tenant mix as paced range requests over
+/// one connection. Every (tenant, key) pair maps to a stable byte range
+/// of `asset`; scan arrivals derive a never-repeating range from their
+/// plan index, so admission policies see genuine one-hit wonders.
+int bench_tenants(net::Client& client, const char* asset,
+                  std::size_t requests) {
+    workload::TrafficOptions topt;
+    topt.tenants = {{"alpha", 48, 1.1, 3.0},
+                    {"bravo", 32, 0.9, 2.0},
+                    {"carol", 16, 1.3, 1.0}};
+    topt.requests = requests;
+    topt.offered_rps = 2000.0;
+    topt.arrivals = workload::ArrivalProcess::poisson;
+    topt.phases = {{workload::PhaseSpec::Kind::flash_crowd, 0.30, 0.45, 0,
+                    0.6},
+                   {workload::PhaseSpec::Kind::unique_scan, 0.60, 0.75, 0,
+                    0.5}};
+    topt.seed = 7;
+    const auto plan = workload::traffic_plan(topt);
+
+    constexpr u64 kAssetBytes = 1'000'000;  // --seed-demo corpus size
+    constexpr u64 kChunk = 4096;
+    std::vector<double> micros;
+    micros.reserve(plan.size());
+    u64 errors = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& a : plan) {
+        const auto due = start + std::chrono::duration_cast<
+                                     std::chrono::steady_clock::duration>(
+                                     std::chrono::duration<double>(
+                                         a.at_seconds));
+        if (due > std::chrono::steady_clock::now())
+            std::this_thread::sleep_until(due);
+        u64 lo;
+        if (a.scan) {
+            lo = (static_cast<u64>(a.index) * kChunk) %
+                 (kAssetBytes - kChunk);
+        } else {
+            const u64 mix = (static_cast<u64>(a.tenant) << 32 | a.key) *
+                            u64{0x9E3779B97F4A7C15};
+            lo = mix % (kAssetBytes - kChunk);
+        }
+        serve::ServeRequest req{asset, 4, {{lo, lo + kChunk}},
+                                serve::kAcceptAll};
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = client.request(req);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!res.ok()) {
+            ++errors;
+            continue;
+        }
+        micros.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    if (micros.empty()) {
+        std::fprintf(stderr, "bench-tenants: all %llu requests failed\n",
+                     static_cast<unsigned long long>(errors));
+        return 1;
+    }
+    std::sort(micros.begin(), micros.end());
+    auto pct = [&](double p) {
+        const auto idx = static_cast<std::size_t>(
+            p * static_cast<double>(micros.size() - 1));
+        return micros[idx];
+    };
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    std::printf("bench-tenants: %zu ok, %llu errors, %.0f req/s | "
+                "p50 %.0f us, p99 %.0f us, p999 %.0f us\n",
+                micros.size(), static_cast<unsigned long long>(errors),
+                static_cast<double>(micros.size()) / elapsed, pct(0.50),
+                pct(0.99), pct(0.999));
+    return errors == 0 ? 0 : 1;
 }
 
 bool dump_file(const char* path, const std::string& body) {
@@ -69,6 +156,7 @@ int main(int argc, char** argv) {
     bool want_metrics = false;
     bool stream = false;
     bool verify = false;
+    std::size_t bench_requests = 0;
     u32 parallelism = 8;
     std::optional<std::pair<u64, u64>> range;
     for (int i = 1; i < argc; ++i) {
@@ -105,6 +193,14 @@ int main(int argc, char** argv) {
             want_metrics = true;
         } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
             metrics_json = need("--metrics-json");
+        } else if (std::strcmp(argv[i], "--bench-tenants") == 0) {
+            bench_requests = static_cast<std::size_t>(
+                std::strtoull(need("--bench-tenants"), nullptr, 10));
+            if (bench_requests == 0) {
+                std::fprintf(stderr,
+                             "--bench-tenants wants a request count\n");
+                return 2;
+            }
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             return usage();
@@ -116,12 +212,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--port is required\n");
         return usage();
     }
-    if (asset == nullptr && !want_metrics && metrics_json == nullptr)
+    if (asset == nullptr && !want_metrics && metrics_json == nullptr &&
+        bench_requests == 0)
         return usage();
 
     try {
         net::Client client =
             connect_retrying(copt, std::chrono::milliseconds(10'000));
+
+        if (bench_requests > 0)
+            return bench_tenants(client, asset != nullptr ? asset : "demo",
+                                 bench_requests);
 
         if (asset != nullptr) {
             serve::ServeRequest req{asset, parallelism, range,

@@ -54,17 +54,35 @@ serve::ServeResult Client::request_streamed(const serve::ServeRequest& req,
                                             FrameCallback on_frame) {
     serve::ServeRequest streamed = req;
     streamed.accept |= serve::kAcceptStreamed;
-    Deadline deadline = Deadline::after(opt_.io_timeout);
-    std::vector<u8> framed;
-    append_net_frame(framed, serve::encode_request(streamed));
-    send_all(fd_.get(), framed, deadline);
-
     serve::StreamReassembler reasm;
+    u32 resumes_left = opt_.stream_resume_attempts;
     for (;;) {
-        std::vector<u8> frame = read_frame(deadline);
-        if (is_v1_response(frame)) return serve::decode_response(frame);
-        if (on_frame) on_frame(frame);
-        if (reasm.feed(frame)) return reasm.result();
+        try {
+            Deadline deadline = Deadline::after(opt_.io_timeout);
+            std::vector<u8> framed;
+            append_net_frame(framed, serve::encode_request(streamed));
+            send_all(fd_.get(), framed, deadline);
+            for (;;) {
+                std::vector<u8> frame = read_frame(deadline);
+                if (is_v1_response(frame))
+                    return serve::decode_response(frame);
+                if (on_frame) on_frame(frame);
+                if (reasm.feed(frame)) return reasm.result();
+            }
+        } catch (const NetError&) {
+            // Resumable only after an ok header: re-dial, re-request at
+            // the received byte offset, and keep the SAME reassembler —
+            // its accumulated wire and digest validate prefix + tail
+            // against the resumed FIN, bit-exact with an uninterrupted
+            // stream. A dead partial transport frame dies with reader_.
+            if (resumes_left == 0 || !reasm.resumable()) throw;
+            --resumes_left;
+            fd_ = connect_tcp(opt_.host, opt_.port,
+                              Deadline::after(opt_.connect_timeout));
+            reader_ = FrameReader(opt_.max_response_frame);
+            streamed.resume_offset = reasm.bytes_received();
+            reasm.begin_resume();
+        }
     }
 }
 

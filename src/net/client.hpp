@@ -32,6 +32,13 @@ struct ClientOptions {
     /// Inbound transport-frame cap (v1 responses carry whole wires, so
     /// this must cover the largest asset you expect to materialize).
     u32 max_response_frame = kMaxTransportFrame;
+    /// request_streamed() reconnect budget (0 = off): when the transport
+    /// fails mid-stream after an ok header, reconnect up to this many
+    /// times and resume at the received byte offset
+    /// (ServeRequest::resume_offset) — reassembly stays bit-exact because
+    /// the server hashes the skipped prefix into the FIN's whole-wire
+    /// checksum. Failures before resumable progress still throw.
+    u32 stream_resume_attempts = 0;
 };
 
 class Client {
@@ -48,7 +55,9 @@ public:
     /// protocol frame in arrival order, before it is fed to the
     /// reassembler. A server that answers with a single v1 frame instead
     /// (e.g. a typed error for a malformed request) is handled
-    /// transparently.
+    /// transparently. With ClientOptions::stream_resume_attempts > 0, a
+    /// mid-stream transport failure reconnects and resumes at the received
+    /// byte offset instead of throwing.
     using FrameCallback = std::function<void(std::span<const u8>)>;
     serve::ServeResult request_streamed(const serve::ServeRequest& req,
                                         FrameCallback on_frame = {});

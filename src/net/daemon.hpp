@@ -1,54 +1,65 @@
 #pragma once
-// `recoil_served`'s engine: a single-threaded nonblocking epoll event loop
-// that speaks the length-prefixed transport framing (net/framing.hpp) over
-// TCP and dispatches into a ContentServer.
+// `recoil_served`'s engine: nonblocking epoll event loops speaking the
+// length-prefixed transport framing (net/framing.hpp) over TCP and
+// dispatching into a ContentServer — or, for scale-out, a ShardedServer.
 //
-// Shape of the loop:
-//   - one listener, accept4(SOCK_NONBLOCK) drained per readiness event;
+// Shape of one loop:
+//   - a listener, accept4(SOCK_NONBLOCK) drained per readiness event;
 //     over-limit connections are accepted and immediately closed (counted
 //     as refused) so the peer sees a deterministic EOF, not a SYN backlog
 //     stall.
 //   - per-connection state machine: a FrameReader reassembles request
 //     frames from arbitrary partial reads; complete frames queue and are
 //     dispatched one at a time (pipelining works, ordering is preserved).
-//     v1 requests go through ContentServer::serve_frame() (which also
-//     answers "!metrics"); requests with kAcceptStreamed become a
-//     ServeStream whose frames are pulled ONLY when the outbound buffer
-//     has fully flushed — the socket's writability is the backpressure,
-//     so per-connection owned memory stays O(max_frame) regardless of
-//     asset size or reader speed. A pull that would block on the producer
-//     parks the connection on a short-retry list instead of stalling the
-//     loop.
+//     v1 requests go through serve_frame() (which also answers
+//     "!metrics"); requests with kAcceptStreamed become a ServeStream
+//     whose frames are pulled ONLY when the outbound buffer has fully
+//     flushed — the socket's writability is the backpressure, so
+//     per-connection owned memory stays O(max_frame) regardless of asset
+//     size or reader speed. A pull that would block on the producer parks
+//     the connection on a short-retry list instead of stalling the loop.
 //   - readiness modes: level-triggered (default) keeps the epoll interest
-//     mask in sync with what the connection can currently use (EPOLLIN
-//     only while we are willing to read — a backlogged connection is
-//     unsubscribed so the kernel buffers and the loop never spins);
+//     mask in sync with what the connection can currently use;
 //     edge-triggered registers EPOLLIN|EPOLLOUT|EPOLLET once and tracks
 //     readable/writable flags, clearing them on EAGAIN.
-//   - graceful drain: begin_drain() is async-signal-safe (it writes one
-//     u64 to an eventfd), so SIGTERM/SIGINT handlers can call it
-//     directly. The loop then closes the listener (new connects are
-//     refused by the kernel), stops reading new bytes, finishes every
-//     in-flight stream and already-received request, flushes, closes, and
-//     run() returns — the daemon main exits 0.
 //
-// Counters/gauges register into the server's MetricsRegistry under
+// Multi-loop (DaemonOptions::loops > 1): N loops, each a dedicated OS
+// thread (util::NamedThreads — loops BLOCK in epoll_wait, so the
+// work-stealing executor, whose tasks must never block, is the wrong
+// substrate) with its OWN epoll fd, connection table and stall list —
+// independent connections never contend on one loop. The kernel load-
+// balances accepts across per-loop SO_REUSEPORT listeners sharing the
+// port; when the socket option is unavailable the daemon falls back to
+// accept-and-hand-off: loop 0 owns the single listener and deals accepted
+// fds round-robin through per-loop mailboxes (counted in
+// daemon_loop_handoffs_total).
+//
+// Graceful drain: begin_drain() is async-signal-safe (one atomic store +
+// one write() per loop eventfd), so SIGTERM/SIGINT handlers call it
+// directly. Every loop then closes its listener, stops reading new bytes,
+// finishes every in-flight stream and already-received request, flushes,
+// closes, and run() returns once all loops exit — the daemon main exits 0.
+//
+// Counters/gauges register into the backend's MetricsRegistry under
 // daemon_* names via callbacks over a shared stats block, so a scrape
 // through "!metrics" (over this very socket) sees the daemon alongside
 // the serve subsystems — and a registry outliving the daemon polls the
-// shared block, never freed memory.
+// shared block, never freed memory. Per-loop series carry a `loop="i"`
+// label next to the unlabeled aggregates.
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "net/error.hpp"
 #include "net/framing.hpp"
 #include "net/socket.hpp"
 #include "serve/server.hpp"
+#include "serve/shard_router.hpp"
 
 namespace recoil::net {
 
@@ -57,8 +68,8 @@ struct DaemonOptions {
     /// TCP port; 0 picks an ephemeral port (read it back via port()).
     u16 port = 0;
     int listen_backlog = 256;
-    /// Simultaneous connections; one past the limit is accepted and
-    /// immediately closed (counted in refused). 0 = unlimited.
+    /// Simultaneous connections ACROSS all loops; one past the limit is
+    /// accepted and immediately closed (counted in refused). 0 = unlimited.
     u32 max_connections = 0;
     /// Close connections with no read/write activity for this long.
     /// 0 = never.
@@ -68,6 +79,15 @@ struct DaemonOptions {
     /// Inbound transport-frame cap (request frames are small; this only
     /// bounds what a hostile peer can make us buffer).
     u32 max_request_frame = 1u << 20;
+    /// Event-loop threads. 1 = the classic single loop on the caller's
+    /// thread. N > 1: run() spawns N-1 named threads and drives loop 0
+    /// itself; accepts spread via SO_REUSEPORT (or hand-off fallback).
+    u32 loops = 1;
+    /// Test hook (0 = off): once one connection has flushed at least this
+    /// many outbound STREAM frame bytes, hard-close it — once per daemon.
+    /// Drives the deterministic mid-stream kill of the resumable-stream
+    /// reconnection test; never set it in production.
+    u64 debug_kill_stream_after_bytes = 0;
     /// Streamed-response knobs forwarded to serve_stream(); the daemon
     /// pins producer-side memory through window_bytes and its own
     /// outbound buffering through max_frame_bytes.
@@ -76,31 +96,43 @@ struct DaemonOptions {
 
 namespace detail {
 struct Conn;
-}
+struct Loop;
+}  // namespace detail
 
 class Daemon {
 public:
-    /// Binds + listens + sets up epoll and the drain eventfd; registers
+    /// Binds + listens + sets up epoll and the drain eventfds; registers
     /// daemon_* metrics in server.metrics(). Throws NetError{daemon_error}
     /// if any of that fails. The server must outlive the daemon.
     Daemon(serve::ContentServer& server, DaemonOptions opt = {});
+    /// Same loop machinery fronting a ShardedServer: every request
+    /// dispatches through the consistent-hash ring, "!metrics" answers
+    /// from the router's registry (which then carries daemon_* and
+    /// shard_* side by side). The router must outlive the daemon.
+    Daemon(serve::ShardedServer& router, DaemonOptions opt = {});
     ~Daemon();
     Daemon(const Daemon&) = delete;
     Daemon& operator=(const Daemon&) = delete;
 
-    /// The port actually bound (resolves opt.port == 0).
+    /// The port actually bound (resolves opt.port == 0). Shared by every
+    /// loop listener.
     u16 port() const noexcept { return port_; }
+    /// True when per-loop SO_REUSEPORT listeners were granted (multi-loop
+    /// only); false means the accept-and-hand-off fallback is active.
+    bool reuseport() const noexcept { return reuseport_; }
 
-    /// Run the event loop until a drain completes. Call from the thread
-    /// that owns the daemon; everything else may only call begin_drain().
+    /// Run the event loop(s) until a drain completes. Call from the
+    /// thread that owns the daemon; everything else may only call
+    /// begin_drain(). Spawns loops-1 threads when DaemonOptions::loops>1.
     void run();
 
-    /// Request a graceful drain. Async-signal-safe (a single write() to an
-    /// eventfd) and callable from any thread; idempotent.
+    /// Request a graceful drain. Async-signal-safe (an atomic store plus
+    /// one write() per loop eventfd) and callable from any thread;
+    /// idempotent.
     void begin_drain() noexcept;
 
     /// Point-in-time copy of the daemon's own counters (the same values
-    /// the daemon_* registry metrics expose).
+    /// the daemon_* registry metrics expose). Aggregated over all loops.
     struct Stats {
         u64 accepted = 0;
         u64 refused = 0;
@@ -109,42 +141,61 @@ public:
         u64 idle_closed = 0;
         u64 protocol_errors = 0;
         u64 drains = 0;
-        u64 connections = 0;       ///< currently open
+        u64 connections = 0;       ///< currently open (all loops)
         u64 peak_connections = 0;
         /// High-water mark of one connection's owned bytes (outbound
         /// buffer + reader buffer + queued request frames) — the number
         /// the slow-reader test holds against O(max_frame).
         u64 conn_buffer_peak_bytes = 0;
+        u64 loops = 0;            ///< event-loop thread count
+        u64 loop_wakeups = 0;     ///< epoll_wait returns across loops
+        u64 loop_handoffs = 0;    ///< fds dealt by the fallback acceptor
     };
     Stats stats() const noexcept;
 
 private:
     struct AtomicStats;
+    /// The serving backend, type-erased so one loop implementation fronts
+    /// a single ContentServer or a ShardedServer identically.
+    struct Backend {
+        std::function<std::vector<u8>(std::span<const u8>)> frame;
+        std::function<serve::ServeStream(const serve::ServeRequest&,
+                                         const serve::StreamOptions&)>
+            stream;
+        obs::MetricsRegistry* metrics = nullptr;
+    };
 
-    void accept_ready();
-    void service(detail::Conn& c);
-    bool flush_out(detail::Conn& c);      ///< false: connection died
-    bool read_ready(detail::Conn& c);     ///< false: connection died
-    bool pump_output(detail::Conn& c);    ///< stream pull / dispatch; false: stalled
-    void dispatch(detail::Conn& c, std::vector<u8> frame);
-    void update_interest(detail::Conn& c);
-    void close_conn(int fd);
-    void start_drain();
-    void sweep_idle();
-    int loop_timeout_ms() const;
+    Daemon(Backend backend, DaemonOptions opt);
 
-    serve::ContentServer& server_;
+    void loop_run(detail::Loop& lp);
+    void accept_ready(detail::Loop& lp);
+    /// Register an accepted fd with a loop (local accept or hand-off).
+    void adopt_fd(detail::Loop& lp, int fd);
+    void service(detail::Loop& lp, detail::Conn& c);
+    bool flush_out(detail::Loop& lp, detail::Conn& c);  ///< false: conn died
+    bool read_ready(detail::Loop& lp, detail::Conn& c); ///< false: conn died
+    /// Stream pull / dispatch; false: stalled on the producer.
+    bool pump_output(detail::Loop& lp, detail::Conn& c);
+    void dispatch(detail::Loop& lp, detail::Conn& c, std::vector<u8> frame);
+    void update_interest(detail::Loop& lp, detail::Conn& c);
+    void close_conn(detail::Loop& lp, int fd);
+    void start_drain(detail::Loop& lp);
+    void sweep_idle(detail::Loop& lp);
+    int loop_timeout_ms(const detail::Loop& lp) const;
+    void init_metrics();
+
+    Backend backend_;
     DaemonOptions opt_;
     u16 port_ = 0;
-    Fd listen_fd_;
-    Fd epoll_fd_;
-    Fd drain_fd_;  ///< eventfd; begin_drain() writes, the loop reads
-    bool draining_ = false;
-    std::unordered_map<int, std::unique_ptr<detail::Conn>> conns_;
-    /// Connections whose stream pull would have blocked on the producer;
-    /// retried every loop iteration under a short epoll timeout.
-    std::unordered_set<int> stalled_;
-    std::chrono::steady_clock::time_point last_idle_sweep_;
+    bool reuseport_ = false;
+    std::vector<std::unique_ptr<detail::Loop>> loops_;
+    /// Loop wake eventfds, fixed at construction so begin_drain() touches
+    /// no allocating or locking path.
+    std::vector<int> wake_fds_;
+    std::atomic<bool> drain_requested_{false};
+    std::atomic<bool> drain_counted_{false};
+    std::atomic<u32> next_handoff_{0};
+    std::atomic<bool> debug_killed_{false};
     std::shared_ptr<AtomicStats> stats_;
 };
 

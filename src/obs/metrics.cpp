@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 
 namespace recoil::obs {
 
@@ -66,16 +67,43 @@ std::string fmt_double(double v) {
     return buf;
 }
 
+/// Metric family name of a possibly-labeled series (`a{b="c"}` -> `a`).
+std::string_view base_name(std::string_view series) {
+    return series.substr(0, series.find('{'));
+}
+
+/// JSON-escape a series name (labeled names carry `"` characters).
+std::string json_key(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
 }  // namespace
 
 std::string MetricsSnapshot::to_prometheus() const {
     std::string out;
+    // One # TYPE line per consecutive run of a family: a labeled series
+    // (`name{shard="0"}`) sorts directly after its unlabeled aggregate, so
+    // the family header is emitted once for the whole run.
+    std::string_view last_base;
     for (const auto& [name, value] : counters) {
-        out += "# TYPE " + name + " counter\n";
+        if (base_name(name) != last_base) {
+            last_base = base_name(name);
+            out += "# TYPE " + std::string(last_base) + " counter\n";
+        }
         out += name + " " + fmt_u64(value) + "\n";
     }
+    last_base = {};
     for (const auto& [name, value] : gauges) {
-        out += "# TYPE " + name + " gauge\n";
+        if (base_name(name) != last_base) {
+            last_base = base_name(name);
+            out += "# TYPE " + std::string(last_base) + " gauge\n";
+        }
         out += name + " " + fmt_u64(value) + "\n";
     }
     for (const HistogramSnapshot& h : histograms) {
@@ -103,14 +131,14 @@ std::string MetricsSnapshot::to_json() const {
     for (const auto& [name, value] : counters) {
         out += first ? "\n    " : ",\n    ";
         first = false;
-        out += "\"" + name + "\": " + fmt_u64(value);
+        out += "\"" + json_key(name) + "\": " + fmt_u64(value);
     }
     out += "\n  },\n  \"gauges\": {";
     first = true;
     for (const auto& [name, value] : gauges) {
         out += first ? "\n    " : ",\n    ";
         first = false;
-        out += "\"" + name + "\": " + fmt_u64(value);
+        out += "\"" + json_key(name) + "\": " + fmt_u64(value);
     }
     out += "\n  },\n  \"histograms\": {";
     first = true;
@@ -166,6 +194,17 @@ void MetricsRegistry::register_callback(const std::string& name,
                                         MetricKind kind, Callback fn) {
     util::MutexLock lk(mu_);
     callbacks_[name] = {kind, std::move(fn)};
+}
+
+void MetricsRegistry::register_callback(const std::string& name,
+                                        const std::string& labels,
+                                        MetricKind kind, Callback fn) {
+    if (labels.empty()) {
+        register_callback(name, kind, std::move(fn));
+        return;
+    }
+    util::MutexLock lk(mu_);
+    callbacks_[name + "{" + labels + "}"] = {kind, std::move(fn)};
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

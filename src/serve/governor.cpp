@@ -40,10 +40,20 @@ void ResourceGovernor::note_access(const std::string& name) {
     last_access_[name] = tick;
 }
 
+void ResourceGovernor::set_budget(u64 budget_bytes) {
+    // mu_ serializes against a running enforce() pass so the new target is
+    // either seen by the whole pass or by the next one, never mid-pass.
+    util::MutexLock lk(mu_);
+    budget_.store(budget_bytes, std::memory_order_relaxed);
+    // Re-arm the futility latch: the stuck level was measured against the
+    // old budget and means nothing under the new one.
+    futile_usage_.store(0, std::memory_order_relaxed);
+}
+
 u64 ResourceGovernor::enforce() {
     if (!enabled()) return 0;
     util::MutexLock lk(mu_);
-    const u64 budget = opt_.budget_bytes;
+    const u64 budget = budget_.load(std::memory_order_relaxed);
     if (cache_.current_bytes() + store_.resident_bytes() <= budget) {
         futile_usage_.store(0, std::memory_order_relaxed);
         return 0;
@@ -125,7 +135,7 @@ u64 ResourceGovernor::enforce() {
 GovernorStats ResourceGovernor::stats() const {
     util::MutexLock lk(mu_);
     GovernorStats s = stats_;
-    s.budget_bytes = opt_.budget_bytes;
+    s.budget_bytes = budget_.load(std::memory_order_relaxed);
     s.cache_bytes = cache_.current_bytes();
     s.resident_bytes = store_.resident_bytes();
     return s;

@@ -63,10 +63,22 @@ class ResourceGovernor {
 public:
     ResourceGovernor(AssetStore& store, MetadataCache& cache,
                      GovernorOptions opt)
-        : store_(store), cache_(cache), opt_(opt) {}
+        : store_(store), cache_(cache), opt_(opt),
+          budget_(opt.budget_bytes) {}
 
-    bool enabled() const noexcept { return opt_.budget_bytes != 0; }
-    u64 budget_bytes() const noexcept { return opt_.budget_bytes; }
+    bool enabled() const noexcept {
+        return budget_.load(std::memory_order_relaxed) != 0;
+    }
+    u64 budget_bytes() const noexcept {
+        return budget_.load(std::memory_order_relaxed);
+    }
+
+    /// Retarget the global budget at runtime — the shard-router's rebalance
+    /// coordinator moves budget between shards through this. Re-arms the
+    /// futility latch (a bigger budget may relieve pressure, a smaller one
+    /// creates new pressure worth a pass); takes effect on the next
+    /// over_budget() probe / enforce() pass. 0 disables the governor.
+    void set_budget(u64 budget_bytes) RECOIL_EXCLUDES(mu_);
 
     /// Pinned assets are never unloaded by enforce(), however cold. The
     /// per-class protection knob: pin the assets a fleet's hot classes
@@ -82,9 +94,9 @@ public:
 
     /// Cheap pressure probe (two relaxed atomic loads) for the hot path.
     bool over_budget() const noexcept {
-        return enabled() &&
-               cache_.current_bytes() + store_.resident_bytes() >
-                   opt_.budget_bytes;
+        const u64 budget = budget_.load(std::memory_order_relaxed);
+        return budget != 0 &&
+               cache_.current_bytes() + store_.resident_bytes() > budget;
     }
 
     /// over_budget() AND a pass has a chance of helping. When a pass ends
@@ -125,6 +137,9 @@ private:
     AssetStore& store_;
     MetadataCache& cache_;
     GovernorOptions opt_;
+    /// Live budget (opt_.budget_bytes is only the initial value). Atomic so
+    /// the hot-path probes read it lock-free while set_budget retargets it.
+    std::atomic<u64> budget_;
     mutable util::Mutex mu_;
     std::unordered_map<std::string, u64> last_access_ RECOIL_GUARDED_BY(mu_);
     std::unordered_set<std::string> pinned_ RECOIL_GUARDED_BY(mu_);

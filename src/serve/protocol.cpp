@@ -14,6 +14,7 @@ constexpr char kRequestMagic[4] = {'R', 'C', 'R', 'Q'};
 constexpr char kResponseMagic[4] = {'R', 'C', 'R', 'S'};
 
 constexpr u8 kRequestFlagHasRange = 1;
+constexpr u8 kRequestFlagHasResume = 2;
 constexpr u8 kResponseFlagCacheHit = 1;
 constexpr u8 kResponseFlagCoalesced = 2;
 
@@ -110,10 +111,15 @@ std::vector<u8> encode_request(const ServeRequest& req) {
             (req.accept & ~(kAcceptAll | kAcceptStreamed | kAcceptMetrics)) ==
                 0,
         "encode_request: bad accept mask");
+    RECOIL_CHECK(req.resume_offset == 0 ||
+                     (req.accept & kAcceptStreamed) != 0,
+                 "encode_request: resume_offset requires kAcceptStreamed");
     std::vector<u8> out;
     out.insert(out.end(), kRequestMagic, kRequestMagic + 4);
     out.push_back(kProtocolVersion);
-    out.push_back(req.range ? kRequestFlagHasRange : 0);
+    out.push_back(static_cast<u8>(
+        (req.range ? kRequestFlagHasRange : 0) |
+        (req.resume_offset != 0 ? kRequestFlagHasResume : 0)));
     out.push_back(req.accept);
     out.push_back(0);  // reserved
     put_u32(out, req.parallelism);
@@ -123,6 +129,7 @@ std::vector<u8> encode_request(const ServeRequest& req) {
         put_u64(out, req.range->first);
         put_u64(out, req.range->second);
     }
+    if (req.resume_offset != 0) put_u64(out, req.resume_offset);
     append_checksum(out);
     return out;
 }
@@ -134,7 +141,7 @@ ServeRequest decode_request(std::span<const u8> frame) {
         check_magic(c, kRequestMagic, ctx);
         check_version(c, ctx);
         const u8 flags = c.get_u8();
-        if ((flags & ~kRequestFlagHasRange) != 0)
+        if ((flags & ~(kRequestFlagHasRange | kRequestFlagHasResume)) != 0)
             fail(ErrorCode::malformed_frame, std::string(ctx) + ": unknown flags");
         ServeRequest req;
         req.accept = c.get_u8();
@@ -156,6 +163,16 @@ ServeRequest decode_request(std::span<const u8> frame) {
             const u64 lo = c.get_u64();
             const u64 hi = c.get_u64();
             req.range = {lo, hi};
+        }
+        if ((flags & kRequestFlagHasResume) != 0) {
+            req.resume_offset = c.get_u64();
+            if (req.resume_offset == 0)
+                fail(ErrorCode::bad_request,
+                     std::string(ctx) + ": zero resume offset flagged");
+            if ((req.accept & kAcceptStreamed) == 0)
+                fail(ErrorCode::bad_request,
+                     std::string(ctx) +
+                         ": resume offset without streamed accept");
         }
         return req;
     });

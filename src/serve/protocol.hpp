@@ -108,6 +108,14 @@ struct ServeRequest {
     std::optional<std::pair<u64, u64>> range;
     /// Wire forms the client can decode (kAccept* bits).
     u8 accept = kAcceptAll;
+    /// Resume a previously interrupted STREAMED response at this wire-byte
+    /// offset: the server re-serves the same deterministic wire but skips
+    /// the first resume_offset body-payload bytes (hashing them, so the
+    /// FIN's whole-wire checksum still covers prefix + tail and reassembly
+    /// stays bit-exact end to end). Only valid with kAcceptStreamed;
+    /// nonzero without it is rejected as bad_request. Wire-compatible:
+    /// 0 encodes exactly the pre-resume frame layout.
+    u64 resume_offset = 0;
 };
 
 struct ServeStats {
@@ -234,6 +242,23 @@ public:
     bool feed(std::span<const u8> frame);
     bool done() const noexcept { return done_; }
     const StreamHeader& header() const;
+    /// Body-payload bytes accumulated so far — the `resume_offset` a
+    /// reconnecting client sends after a mid-stream transport failure.
+    u64 bytes_received() const noexcept { return wire_->size(); }
+    /// True when an interrupted stream can continue through begin_resume():
+    /// an ok header arrived and the stream has not completed.
+    bool resumable() const noexcept {
+        return have_header_ && !done_ && head_.code == ErrorCode::ok;
+    }
+    /// Re-arm for the tail of a resumed stream: the next frame must be a
+    /// fresh header and body sequencing restarts at 0, while the
+    /// accumulated wire bytes and the incremental whole-wire digest carry
+    /// over — so the FIN of the resumed tail validates prefix + tail
+    /// together, bit-exact with an uninterrupted stream.
+    void begin_resume() noexcept {
+        have_header_ = false;
+        next_seq_ = 0;
+    }
     /// The reassembled response; requires done(). `wire` shares the
     /// accumulation buffer (immutable once done) — no copy is made, so the
     /// client's peak memory stays one wire, not two.

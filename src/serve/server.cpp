@@ -156,6 +156,9 @@ struct StreamState {
     bool payload_phase = false;
     format::ByteBuffer pending;  ///< partially framed piece
     std::size_t pending_off = 0;
+    /// Resume skip cursor (opt.resume_offset countdown): bytes consumed
+    /// and hashed but not emitted. Consumer-only, like the framing cursor.
+    u64 skip_remaining = 0;
     u64 replay_offset = 0;  ///< cached/follower sources: wire bytes consumed
     u64 emitted_payload = 0;
     u64 digest = format::kFnvInit;  ///< FNV over emitted body payloads
@@ -640,6 +643,21 @@ std::optional<std::vector<u8>> ServeStream::frame_impl(bool allow_block,
                     if (!payload.empty()) break;
                 }
             }
+            if (st.skip_remaining > 0) {
+                // Resumed stream: the reconnecting client already holds
+                // these bytes. Hash them (the FIN digest covers the whole
+                // wire) and advance without emitting.
+                const std::size_t n = static_cast<std::size_t>(
+                    std::min<u64>(st.skip_remaining,
+                                  st.pending.size() - st.pending_off));
+                st.digest = format::fnv1a(
+                    std::span<const u8>(st.pending.begin() + st.pending_off,
+                                        n),
+                    st.digest);
+                st.pending_off += n;
+                st.skip_remaining -= n;
+                continue;
+            }
             const std::size_t n =
                 std::min<std::size_t>(static_cast<std::size_t>(target()) -
                                           payload.size(),
@@ -1123,6 +1141,7 @@ ServeStream ContentServer::serve_stream(const ServeRequest& req,
     auto st = std::make_shared<detail::StreamState>();
     st->server = this;
     st->opt = opt;
+    st->skip_remaining = opt.resume_offset;
     if (sample_tick(tick)) {
         st->trace = obs::TraceContext("stream", req.asset);
         st->h_frame = h_frame_;

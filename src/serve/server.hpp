@@ -101,6 +101,14 @@ struct StreamOptions {
     bool adaptive_frames = true;
     /// Prefix-frame payload ceiling; clamped down to max_frame_bytes.
     u64 prefix_frame_bytes = kDefaultPrefixFrameBytes;
+    /// Resume an interrupted stream: re-serve the same deterministic wire
+    /// but skip the first resume_offset body-payload bytes, hashing the
+    /// skipped prefix into the running digest so the FIN's whole-wire
+    /// checksum still covers prefix + tail (a reconnecting client that
+    /// kept its reassembler validates the reunited wire bit-exactly).
+    /// Body sequencing restarts at 0 for the tail. Transports populate
+    /// this from ServeRequest::resume_offset.
+    u64 resume_offset = 0;
 };
 
 namespace detail {

@@ -1,0 +1,54 @@
+#pragma once
+// RAII thread group for subsystems that need real OS threads but live in
+// directories where naming std::thread is banned (tools/lint.py: serve/ and
+// net/ must borrow their concurrency from util/). The two sanctioned thread
+// substrates are the work-stealing Executor — for resumable, never-blocking
+// tasks — and this helper, for loops that legitimately BLOCK in a syscall
+// (epoll_wait, accept): such a loop parked on an executor worker would
+// deadlock the pool, so it gets a dedicated named thread instead.
+//
+// Join discipline: join_all() (or destruction) blocks until every spawned
+// thread returns. The caller is responsible for making its loops exit —
+// e.g. the daemon's drain eventfd — before destroying the resources the
+// threads use.
+
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/executor.hpp"
+
+namespace recoil::util {
+
+class NamedThreads {
+public:
+    NamedThreads() = default;
+    ~NamedThreads() { join_all(); }
+    NamedThreads(const NamedThreads&) = delete;
+    NamedThreads& operator=(const NamedThreads&) = delete;
+
+    /// Start `fn` on a new thread named "<prefix><index>" (visible in
+    /// /proc and debuggers via name_current_thread).
+    void spawn(const char* prefix, unsigned index, std::function<void()> fn) {
+        threads_.emplace_back(
+            [prefix, index, fn = std::move(fn)] {
+                name_current_thread(prefix, index);
+                fn();
+            });
+    }
+
+    std::size_t size() const noexcept { return threads_.size(); }
+
+    /// Join every spawned thread; idempotent.
+    void join_all() {
+        for (std::thread& t : threads_)
+            if (t.joinable()) t.join();
+        threads_.clear();
+    }
+
+private:
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace recoil::util
